@@ -1,0 +1,80 @@
+// Command kspbench regenerates the tables and figures of the paper's
+// evaluation section against the scale-model datasets.
+//
+// Usage:
+//
+//	kspbench -list
+//	kspbench -exp fig35
+//	kspbench -exp all -scale small -nq 200 -workers 8
+//
+// Each experiment prints a plain-text table whose rows correspond to the
+// series the paper plots; EXPERIMENTS.md records a captured run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kspdg/internal/bench"
+	"kspdg/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "experiment to run (e.g. table1, fig35, ablation-vfrag) or 'all'")
+		scale   = flag.String("scale", "tiny", "dataset scale: tiny, small, or medium")
+		nq      = flag.Int("nq", 0, "queries per batch (0 = scale default)")
+		xi      = flag.Int("xi", 3, "number of bounding paths per boundary pair (ξ)")
+		k       = flag.Int("k", 2, "default k")
+		seed    = flag.Int64("seed", 42, "random seed for workloads")
+		workers = flag.Int("workers", 4, "default simulated cluster size")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Experiments() {
+			title, _ := bench.Describe(name)
+			fmt.Printf("%-18s %s\n", name, title)
+		}
+		return
+	}
+
+	suite := bench.DefaultSuite()
+	switch *scale {
+	case "tiny":
+		suite.Scale = workload.ScaleTiny
+		suite.Nq = 60
+	case "small":
+		suite.Scale = workload.ScaleSmall
+		suite.Nq = 150
+	case "medium":
+		suite.Scale = workload.ScaleMedium
+		suite.Nq = 300
+	default:
+		fmt.Fprintf(os.Stderr, "kspbench: unknown scale %q (want tiny, small, or medium)\n", *scale)
+		os.Exit(2)
+	}
+	if *nq > 0 {
+		suite.Nq = *nq
+	}
+	suite.Xi = *xi
+	suite.K = *k
+	suite.Seed = *seed
+	suite.Workers = *workers
+
+	if *exp == "all" {
+		if err := suite.RunAll(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	table, err := suite.Run(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
+		os.Exit(1)
+	}
+	table.Fprint(os.Stdout)
+}

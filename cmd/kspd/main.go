@@ -1,0 +1,175 @@
+// Command kspd runs the distributed KSP-DG deployment over TCP: worker
+// processes host subgraphs and answer partial-KSP requests, and a master
+// process builds the DTLP index, drives the filter/refine iterations, and
+// fans the refine step out to the workers — the same roles the paper assigns
+// to SubgraphBolts and QueryBolts on Storm (Section 6.1).
+//
+// All processes derive the same dataset and partition deterministically from
+// the shared flags, so no graph shipping is needed.
+//
+// Start two workers and a master on one machine:
+//
+//	kspd -mode worker -dataset NY -scale tiny -worker-id 0 -num-workers 2 -listen 127.0.0.1:7001 &
+//	kspd -mode worker -dataset NY -scale tiny -worker-id 1 -num-workers 2 -listen 127.0.0.1:7002 &
+//	kspd -mode master -dataset NY -scale tiny -num-workers 2 -connect 127.0.0.1:7001,127.0.0.1:7002 -queries 50 -k 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kspdg/internal/cluster"
+	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/partition"
+	"kspdg/internal/workload"
+)
+
+func main() {
+	var (
+		mode       = flag.String("mode", "master", "role: worker or master")
+		dataset    = flag.String("dataset", "NY", "built-in dataset (NY, COL, FLA, CUSA)")
+		scaleName  = flag.String("scale", "tiny", "dataset scale: tiny, small, medium")
+		z          = flag.Int("z", 0, "subgraph size (0 = dataset default)")
+		xi         = flag.Int("xi", 3, "bounding paths per boundary pair")
+		workerID   = flag.Int("worker-id", 0, "this worker's id (worker mode)")
+		numWorkers = flag.Int("num-workers", 1, "total number of workers in the deployment")
+		listen     = flag.String("listen", "127.0.0.1:7001", "listen address (worker mode)")
+		connect    = flag.String("connect", "", "comma-separated worker addresses (master mode)")
+		queries    = flag.Int("queries", 20, "number of random queries to run (master mode)")
+		k          = flag.Int("k", 2, "k shortest paths per query (master mode)")
+		seed       = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := workload.BuiltinDataset(*dataset, scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *z <= 0 {
+		*z = ds.DefaultZ
+	}
+	part, err := partition.PartitionGraph(ds.Graph, *z)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "worker":
+		runWorker(part, *workerID, *numWorkers, *listen)
+	case "master":
+		runMaster(ds, part, *xi, *connect, *queries, *k, *seed)
+	default:
+		fatal(fmt.Errorf("unknown mode %q (want worker or master)", *mode))
+	}
+}
+
+func parseScale(name string) (workload.Scale, error) {
+	switch name {
+	case "tiny":
+		return workload.ScaleTiny, nil
+	case "small":
+		return workload.ScaleSmall, nil
+	case "medium":
+		return workload.ScaleMedium, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", name)
+}
+
+// runWorker serves the subgraphs assigned to workerID (round-robin over the
+// partition) until interrupted.
+func runWorker(part *partition.Partition, workerID, numWorkers int, listen string) {
+	if numWorkers < 1 || workerID < 0 || workerID >= numWorkers {
+		fatal(fmt.Errorf("invalid worker id %d of %d", workerID, numWorkers))
+	}
+	var owned []partition.SubgraphID
+	for i := 0; i < part.NumSubgraphs(); i++ {
+		if i%numWorkers == workerID {
+			owned = append(owned, partition.SubgraphID(i))
+		}
+	}
+	srv, err := cluster.Serve(listen, cluster.NewWorker(workerID, part, owned))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kspd worker %d: serving %d subgraphs on %s\n", workerID, len(owned), srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	_ = srv.Close()
+}
+
+// runMaster builds the DTLP index, connects to the workers, and processes a
+// batch of random queries, reporting timing and per-query statistics.
+func runMaster(ds *workload.Dataset, part *partition.Partition, xi int, connect string, numQueries, k int, seed int64) {
+	fmt.Printf("kspd master: dataset %s, %d vertices, %d edges, %d subgraphs\n",
+		ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), part.NumSubgraphs())
+	start := time.Now()
+	index, err := dtlp.Build(part, dtlp.Config{Xi: xi})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kspd master: DTLP built in %v (skeleton: %d vertices, %d edges)\n",
+		time.Since(start).Round(time.Millisecond), index.Skeleton().NumVertices(), index.Skeleton().NumEdges())
+
+	var provider core.PartialProvider
+	if connect != "" {
+		var remotes []*cluster.RemoteWorker
+		for _, addr := range strings.Split(connect, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			rw, err := cluster.Dial(addr)
+			if err != nil {
+				fatal(err)
+			}
+			defer rw.Close()
+			remotes = append(remotes, rw)
+			fmt.Printf("kspd master: connected to worker %s\n", addr)
+		}
+		provider = cluster.NewRemoteProvider(remotes)
+	} else {
+		fmt.Println("kspd master: no -connect given, running the refine step locally")
+	}
+	engine := core.NewEngine(index, provider, core.Options{})
+
+	qs := workload.NewQueryGenerator(ds.Graph.NumVertices(), seed).Batch(numQueries)
+	start = time.Now()
+	totalIter := 0
+	for i, q := range qs {
+		res, err := engine.Query(q.Source, q.Target, k)
+		if err != nil {
+			fatal(err)
+		}
+		totalIter += res.Iterations
+		if i < 3 {
+			fmt.Printf("  query %d: %d -> %d, %d paths, best %.1f, %d iterations, %v\n",
+				i, q.Source, q.Target, len(res.Paths), bestDist(res), res.Iterations, res.Elapsed.Round(time.Microsecond))
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("kspd master: %d queries (k=%d) in %v, avg %.2f iterations/query\n",
+		len(qs), k, elapsed.Round(time.Millisecond), float64(totalIter)/float64(len(qs)))
+}
+
+func bestDist(res core.Result) float64 {
+	if len(res.Paths) == 0 {
+		return -1
+	}
+	return res.Paths[0].Dist
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kspd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Navigation: the "alternative routes" scenario from the paper's
+// introduction (Figure 1): a navigation service continuously answers top-k
+// route queries over a city-scale road network while traffic evolves, using a
+// simulated multi-worker cluster so many concurrent queries are served in
+// parallel.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kspdg/internal/cluster"
+	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/partition"
+	"kspdg/internal/workload"
+)
+
+func main() {
+	// Load the scale-model New York road network.
+	ds, err := workload.BuiltinDataset("NY", workload.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	fmt.Printf("road network %s: %d intersections, %d road segments\n", ds.Name, g.NumVertices(), g.NumEdges())
+
+	part, err := partition.PartitionGraph(g, ds.DefaultZ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	index, err := dtlp.Build(part, dtlp.Config{Xi: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DTLP index built in %v (%d subgraphs, skeleton with %d vertices)\n",
+		time.Since(start).Round(time.Millisecond), part.NumSubgraphs(), index.Skeleton().NumVertices())
+
+	// Deploy on a simulated 4-worker cluster.
+	c, err := cluster.New(index, cluster.Config{NumWorkers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A navigation service: every "minute" traffic conditions change and a
+	// new batch of route requests arrives.
+	traffic := workload.NewTrafficModel(0.35, 0.30, 7)
+	queries := workload.NewQueryGenerator(g.NumVertices(), 99)
+	const k = 3
+	for minute := 1; minute <= 3; minute++ {
+		batch, err := traffic.Step(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maintStart := time.Now()
+		if err := c.ApplyUpdates(batch); err != nil {
+			log.Fatal(err)
+		}
+		maint := time.Since(maintStart)
+
+		requests := queries.Batch(40)
+		qStart := time.Now()
+		results, err := c.ProcessBatch(requests, k, core.Options{MaxIterations: 100})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(qStart)
+
+		fmt.Printf("minute %d: %d road segments changed (maintenance %v); %d route requests answered in %v\n",
+			minute, len(batch), maint.Round(time.Microsecond), len(requests), elapsed.Round(time.Millisecond))
+		// Show the alternatives offered for the first request.
+		q := requests[0]
+		fmt.Printf("  alternatives for trip %d -> %d:\n", q.Source, q.Target)
+		for i, p := range results[0].Paths {
+			fmt.Printf("    route %d: %.0f min via %d intersections\n", i+1, p.Dist, len(p.Vertices))
+		}
+	}
+	st := c.Stats()
+	fmt.Printf("cluster: %d workers, %d queries, %d messages exchanged\n", st.Workers, st.QueriesHandled, st.MessagesSent)
+}

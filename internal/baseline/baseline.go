@@ -1,0 +1,33 @@
+// Package baseline implements the comparison algorithms evaluated against
+// KSP-DG in Section 6.5 of the paper:
+//
+//   - Yen's algorithm [27] run on the full graph (the classical centralized
+//     KSP method).
+//   - FindKSP [21], a centralized deviation-based KSP algorithm that reuses a
+//     shortest path tree rooted at the destination to generate candidate
+//     deviations cheaply.
+//   - CANDS [26], a distributed single-shortest-path method for dynamic
+//     graphs that indexes the exact shortest paths between boundary vertices
+//     of each subgraph; its index is precise but expensive to maintain when
+//     weights change.
+//
+// All baselines implement the Algorithm interface so the benchmark harness
+// can drive them interchangeably with KSP-DG.
+package baseline
+
+import (
+	"kspdg/internal/graph"
+)
+
+// Algorithm is the common interface of KSP query algorithms used by the
+// benchmark harness.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Query returns up to k shortest loopless paths from s to t under the
+	// graph's current weights.
+	Query(s, t graph.VertexID, k int) ([]graph.Path, error)
+	// ApplyUpdates performs whatever index maintenance the algorithm needs
+	// after the given edge weight updates have been applied to the graph.
+	ApplyUpdates(batch []graph.WeightUpdate) error
+}

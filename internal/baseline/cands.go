@@ -1,0 +1,306 @@
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/shortest"
+)
+
+// overlayItem and overlayHeap implement the priority queue of the overlay
+// Dijkstra used by CANDS queries.
+type overlayItem struct {
+	v graph.VertexID
+	d float64
+}
+
+type overlayHeap []overlayItem
+
+func (h overlayHeap) Len() int            { return len(h) }
+func (h overlayHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h overlayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *overlayHeap) Push(x interface{}) { *h = append(*h, x.(overlayItem)) }
+func (h *overlayHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// CANDS reproduces the single-shortest-path competitor of Section 6.5
+// (Yang et al. [26]): the graph is partitioned into subgraphs and, inside
+// every subgraph, the exact shortest path between each pair of boundary
+// vertices is precomputed and indexed.  A query builds an overlay graph whose
+// edges are those indexed shortest distances (plus the attachment of the
+// query endpoints to the boundary vertices of their subgraphs) and runs a
+// single Dijkstra on it, then expands the overlay hops back into full paths.
+//
+// Because the index stores exact shortest paths, it answers k=1 queries very
+// efficiently, but every weight change invalidates the indexed paths of the
+// affected subgraph, which must then be recomputed — the maintenance cost the
+// paper contrasts with DTLP's weight-insensitive bounding paths (Figure 41).
+type CANDS struct {
+	g    *graph.Graph
+	part *partition.Partition
+
+	// pairPaths[sub] maps an ordered local boundary pair to the exact
+	// shortest path (in local vertex ids) within that subgraph.
+	pairPaths []map[[2]graph.VertexID]graph.Path
+	// RecomputedPairs counts boundary pairs recomputed by maintenance, a
+	// proxy for maintenance cost in reports.
+	RecomputedPairs int
+}
+
+// NewCANDS builds the CANDS index over its own partition of g with subgraph
+// size z.  Only undirected graphs are supported (the overlay attachment of
+// the destination assumes symmetric distances).
+func NewCANDS(g *graph.Graph, z int) (*CANDS, error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("cands: directed graphs are not supported")
+	}
+	part, err := partition.PartitionGraph(g, z)
+	if err != nil {
+		return nil, fmt.Errorf("cands: %w", err)
+	}
+	c := &CANDS{g: g, part: part, pairPaths: make([]map[[2]graph.VertexID]graph.Path, part.NumSubgraphs())}
+	for id := range c.pairPaths {
+		c.rebuildSubgraph(partition.SubgraphID(id))
+	}
+	return c, nil
+}
+
+// Name implements Algorithm.
+func (c *CANDS) Name() string { return "CANDS" }
+
+// Partition returns the partition CANDS operates on.
+func (c *CANDS) Partition() *partition.Partition { return c.part }
+
+// rebuildSubgraph recomputes the exact shortest paths between every pair of
+// boundary vertices of one subgraph.
+func (c *CANDS) rebuildSubgraph(id partition.SubgraphID) {
+	sub := c.part.Subgraph(id)
+	paths := make(map[[2]graph.VertexID]graph.Path)
+	for _, a := range sub.Boundary {
+		la, _ := sub.ToLocal(a)
+		tree := shortest.Dijkstra(sub.Local, la, nil)
+		for _, b := range sub.Boundary {
+			if a == b {
+				continue
+			}
+			lb, _ := sub.ToLocal(b)
+			if p, ok := tree.PathTo(lb); ok {
+				paths[[2]graph.VertexID{la, lb}] = p
+				c.RecomputedPairs++
+			}
+		}
+	}
+	c.pairPaths[id] = paths
+}
+
+// ApplyUpdates implements Algorithm: the indexed shortest paths of every
+// subgraph touched by the batch are recomputed from scratch.
+func (c *CANDS) ApplyUpdates(batch []graph.WeightUpdate) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	perSub, err := c.part.ApplyUpdates(batch)
+	if err != nil {
+		return err
+	}
+	for id := range perSub {
+		c.rebuildSubgraph(id)
+	}
+	return nil
+}
+
+// Query implements Algorithm.  CANDS is a single-shortest-path method; it
+// returns at most one path regardless of k (k > 1 is answered with the single
+// shortest path, mirroring how the paper restricts the comparison to k=1).
+func (c *CANDS) Query(s, t graph.VertexID, k int) ([]graph.Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if s == t {
+		return []graph.Path{{Vertices: []graph.VertexID{s}}}, nil
+	}
+	p, ok := c.shortest(s, t)
+	if !ok {
+		return nil, nil
+	}
+	return []graph.Path{p}, nil
+}
+
+// overlayArc is one edge of the query-time overlay graph.
+type overlayArc struct {
+	to   graph.VertexID
+	dist float64
+	// via identifies the indexed path realising the hop (subgraph + local
+	// pair); nil for hops attached directly via Dijkstra expansion.
+	sub  partition.SubgraphID
+	pair [2]graph.VertexID
+	real bool
+}
+
+// shortest runs the overlay search for the single shortest path.
+func (c *CANDS) shortest(s, t graph.VertexID) (graph.Path, bool) {
+	// Overlay vertices: all boundary vertices plus s and t.  Edges: indexed
+	// boundary-pair shortest distances within each subgraph, plus exact
+	// within-subgraph distances from s/t to the boundary vertices of their
+	// subgraphs, plus (if s and t share a subgraph) the direct within-subgraph
+	// distance.
+	adj := make(map[graph.VertexID][]overlayArc)
+	addIndexedEdges := func() {
+		for id, paths := range c.pairPaths {
+			sub := c.part.Subgraph(partition.SubgraphID(id))
+			for key, p := range paths {
+				a := sub.ToGlobal(key[0])
+				b := sub.ToGlobal(key[1])
+				adj[a] = append(adj[a], overlayArc{to: b, dist: p.Dist, sub: partition.SubgraphID(id), pair: key, real: true})
+			}
+		}
+	}
+	addEndpoint := func(v graph.VertexID, outgoing bool) {
+		for _, id := range c.part.SubgraphsOf(v) {
+			sub := c.part.Subgraph(id)
+			lv, _ := sub.ToLocal(v)
+			tree := shortest.Dijkstra(sub.Local, lv, nil)
+			for _, b := range sub.Boundary {
+				lb, _ := sub.ToLocal(b)
+				if p, ok := tree.PathTo(lb); ok {
+					if outgoing {
+						adj[v] = append(adj[v], overlayArc{to: b, dist: p.Dist, sub: id, pair: [2]graph.VertexID{lv, lb}, real: true})
+					} else {
+						// For undirected graphs the same distance applies in
+						// both directions; directed graphs are handled by
+						// reversing the stored local path at expansion time.
+						adj[b] = append(adj[b], overlayArc{to: v, dist: p.Dist, sub: id, pair: [2]graph.VertexID{lv, lb}, real: true})
+					}
+				}
+			}
+		}
+	}
+	addIndexedEdges()
+	addEndpoint(s, true)
+	addEndpoint(t, false)
+	if d := withinSubgraphDistance(c.part, s, t); !math.IsInf(d, 1) {
+		adj[s] = append(adj[s], overlayArc{to: t, dist: d})
+	}
+
+	// Dijkstra over the overlay (binary heap with lazy deletion).
+	dist := map[graph.VertexID]float64{s: 0}
+	prev := map[graph.VertexID]graph.VertexID{}
+	prevArc := map[graph.VertexID]overlayArc{}
+	visited := map[graph.VertexID]bool{}
+	pq := &overlayHeap{{v: s, d: 0}}
+	heap.Init(pq)
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(overlayItem)
+		u := item.v
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		if u == t {
+			break
+		}
+		for _, arc := range adj[u] {
+			nd := dist[u] + arc.dist
+			if cur, ok := dist[arc.to]; !ok || nd < cur {
+				dist[arc.to] = nd
+				prev[arc.to] = u
+				prevArc[arc.to] = arc
+				heap.Push(pq, overlayItem{v: arc.to, d: nd})
+			}
+		}
+	}
+	if _, ok := dist[t]; !ok || !visited[t] {
+		return graph.Path{}, false
+	}
+	// Expand overlay hops back into a full path.
+	var hops []graph.VertexID
+	for cur := t; ; {
+		hops = append([]graph.VertexID{cur}, hops...)
+		if cur == s {
+			break
+		}
+		cur = prev[cur]
+	}
+	full := graph.Path{Vertices: []graph.VertexID{s}}
+	for i := 1; i < len(hops); i++ {
+		arc := prevArc[hops[i]]
+		var seg graph.Path
+		if arc.real {
+			sub := c.part.Subgraph(arc.sub)
+			if lp, ok := c.pairPaths[arc.sub][arc.pair]; ok && sub.ToGlobal(arc.pair[0]) == hops[i-1] {
+				seg = sub.GlobalPath(lp)
+			} else {
+				// Attachment hop (or reversed stored pair): recompute the
+				// within-subgraph shortest path for this hop.
+				seg = segmentPath(c.part, hops[i-1], hops[i])
+			}
+		} else {
+			seg = segmentPath(c.part, hops[i-1], hops[i])
+		}
+		if len(seg.Vertices) == 0 {
+			return graph.Path{}, false
+		}
+		joined, err := full.Concat(seg)
+		if err != nil {
+			return graph.Path{}, false
+		}
+		full = joined
+	}
+	return full, true
+}
+
+// segmentPath returns the shortest within-subgraph path between two global
+// vertices sharing a subgraph.
+func segmentPath(part *partition.Partition, a, b graph.VertexID) graph.Path {
+	best := graph.Path{}
+	bestDist := math.Inf(1)
+	for _, id := range part.CommonSubgraphs(a, b) {
+		sub := part.Subgraph(id)
+		la, _ := sub.ToLocal(a)
+		lb, _ := sub.ToLocal(b)
+		if p, ok := shortest.ShortestPath(sub.Local, la, lb, nil); ok && p.Dist < bestDist {
+			bestDist = p.Dist
+			best = sub.GlobalPath(p)
+		}
+	}
+	return best
+}
+
+// withinSubgraphDistance returns the smallest within-subgraph distance
+// between two vertices sharing a subgraph, or +Inf.
+func withinSubgraphDistance(part *partition.Partition, a, b graph.VertexID) float64 {
+	best := math.Inf(1)
+	for _, id := range part.CommonSubgraphs(a, b) {
+		sub := part.Subgraph(id)
+		la, _ := sub.ToLocal(a)
+		lb, _ := sub.ToLocal(b)
+		if d := shortest.ShortestDistance(sub.Local, la, lb, nil); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// IndexedPairs returns the number of boundary pairs currently indexed, a
+// size metric used in reports.
+func (c *CANDS) IndexedPairs() int {
+	total := 0
+	for _, m := range c.pairPaths {
+		total += len(m)
+	}
+	return total
+}
+
+// sortPathsByDist sorts paths ascending by distance (helper for tests).
+func sortPathsByDist(ps []graph.Path) {
+	sort.Slice(ps, func(i, j int) bool { return graph.ComparePaths(ps[i], ps[j]) < 0 })
+}

@@ -1,0 +1,259 @@
+package baseline
+
+import (
+	"container/heap"
+	"math"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/shortest"
+)
+
+// FindKSP is a centralized deviation-based k shortest paths algorithm in the
+// spirit of Liu et al. [21]: a single shortest path tree (SPT) rooted at the
+// destination is computed per query and reused to complete candidate
+// deviations, so most deviations cost a tree lookup instead of a Dijkstra
+// run.  When a tree completion would revisit a vertex of the deviation
+// prefix, the algorithm falls back to a constrained Dijkstra, keeping the
+// result exact.
+//
+// Like Yen's algorithm it is sequential and needs the entire graph in one
+// place, which is what limits its scalability relative to KSP-DG.
+type FindKSP struct {
+	g *graph.Graph
+}
+
+// NewFindKSP creates the FindKSP baseline over g.
+func NewFindKSP(g *graph.Graph) *FindKSP { return &FindKSP{g: g} }
+
+// Name implements Algorithm.
+func (f *FindKSP) Name() string { return "FindKSP" }
+
+// ApplyUpdates implements Algorithm.  FindKSP builds its per-query SPT from
+// scratch, so no persistent index needs maintenance.
+func (f *FindKSP) ApplyUpdates([]graph.WeightUpdate) error { return nil }
+
+// Query implements Algorithm.
+func (f *FindKSP) Query(s, t graph.VertexID, k int) ([]graph.Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	snap := f.g.Snapshot()
+	if s == t {
+		return []graph.Path{{Vertices: []graph.VertexID{s}}}, nil
+	}
+	spt := buildTreeToTarget(snap, t)
+	first, ok := spt.pathFrom(s)
+	if !ok {
+		return nil, nil
+	}
+	result := []graph.Path{first}
+	seen := map[string]bool{graph.PathKey(first): true}
+	candidates := &pathHeap{}
+	heap.Init(candidates)
+
+	for len(result) < k {
+		prev := result[len(result)-1]
+		for j := 0; j < prev.Len(); j++ {
+			spur := prev.Vertices[j]
+			rootVerts := prev.Vertices[:j+1]
+			rootSet := make(map[graph.VertexID]bool, j+1)
+			for _, u := range rootVerts {
+				rootSet[u] = true
+			}
+			// Edges taken out of the spur node by already accepted paths with
+			// the same root prefix must not be re-used (Yen's rule).
+			banned := make(map[graph.EdgeID]bool)
+			for _, p := range result {
+				if p.Len() > j && samePrefix(p.Vertices, rootVerts) {
+					if e, ok := snap.EdgeBetween(p.Vertices[j], p.Vertices[j+1]); ok {
+						banned[e] = true
+					}
+				}
+			}
+			rootPath := graph.Path{Vertices: append([]graph.VertexID(nil), rootVerts...)}
+			rootPath.Dist = evalDist(snap, rootPath.Vertices)
+
+			for _, arc := range snap.Neighbors(spur) {
+				if banned[arc.Edge] || rootSet[arc.To] {
+					continue
+				}
+				cand, ok := f.completeDeviation(snap, spt, rootPath, arc, rootSet, t)
+				if !ok {
+					continue
+				}
+				key := graph.PathKey(cand)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				heap.Push(candidates, cand)
+			}
+		}
+		if candidates.Len() == 0 {
+			break
+		}
+		result = append(result, heap.Pop(candidates).(graph.Path))
+	}
+	return result, nil
+}
+
+// completeDeviation builds the candidate path root + (spur -> arc.To) +
+// completion(arc.To .. t).  The completion is the SPT path when it does not
+// collide with the root, and a constrained Dijkstra otherwise.
+func (f *FindKSP) completeDeviation(snap *graph.Snapshot, spt *targetTree, root graph.Path, arc graph.Arc, rootSet map[graph.VertexID]bool, t graph.VertexID) (graph.Path, bool) {
+	edgeW := snap.Weight(arc.Edge)
+	if tail, ok := spt.pathFrom(arc.To); ok {
+		collision := false
+		for _, v := range tail.Vertices {
+			if rootSet[v] {
+				collision = true
+				break
+			}
+		}
+		if !collision {
+			verts := make([]graph.VertexID, 0, len(root.Vertices)+len(tail.Vertices))
+			verts = append(verts, root.Vertices...)
+			verts = append(verts, tail.Vertices...)
+			cand := graph.Path{Vertices: verts, Dist: root.Dist + edgeW + tail.Dist}
+			if cand.IsSimple() {
+				return cand, true
+			}
+		}
+	}
+	// Fall back to an exact constrained search avoiding the root vertices.
+	ban := make(map[graph.VertexID]bool, len(rootSet))
+	for v := range rootSet {
+		ban[v] = true
+	}
+	delete(ban, arc.To)
+	tail, ok := shortest.ShortestPath(snap, arc.To, t, &shortest.Options{ForbiddenVertices: ban})
+	if !ok {
+		return graph.Path{}, false
+	}
+	verts := make([]graph.VertexID, 0, len(root.Vertices)+len(tail.Vertices))
+	verts = append(verts, root.Vertices...)
+	verts = append(verts, tail.Vertices...)
+	cand := graph.Path{Vertices: verts, Dist: root.Dist + edgeW + tail.Dist}
+	if !cand.IsSimple() {
+		return graph.Path{}, false
+	}
+	return cand, true
+}
+
+// targetTree is a shortest path tree oriented towards a target vertex:
+// dist[v] is the shortest distance v -> target and next[v] is the next hop.
+type targetTree struct {
+	target graph.VertexID
+	dist   []float64
+	next   []graph.VertexID
+}
+
+// buildTreeToTarget computes the shortest path tree towards t.  For
+// undirected graphs this is a plain Dijkstra from t; for directed graphs the
+// search runs over the reversed adjacency.
+func buildTreeToTarget(snap *graph.Snapshot, t graph.VertexID) *targetTree {
+	n := snap.NumVertices()
+	tt := &targetTree{
+		target: t,
+		dist:   make([]float64, n),
+		next:   make([]graph.VertexID, n),
+	}
+	var view graph.WeightedView = snap
+	if snap.Directed() {
+		view = newReversedView(snap)
+	}
+	tree := shortest.Dijkstra(view, t, nil)
+	for v := 0; v < n; v++ {
+		tt.dist[v] = tree.Dist[v]
+		tt.next[v] = tree.Parent[v] // parent in the reverse tree is the next hop towards t
+	}
+	return tt
+}
+
+// pathFrom returns the tree path from v to the target.
+func (tt *targetTree) pathFrom(v graph.VertexID) (graph.Path, bool) {
+	if math.IsInf(tt.dist[v], 1) {
+		return graph.Path{}, false
+	}
+	verts := []graph.VertexID{v}
+	for cur := v; cur != tt.target; {
+		cur = tt.next[cur]
+		verts = append(verts, cur)
+		if cur == graph.NoVertex || len(verts) > len(tt.dist) {
+			return graph.Path{}, false
+		}
+	}
+	return graph.Path{Vertices: verts, Dist: tt.dist[v]}, true
+}
+
+// reversedView presents a directed graph with all arcs reversed, so that a
+// forward Dijkstra from t computes distances towards t in the original graph.
+type reversedView struct {
+	base *graph.Snapshot
+	radj [][]graph.Arc
+}
+
+func newReversedView(base *graph.Snapshot) *reversedView {
+	rv := &reversedView{base: base, radj: make([][]graph.Arc, base.NumVertices())}
+	for v := graph.VertexID(0); int(v) < base.NumVertices(); v++ {
+		for _, a := range base.Neighbors(v) {
+			rv.radj[a.To] = append(rv.radj[a.To], graph.Arc{To: v, Edge: a.Edge})
+		}
+	}
+	return rv
+}
+
+func (rv *reversedView) Directed() bool                         { return true }
+func (rv *reversedView) NumVertices() int                       { return rv.base.NumVertices() }
+func (rv *reversedView) NumEdges() int                          { return rv.base.NumEdges() }
+func (rv *reversedView) Neighbors(v graph.VertexID) []graph.Arc { return rv.radj[v] }
+func (rv *reversedView) Weight(e graph.EdgeID) float64          { return rv.base.Weight(e) }
+func (rv *reversedView) InitialWeight(e graph.EdgeID) float64   { return rv.base.InitialWeight(e) }
+func (rv *reversedView) EdgeEndpoints(e graph.EdgeID) graph.Endpoints {
+	ends := rv.base.EdgeEndpoints(e)
+	return graph.Endpoints{U: ends.V, V: ends.U}
+}
+func (rv *reversedView) EdgeBetween(u, v graph.VertexID) (graph.EdgeID, bool) {
+	return rv.base.EdgeBetween(v, u)
+}
+
+// evalDist sums the current weights along a vertex sequence.
+func evalDist(snap *graph.Snapshot, verts []graph.VertexID) float64 {
+	var d float64
+	for i := 0; i+1 < len(verts); i++ {
+		e, ok := snap.EdgeBetween(verts[i], verts[i+1])
+		if !ok {
+			return math.Inf(1)
+		}
+		d += snap.Weight(e)
+	}
+	return d
+}
+
+// samePrefix reports whether p starts with prefix.
+func samePrefix(p, prefix []graph.VertexID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathHeap is a min-heap of paths ordered by ComparePaths.
+type pathHeap []graph.Path
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return graph.ComparePaths(h[i], h[j]) < 0 }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(graph.Path)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}

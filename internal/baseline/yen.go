@@ -1,0 +1,29 @@
+package baseline
+
+import (
+	"kspdg/internal/graph"
+	"kspdg/internal/shortest"
+)
+
+// YenBaseline answers KSP queries by running Yen's algorithm directly on the
+// full graph.  It maintains no index, so ApplyUpdates is free but every query
+// pays the full sequential search cost — the scalability limitation the paper
+// contrasts KSP-DG against.
+type YenBaseline struct {
+	g *graph.Graph
+}
+
+// NewYen creates the Yen baseline over g.
+func NewYen(g *graph.Graph) *YenBaseline { return &YenBaseline{g: g} }
+
+// Name implements Algorithm.
+func (y *YenBaseline) Name() string { return "Yen" }
+
+// Query implements Algorithm.
+func (y *YenBaseline) Query(s, t graph.VertexID, k int) ([]graph.Path, error) {
+	return shortest.Yen(y.g.Snapshot(), s, t, k, nil), nil
+}
+
+// ApplyUpdates implements Algorithm.  Yen keeps no index, so there is nothing
+// to maintain.
+func (y *YenBaseline) ApplyUpdates([]graph.WeightUpdate) error { return nil }

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/workload"
+)
+
+// Config controls the in-process cluster.
+type Config struct {
+	// NumWorkers is the number of simulated worker nodes (SubgraphBolt
+	// hosts).  It must be at least 1.
+	NumWorkers int
+	// QueryBolts is the number of concurrent query processors used by
+	// ProcessBatch.  Zero means NumWorkers.
+	QueryBolts int
+	// MeasureBytes enables gob-encoding of every message to account for the
+	// bytes that would cross the network.  It adds CPU cost, so benchmarks
+	// that only need timing leave it off.
+	MeasureBytes bool
+}
+
+// Stats aggregates the communication and load counters of a cluster run.
+type Stats struct {
+	Workers         int
+	MessagesSent    int64
+	BytesSent       int64
+	QueriesHandled  int64
+	UpdatesRouted   int64
+	WorkerRequests  []int // per-worker partial-KSP requests served
+	WorkerPairs     []int // per-worker pairs served
+	WorkerSubgraphs []int // per-worker owned subgraphs
+	WorkerUpdates   []int // per-worker weight updates received
+}
+
+// Cluster is the in-process master-worker deployment: the master holds the
+// DTLP index (skeleton graph) and the full graph, while the subgraphs are
+// assigned to workers that serve the refine step.
+type Cluster struct {
+	cfg   Config
+	index *dtlp.Index
+	part  *partition.Partition
+
+	workers []*Worker
+	assign  map[partition.SubgraphID]int
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+	queries  atomic.Int64
+	updates  atomic.Int64
+}
+
+// New builds an in-process cluster over an existing DTLP index.  Subgraphs
+// are assigned to workers by a greedy least-loaded policy on vertex counts,
+// mirroring the "allocated to different workers on a many-to-one basis based
+// on their load" strategy of Section 5.2.
+func New(index *dtlp.Index, cfg Config) (*Cluster, error) {
+	if cfg.NumWorkers < 1 {
+		return nil, fmt.Errorf("cluster: NumWorkers must be >= 1, got %d", cfg.NumWorkers)
+	}
+	if cfg.QueryBolts <= 0 {
+		cfg.QueryBolts = cfg.NumWorkers
+	}
+	part := index.Partition()
+	c := &Cluster{
+		cfg:    cfg,
+		index:  index,
+		part:   part,
+		assign: make(map[partition.SubgraphID]int, part.NumSubgraphs()),
+	}
+
+	// Least-loaded assignment: biggest subgraphs first.
+	type sgLoad struct {
+		id   partition.SubgraphID
+		size int
+	}
+	loads := make([]sgLoad, part.NumSubgraphs())
+	for i := range loads {
+		loads[i] = sgLoad{id: partition.SubgraphID(i), size: part.Subgraph(partition.SubgraphID(i)).NumVertices()}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].size != loads[j].size {
+			return loads[i].size > loads[j].size
+		}
+		return loads[i].id < loads[j].id
+	})
+	workerLoad := make([]int, cfg.NumWorkers)
+	owned := make([][]partition.SubgraphID, cfg.NumWorkers)
+	for _, l := range loads {
+		best := 0
+		for w := 1; w < cfg.NumWorkers; w++ {
+			if workerLoad[w] < workerLoad[best] {
+				best = w
+			}
+		}
+		workerLoad[best] += l.size
+		owned[best] = append(owned[best], l.id)
+		c.assign[l.id] = best
+	}
+	for w := 0; w < cfg.NumWorkers; w++ {
+		c.workers = append(c.workers, NewWorker(w, part, owned[w]))
+	}
+	return c, nil
+}
+
+// NumWorkers returns the number of workers.
+func (c *Cluster) NumWorkers() int { return len(c.workers) }
+
+// Worker returns worker i.
+func (c *Cluster) Worker(i int) *Worker { return c.workers[i] }
+
+// Index returns the cluster's DTLP index.
+func (c *Cluster) Index() *dtlp.Index { return c.index }
+
+// AssignedWorker returns the worker hosting subgraph id.
+func (c *Cluster) AssignedWorker(id partition.SubgraphID) int { return c.assign[id] }
+
+// Provider returns a core.PartialProvider that fans partial-KSP requests out
+// to the workers owning the relevant subgraphs and merges their replies, i.e.
+// the distributed refine step.
+func (c *Cluster) Provider() core.PartialProvider { return &distProvider{c: c} }
+
+// Engine builds a KSP-DG engine whose refine step runs on this cluster.
+func (c *Cluster) Engine(opts core.Options) *core.Engine {
+	return core.NewEngine(c.index, c.Provider(), opts)
+}
+
+// ApplyUpdates routes a batch of weight updates to the owning workers (for
+// load accounting) and performs the index maintenance.  The caller must have
+// already applied the batch to the master's copy of the graph.
+func (c *Cluster) ApplyUpdates(batch []graph.WeightUpdate) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	perWorker := make(map[int][]graph.WeightUpdate)
+	for _, u := range batch {
+		loc := c.part.Locate(u.Edge)
+		if loc.Subgraph == partition.NoSubgraph {
+			return fmt.Errorf("cluster: update for unpartitioned edge %d", u.Edge)
+		}
+		w := c.assign[loc.Subgraph]
+		perWorker[w] = append(perWorker[w], u)
+	}
+	for w, ups := range perWorker {
+		req := WeightUpdateRequest{Updates: ups}
+		c.account(req)
+		c.workers[w].HandleWeightUpdate(req)
+		c.updates.Add(int64(len(ups)))
+	}
+	return c.index.ApplyUpdates(batch)
+}
+
+// ProcessBatch processes a batch of queries with the configured number of
+// concurrent QueryBolts and returns per-query results in input order.
+func (c *Cluster) ProcessBatch(queries []workload.Query, k int, opts core.Options) ([]core.Result, error) {
+	results := make([]core.Result, len(queries))
+	errs := make([]error, len(queries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for b := 0; b < c.cfg.QueryBolts; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			engine := c.Engine(opts)
+			for i := range jobs {
+				q := queries[i]
+				res, err := engine.Query(q.Source, q.Target, k)
+				results[i] = res
+				errs[i] = err
+				c.queries.Add(1)
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Stats returns the aggregated communication and load statistics.
+func (c *Cluster) Stats() Stats {
+	st := Stats{
+		Workers:        len(c.workers),
+		MessagesSent:   c.messages.Load(),
+		BytesSent:      c.bytes.Load(),
+		QueriesHandled: c.queries.Load(),
+		UpdatesRouted:  c.updates.Load(),
+	}
+	for _, w := range c.workers {
+		ws := w.HandleStats(StatsRequest{})
+		st.WorkerRequests = append(st.WorkerRequests, ws.RequestsServed)
+		st.WorkerPairs = append(st.WorkerPairs, ws.PairsServed)
+		st.WorkerSubgraphs = append(st.WorkerSubgraphs, ws.Subgraphs)
+		st.WorkerUpdates = append(st.WorkerUpdates, ws.UpdatesReceived)
+	}
+	return st
+}
+
+// account records one message and, if enabled, its encoded size.
+func (c *Cluster) account(msg interface{}) {
+	c.messages.Add(1)
+	if !c.cfg.MeasureBytes {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(msg); err == nil {
+		c.bytes.Add(int64(buf.Len()))
+	}
+}
+
+// distProvider implements core.PartialProvider by fanning requests out to the
+// workers that own subgraphs containing each pair.
+type distProvider struct {
+	c *Cluster
+}
+
+// PartialKSP implements core.PartialProvider.
+func (dp *distProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
+	c := dp.c
+	out := make(map[core.PairRequest][]graph.Path, len(pairs))
+	if len(pairs) == 0 {
+		return out, nil
+	}
+	// Group the pairs by the workers that own at least one subgraph
+	// containing both endpoints.
+	perWorker := make(map[int][]core.PairRequest)
+	for _, pr := range pairs {
+		seen := make(map[int]bool)
+		for _, id := range c.part.CommonSubgraphs(pr.A, pr.B) {
+			w := c.assign[id]
+			if !seen[w] {
+				seen[w] = true
+				perWorker[w] = append(perWorker[w], pr)
+			}
+		}
+	}
+	type reply struct {
+		pairs []core.PairRequest
+		resp  PartialKSPResponse
+	}
+	replies := make(chan reply, len(perWorker))
+	var wg sync.WaitGroup
+	for w, prs := range perWorker {
+		wg.Add(1)
+		go func(w int, prs []core.PairRequest) {
+			defer wg.Done()
+			req := PartialKSPRequest{Pairs: prs, K: k}
+			c.account(req)
+			resp := c.workers[w].HandlePartialKSP(req)
+			c.account(resp)
+			replies <- reply{pairs: prs, resp: resp}
+		}(w, prs)
+	}
+	wg.Wait()
+	close(replies)
+
+	// Merge the per-worker partial paths, keeping the k shortest per pair.
+	merged := make(map[core.PairRequest][]graph.Path)
+	for r := range replies {
+		for i, pr := range r.pairs {
+			for _, msg := range r.resp.Results[i] {
+				merged[pr] = append(merged[pr], fromPathMsg(msg))
+			}
+		}
+	}
+	for pr, paths := range merged {
+		sort.Slice(paths, func(i, j int) bool { return graph.ComparePaths(paths[i], paths[j]) < 0 })
+		// Drop duplicates produced by replicated subgraph boundaries.
+		var dedup []graph.Path
+		seen := make(map[string]bool)
+		for _, p := range paths {
+			key := graph.PathKey(p)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			dedup = append(dedup, p)
+			if len(dedup) == k {
+				break
+			}
+		}
+		out[pr] = dedup
+	}
+	for _, pr := range pairs {
+		if _, ok := out[pr]; !ok {
+			out[pr] = nil
+		}
+	}
+	return out, nil
+}

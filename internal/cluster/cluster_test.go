@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/testutil"
+	"kspdg/internal/workload"
+)
+
+func buildCluster(t testing.TB, g *graph.Graph, z, xi, workers int) (*dtlp.Index, *Cluster) {
+	t.Helper()
+	p, err := partition.PartitionGraph(g, z)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: xi})
+	if err != nil {
+		t.Fatalf("dtlp: %v", err)
+	}
+	c, err := New(x, Config{NumWorkers: workers})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return x, c
+}
+
+func TestNewValidation(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, _ := partition.PartitionGraph(g, 6)
+	x, _ := dtlp.Build(p, dtlp.Config{Xi: 1})
+	if _, err := New(x, Config{NumWorkers: 0}); err == nil {
+		t.Errorf("zero workers should be rejected")
+	}
+}
+
+func TestAssignmentCoversAllSubgraphs(t *testing.T) {
+	g := testutil.GridGraph(10, 10, 1)
+	_, c := buildCluster(t, g, 12, 1, 4)
+	counts := make([]int, c.NumWorkers())
+	for id := 0; id < c.Index().Partition().NumSubgraphs(); id++ {
+		w := c.AssignedWorker(partition.SubgraphID(id))
+		if w < 0 || w >= c.NumWorkers() {
+			t.Fatalf("subgraph %d assigned to invalid worker %d", id, w)
+		}
+		if !c.Worker(w).Owns(partition.SubgraphID(id)) {
+			t.Errorf("worker %d does not own its assigned subgraph %d", w, id)
+		}
+		counts[w]++
+	}
+	// Load balance: no worker should be empty when there are enough
+	// subgraphs to go around.
+	if c.Index().Partition().NumSubgraphs() >= c.NumWorkers() {
+		for w, n := range counts {
+			if n == 0 {
+				t.Errorf("worker %d owns no subgraphs", w)
+			}
+		}
+	}
+}
+
+func TestClusterQueryMatchesOracle(t *testing.T) {
+	g := testutil.PaperGraph()
+	_, c := buildCluster(t, g, 6, 2, 3)
+	engine := c.Engine(core.Options{})
+	cases := []struct {
+		s, t graph.VertexID
+		k    int
+	}{
+		{testutil.V1, testutil.V19, 3},
+		{testutil.V4, testutil.V13, 2},
+		{testutil.V2, testutil.V17, 4},
+	}
+	for _, cse := range cases {
+		res, err := engine.Query(cse.s, cse.t, cse.k)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		want := testutil.BruteForceKSP(g, cse.s, cse.t, cse.k)
+		if len(res.Paths) != len(want) {
+			t.Fatalf("query (%d,%d,%d): got %d paths, want %d", cse.s, cse.t, cse.k, len(res.Paths), len(want))
+		}
+		for i := range want {
+			if math.Abs(res.Paths[i].Dist-want[i].Dist) > 1e-9 {
+				t.Errorf("query (%d,%d,%d) path %d dist %g, want %g", cse.s, cse.t, cse.k, i, res.Paths[i].Dist, want[i].Dist)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.MessagesSent == 0 {
+		t.Errorf("expected cluster messages to be accounted")
+	}
+}
+
+func TestClusterResultsIndependentOfWorkerCount(t *testing.T) {
+	g := testutil.GridGraph(8, 8, 1)
+	qg := workload.NewQueryGenerator(g.NumVertices(), 5)
+	queries := qg.Batch(10)
+	var baselineDists [][]float64
+	for _, workers := range []int{1, 2, 5} {
+		_, c := buildCluster(t, g, 10, 2, workers)
+		results, err := c.ProcessBatch(queries, 2, core.Options{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		dists := make([][]float64, len(results))
+		for i, r := range results {
+			for _, p := range r.Paths {
+				dists[i] = append(dists[i], p.Dist)
+			}
+		}
+		if baselineDists == nil {
+			baselineDists = dists
+			continue
+		}
+		for i := range dists {
+			if len(dists[i]) != len(baselineDists[i]) {
+				t.Fatalf("workers=%d query %d: %d paths vs %d", workers, i, len(dists[i]), len(baselineDists[i]))
+			}
+			for j := range dists[i] {
+				if math.Abs(dists[i][j]-baselineDists[i][j]) > 1e-9 {
+					t.Errorf("workers=%d query %d path %d dist %g vs %g", workers, i, j, dists[i][j], baselineDists[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestClusterApplyUpdates(t *testing.T) {
+	g := testutil.PaperGraph()
+	_, c := buildCluster(t, g, 6, 2, 2)
+	rng := rand.New(rand.NewSource(1))
+	batch := testutil.PerturbWeights(g, rng, 0.5, 0.4, 0.1)
+	if err := c.ApplyUpdates(batch); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.UpdatesRouted != int64(len(batch)) {
+		t.Errorf("updates routed = %d, want %d", st.UpdatesRouted, len(batch))
+	}
+	total := 0
+	for _, n := range st.WorkerUpdates {
+		total += n
+	}
+	if total != len(batch) {
+		t.Errorf("worker update counters sum to %d, want %d", total, len(batch))
+	}
+	// Queries remain exact after distributed maintenance.
+	engine := c.Engine(core.Options{})
+	res, err := engine.Query(testutil.V1, testutil.V19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.BruteForceKSP(g, testutil.V1, testutil.V19, 2)
+	if len(res.Paths) != len(want) || math.Abs(res.Paths[0].Dist-want[0].Dist) > 1e-9 {
+		t.Errorf("post-update query mismatch: %v vs %v", res.Paths, want)
+	}
+	if err := c.ApplyUpdates(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+func TestClusterStatsBytes(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, _ := partition.PartitionGraph(g, 6)
+	x, _ := dtlp.Build(p, dtlp.Config{Xi: 1})
+	c, err := New(x, Config{NumWorkers: 2, MeasureBytes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := c.Engine(core.Options{})
+	if _, err := engine.Query(testutil.V1, testutil.V19, 2); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.BytesSent == 0 {
+		t.Errorf("MeasureBytes should account message sizes")
+	}
+	if len(st.WorkerRequests) != 2 || len(st.WorkerSubgraphs) != 2 {
+		t.Errorf("per-worker stats missing: %+v", st)
+	}
+}
+
+func TestProcessBatchLoadBalance(t *testing.T) {
+	ds, err := workload.BuiltinDataset("NY", workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	_, c := buildCluster(t, g, 20, 1, 4)
+	queries := workload.NewQueryGenerator(g.NumVertices(), 77).Batch(24)
+	if _, err := c.ProcessBatch(queries, 2, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.QueriesHandled != 24 {
+		t.Errorf("queries handled = %d, want 24", st.QueriesHandled)
+	}
+	busy := 0
+	for _, r := range st.WorkerRequests {
+		if r > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("expected at least two workers to serve requests, got %d busy", busy)
+	}
+}
+
+func TestRemoteWorkerRoundTrip(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dtlp.Build(p, dtlp.Config{Xi: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// One worker owning all subgraphs, served over TCP.
+	var owned []partition.SubgraphID
+	for i := 0; i < p.NumSubgraphs(); i++ {
+		owned = append(owned, partition.SubgraphID(i))
+	}
+	srv, err := Serve("127.0.0.1:0", NewWorker(0, p, owned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rw, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+
+	boundary := p.BoundaryVertices()
+	if len(boundary) < 2 {
+		t.Skip("need boundary vertices")
+	}
+	pairs := []core.PairRequest{{A: boundary[0], B: boundary[1]}}
+	resp, err := rw.PartialKSP(PartialKSPRequest{Pairs: pairs, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("expected one result slot, got %d", len(resp.Results))
+	}
+
+	if _, err := rw.ApplyUpdates([]graph.WeightUpdate{{Edge: 0, NewWeight: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rw.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RequestsServed != 1 || stats.UpdatesReceived != 1 {
+		t.Errorf("remote stats = %+v", stats)
+	}
+	if err := rw.Shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+func TestRemoteProviderQueryMatchesOracle(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the subgraphs over two TCP worker servers.
+	var owned [2][]partition.SubgraphID
+	for i := 0; i < p.NumSubgraphs(); i++ {
+		owned[i%2] = append(owned[i%2], partition.SubgraphID(i))
+	}
+	var servers []*Server
+	var remotes []*RemoteWorker
+	for i := 0; i < 2; i++ {
+		srv, err := Serve("127.0.0.1:0", NewWorker(i, p, owned[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+		rw, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rw.Close()
+		remotes = append(remotes, rw)
+	}
+	_ = servers
+	engine := core.NewEngine(x, NewRemoteProvider(remotes), core.Options{})
+	res, err := engine.Query(testutil.V1, testutil.V19, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.BruteForceKSP(g, testutil.V1, testutil.V19, 3)
+	if len(res.Paths) != len(want) {
+		t.Fatalf("remote query returned %d paths, want %d", len(res.Paths), len(want))
+	}
+	for i := range want {
+		if math.Abs(res.Paths[i].Dist-want[i].Dist) > 1e-9 {
+			t.Errorf("remote path %d dist %g, want %g", i, res.Paths[i].Dist, want[i].Dist)
+		}
+	}
+}

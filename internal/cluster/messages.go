@@ -1,0 +1,97 @@
+// Package cluster provides the distributed runtime KSP-DG is deployed on in
+// Section 6.1 of the paper.  The paper uses Apache Storm with an
+// EntranceSpout (master: graph ingestion, weight updates, query admission),
+// SubgraphBolts (workers owning subgraphs and their DTLP first-level
+// indexes), and QueryBolts (workers holding a replica of the skeleton graph
+// and driving the filter/refine iterations of their assigned queries).
+//
+// This package reproduces that topology with two interchangeable transports:
+//
+//   - an in-process cluster (Cluster) where workers are goroutine-backed
+//     nodes exchanging the same messages through direct calls, used by the
+//     benchmarks to study scaling with the number of workers; and
+//   - a TCP transport (Serve / RemoteWorker) with gob-encoded messages, used
+//     by cmd/kspd to run real worker processes on a network.
+//
+// Both transports serve the refine step through core.PartialProvider, so the
+// KSP-DG engine is oblivious to where the subgraphs live.
+package cluster
+
+import (
+	"encoding/gob"
+
+	"kspdg/internal/core"
+	"kspdg/internal/graph"
+)
+
+// PathMsg is the wire representation of a path.
+type PathMsg struct {
+	Vertices []graph.VertexID
+	Dist     float64
+}
+
+func toPathMsg(p graph.Path) PathMsg {
+	return PathMsg{Vertices: p.Vertices, Dist: p.Dist}
+}
+
+func fromPathMsg(m PathMsg) graph.Path {
+	return graph.Path{Vertices: m.Vertices, Dist: m.Dist}
+}
+
+// PartialKSPRequest asks a worker for partial k shortest paths for the pairs
+// it owns subgraphs for.
+type PartialKSPRequest struct {
+	Pairs []core.PairRequest
+	K     int
+}
+
+// PartialKSPResponse carries the partial paths a worker computed, keyed by
+// pair index into the request (to keep gob encoding simple and compact).
+type PartialKSPResponse struct {
+	// Results[i] holds the paths for request pair i (possibly empty).
+	Results [][]PathMsg
+}
+
+// WeightUpdateRequest delivers edge weight updates to the worker owning the
+// affected subgraphs.  Edge ids are global; the worker translates them.
+type WeightUpdateRequest struct {
+	Updates []graph.WeightUpdate
+}
+
+// WeightUpdateResponse acknowledges maintenance work.
+type WeightUpdateResponse struct {
+	PathsTouched int
+}
+
+// StatsRequest asks a worker for its load counters.
+type StatsRequest struct{}
+
+// StatsResponse reports a worker's load counters.
+type StatsResponse struct {
+	Worker          int
+	Subgraphs       int
+	PairsServed     int
+	RequestsServed  int
+	UpdatesReceived int
+}
+
+// envelope is the tagged union used on the TCP wire.
+type envelope struct {
+	Kind     string
+	Partial  *PartialKSPRequest
+	Update   *WeightUpdateRequest
+	Stats    *StatsRequest
+	Shutdown bool
+}
+
+type replyEnvelope struct {
+	Err     string
+	Partial *PartialKSPResponse
+	Update  *WeightUpdateResponse
+	Stats   *StatsResponse
+}
+
+func init() {
+	gob.Register(envelope{})
+	gob.Register(replyEnvelope{})
+}

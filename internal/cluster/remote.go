@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"kspdg/internal/core"
+	"kspdg/internal/graph"
+)
+
+// Server exposes a Worker over TCP with gob-encoded messages.  It is the
+// network deployment of a SubgraphBolt host: cmd/kspd wraps it in a worker
+// process, and a master process reaches it through RemoteWorker.
+type Server struct {
+	worker   *Worker
+	listener net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the worker on addr (e.g. "127.0.0.1:0") and returns
+// the server.  The returned server is already accepting connections on
+// Server.Addr().
+func Serve(addr string, worker *Worker) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &Server{worker: worker, listener: l, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address the server listens on.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting connections and closes existing ones.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		var reply replyEnvelope
+		switch {
+		case env.Shutdown:
+			_ = enc.Encode(replyEnvelope{})
+			return
+		case env.Partial != nil:
+			resp := s.worker.HandlePartialKSP(*env.Partial)
+			reply.Partial = &resp
+		case env.Update != nil:
+			resp := s.worker.HandleWeightUpdate(*env.Update)
+			reply.Update = &resp
+		case env.Stats != nil:
+			resp := s.worker.HandleStats(*env.Stats)
+			reply.Stats = &resp
+		default:
+			reply.Err = "cluster: empty envelope"
+		}
+		if err := enc.Encode(reply); err != nil {
+			return
+		}
+	}
+}
+
+// RemoteWorker is a client connection to a worker Server.  It is safe for
+// concurrent use; requests are serialised over a single connection.
+type RemoteWorker struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a worker server.
+func Dial(addr string) (*RemoteWorker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return &RemoteWorker{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (rw *RemoteWorker) Close() error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.conn.Close()
+}
+
+// Addr returns the remote address.
+func (rw *RemoteWorker) Addr() string { return rw.addr }
+
+func (rw *RemoteWorker) roundTrip(env envelope) (replyEnvelope, error) {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if err := rw.enc.Encode(env); err != nil {
+		return replyEnvelope{}, err
+	}
+	var reply replyEnvelope
+	if err := rw.dec.Decode(&reply); err != nil {
+		return replyEnvelope{}, err
+	}
+	if reply.Err != "" {
+		return replyEnvelope{}, errors.New(reply.Err)
+	}
+	return reply, nil
+}
+
+// PartialKSP sends a partial-KSP request to the remote worker.
+func (rw *RemoteWorker) PartialKSP(req PartialKSPRequest) (PartialKSPResponse, error) {
+	reply, err := rw.roundTrip(envelope{Partial: &req})
+	if err != nil {
+		return PartialKSPResponse{}, err
+	}
+	if reply.Partial == nil {
+		return PartialKSPResponse{}, errors.New("cluster: missing partial response")
+	}
+	return *reply.Partial, nil
+}
+
+// ApplyUpdates sends weight updates to the remote worker.
+func (rw *RemoteWorker) ApplyUpdates(updates []graph.WeightUpdate) (WeightUpdateResponse, error) {
+	reply, err := rw.roundTrip(envelope{Update: &WeightUpdateRequest{Updates: updates}})
+	if err != nil {
+		return WeightUpdateResponse{}, err
+	}
+	if reply.Update == nil {
+		return WeightUpdateResponse{}, errors.New("cluster: missing update response")
+	}
+	return *reply.Update, nil
+}
+
+// Stats fetches the remote worker's load counters.
+func (rw *RemoteWorker) Stats() (StatsResponse, error) {
+	reply, err := rw.roundTrip(envelope{Stats: &StatsRequest{}})
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	if reply.Stats == nil {
+		return StatsResponse{}, errors.New("cluster: missing stats response")
+	}
+	return *reply.Stats, nil
+}
+
+// Shutdown asks the remote worker connection to close after acknowledging.
+func (rw *RemoteWorker) Shutdown() error {
+	_, err := rw.roundTrip(envelope{Shutdown: true})
+	return err
+}
+
+// RemoteProvider is a core.PartialProvider backed by remote workers reached
+// over TCP.  Every worker is assumed to be able to serve any pair whose
+// subgraphs it owns; pairs are broadcast to all workers and the replies
+// merged, mirroring how the Storm deployment broadcasts the reference path to
+// all SubgraphBolts (Section 6.1, Step 2).
+type RemoteProvider struct {
+	workers []*RemoteWorker
+}
+
+// NewRemoteProvider builds a provider over the given worker connections.
+func NewRemoteProvider(workers []*RemoteWorker) *RemoteProvider {
+	return &RemoteProvider{workers: workers}
+}
+
+// PartialKSP implements core.PartialProvider.
+func (rp *RemoteProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
+	out := make(map[core.PairRequest][]graph.Path, len(pairs))
+	if len(pairs) == 0 {
+		return out, nil
+	}
+	req := PartialKSPRequest{Pairs: pairs, K: k}
+	type reply struct {
+		resp PartialKSPResponse
+		err  error
+	}
+	replies := make([]reply, len(rp.workers))
+	var wg sync.WaitGroup
+	for i, w := range rp.workers {
+		wg.Add(1)
+		go func(i int, w *RemoteWorker) {
+			defer wg.Done()
+			resp, err := w.PartialKSP(req)
+			replies[i] = reply{resp: resp, err: err}
+		}(i, w)
+	}
+	wg.Wait()
+	merged := make(map[core.PairRequest][]graph.Path)
+	for _, r := range replies {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for i, pr := range pairs {
+			if i < len(r.resp.Results) {
+				for _, msg := range r.resp.Results[i] {
+					merged[pr] = append(merged[pr], fromPathMsg(msg))
+				}
+			}
+		}
+	}
+	for pr, paths := range merged {
+		sort.Slice(paths, func(i, j int) bool { return graph.ComparePaths(paths[i], paths[j]) < 0 })
+		var dedup []graph.Path
+		seen := make(map[string]bool)
+		for _, p := range paths {
+			key := graph.PathKey(p)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			dedup = append(dedup, p)
+			if len(dedup) == k {
+				break
+			}
+		}
+		out[pr] = dedup
+	}
+	for _, pr := range pairs {
+		if _, ok := out[pr]; !ok {
+			out[pr] = nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"kspdg/internal/core"
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/shortest"
+)
+
+// Worker is one SubgraphBolt host: it owns a subset of the partition's
+// subgraphs (and their first-level DTLP data, which lives in the shared
+// dtlp.Index in the in-process deployment) and answers partial-KSP and
+// weight-update requests for them.
+type Worker struct {
+	id    int
+	part  *partition.Partition
+	owned map[partition.SubgraphID]bool
+
+	mu    sync.Mutex
+	stats StatsResponse
+}
+
+// NewWorker creates a worker owning the given subgraphs of part.
+func NewWorker(id int, part *partition.Partition, owned []partition.SubgraphID) *Worker {
+	w := &Worker{
+		id:    id,
+		part:  part,
+		owned: make(map[partition.SubgraphID]bool, len(owned)),
+	}
+	for _, sg := range owned {
+		w.owned[sg] = true
+	}
+	w.stats = StatsResponse{Worker: id, Subgraphs: len(owned)}
+	return w
+}
+
+// ID returns the worker's identifier.
+func (w *Worker) ID() int { return w.id }
+
+// Owned returns the subgraphs this worker hosts.
+func (w *Worker) Owned() []partition.SubgraphID {
+	out := make([]partition.SubgraphID, 0, len(w.owned))
+	for id := range w.owned {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Owns reports whether the worker hosts subgraph id.
+func (w *Worker) Owns(id partition.SubgraphID) bool { return w.owned[id] }
+
+// HandlePartialKSP computes the partial k shortest paths for every requested
+// pair, restricted to the subgraphs this worker owns.  Pairs whose common
+// subgraphs are all hosted elsewhere produce empty results.
+func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
+	resp := PartialKSPResponse{Results: make([][]PathMsg, len(req.Pairs))}
+	for i, pr := range req.Pairs {
+		paths := w.partialForPair(pr, req.K)
+		msgs := make([]PathMsg, len(paths))
+		for j, p := range paths {
+			msgs[j] = toPathMsg(p)
+		}
+		resp.Results[i] = msgs
+	}
+	w.mu.Lock()
+	w.stats.RequestsServed++
+	w.stats.PairsServed += len(req.Pairs)
+	w.mu.Unlock()
+	return resp
+}
+
+// partialForPair mirrors core.PartialKSPForPair but only searches subgraphs
+// owned by this worker.
+func (w *Worker) partialForPair(pr core.PairRequest, k int) []graph.Path {
+	if pr.A == pr.B {
+		return []graph.Path{{Vertices: []graph.VertexID{pr.A}}}
+	}
+	var merged []graph.Path
+	seen := make(map[string]bool)
+	for _, id := range w.part.CommonSubgraphs(pr.A, pr.B) {
+		if !w.owned[id] {
+			continue
+		}
+		sub := w.part.Subgraph(id)
+		la, okA := sub.ToLocal(pr.A)
+		lb, okB := sub.ToLocal(pr.B)
+		if !okA || !okB {
+			continue
+		}
+		for _, lp := range shortest.Yen(sub.Local, la, lb, k, nil) {
+			gp := sub.GlobalPath(lp)
+			key := graph.PathKey(gp)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			merged = append(merged, gp)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return graph.ComparePaths(merged[i], merged[j]) < 0 })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// HandleWeightUpdate records that updates for this worker's subgraphs
+// arrived.  In the in-process deployment the actual index maintenance is done
+// once by the shared dtlp.Index (see Cluster.ApplyUpdates); the worker only
+// accounts for the load it would carry.
+func (w *Worker) HandleWeightUpdate(req WeightUpdateRequest) WeightUpdateResponse {
+	w.mu.Lock()
+	w.stats.UpdatesReceived += len(req.Updates)
+	w.mu.Unlock()
+	return WeightUpdateResponse{PathsTouched: len(req.Updates)}
+}
+
+// HandleStats returns the worker's load counters.
+func (w *Worker) HandleStats(StatsRequest) StatsResponse {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}

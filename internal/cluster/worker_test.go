@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+
+	"kspdg/internal/core"
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/testutil"
+)
+
+func TestWorkerOwnership(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSubgraphs() < 2 {
+		t.Skip("need at least two subgraphs")
+	}
+	w := NewWorker(3, p, []partition.SubgraphID{0})
+	if w.ID() != 3 {
+		t.Errorf("ID = %d", w.ID())
+	}
+	if !w.Owns(0) || w.Owns(1) {
+		t.Errorf("ownership flags wrong")
+	}
+	owned := w.Owned()
+	if len(owned) != 1 || owned[0] != 0 {
+		t.Errorf("Owned = %v", owned)
+	}
+}
+
+func TestWorkerPartialKSPRestrictedToOwnedSubgraphs(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a boundary pair and the subgraphs containing it.
+	boundary := p.BoundaryVertices()
+	var a, b graph.VertexID = graph.NoVertex, graph.NoVertex
+	var subs []partition.SubgraphID
+	for i := 0; i < len(boundary) && a == graph.NoVertex; i++ {
+		for j := i + 1; j < len(boundary); j++ {
+			if cs := p.CommonSubgraphs(boundary[i], boundary[j]); len(cs) > 0 {
+				a, b, subs = boundary[i], boundary[j], cs
+				break
+			}
+		}
+	}
+	if a == graph.NoVertex {
+		t.Skip("no co-located boundary pair")
+	}
+	owner := NewWorker(0, p, subs)
+	other := NewWorker(1, p, nil)
+	req := PartialKSPRequest{Pairs: []core.PairRequest{{A: a, B: b}}, K: 2}
+	if got := owner.HandlePartialKSP(req); len(got.Results[0]) == 0 {
+		t.Errorf("owning worker should return partial paths")
+	}
+	if got := other.HandlePartialKSP(req); len(got.Results[0]) != 0 {
+		t.Errorf("non-owning worker should return no paths, got %v", got.Results[0])
+	}
+	// Same-vertex pairs yield the trivial path regardless of ownership.
+	trivial := other.HandlePartialKSP(PartialKSPRequest{Pairs: []core.PairRequest{{A: a, B: a}}, K: 2})
+	if len(trivial.Results[0]) != 1 {
+		t.Errorf("same-vertex pair should yield the trivial path")
+	}
+	st := owner.HandleStats(StatsRequest{})
+	if st.RequestsServed != 1 || st.PairsServed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWorkerWeightUpdateAccounting(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(0, p, nil)
+	resp := w.HandleWeightUpdate(WeightUpdateRequest{Updates: []graph.WeightUpdate{{Edge: 0, NewWeight: 2}, {Edge: 1, NewWeight: 3}}})
+	if resp.PathsTouched != 2 {
+		t.Errorf("PathsTouched = %d", resp.PathsTouched)
+	}
+	if st := w.HandleStats(StatsRequest{}); st.UpdatesReceived != 2 {
+		t.Errorf("UpdatesReceived = %d", st.UpdatesReceived)
+	}
+}
+
+func TestPathMsgRoundTrip(t *testing.T) {
+	p := graph.Path{Vertices: []graph.VertexID{1, 2, 3}, Dist: 4.5}
+	back := fromPathMsg(toPathMsg(p))
+	if !back.Equal(p) || back.Dist != p.Dist {
+		t.Errorf("round trip mismatch: %v vs %v", back, p)
+	}
+}

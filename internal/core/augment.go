@@ -1,0 +1,126 @@
+package core
+
+import (
+	"kspdg/internal/graph"
+)
+
+// augmentedSkeleton is a read-only view of the skeleton graph extended with
+// up to two temporary vertices representing non-boundary query endpoints
+// (Section 5.3).  The extra vertices receive ids immediately after the
+// skeleton's own vertex range and are connected to the boundary vertices of
+// their subgraphs with lower-bound weights; two non-boundary endpoints that
+// share a subgraph additionally get a direct edge.
+//
+// The view implements graph.WeightedView so the unmodified shortest-path
+// machinery can run on it.
+type augmentedSkeleton struct {
+	base graph.WeightedView
+
+	extraVerts int
+	// extraAdj holds the additional arcs for every vertex that gains arcs
+	// (both the new vertices and the base vertices they attach to).
+	extraAdj map[graph.VertexID][]graph.Arc
+	// extraEdges describes the added edges; edge ids start at base.NumEdges().
+	extraEdges []augEdge
+	// mergedAdj caches base+extra adjacency for base vertices that gained
+	// arcs, so Neighbors stays allocation-free per call.
+	mergedAdj map[graph.VertexID][]graph.Arc
+}
+
+type augEdge struct {
+	u, v graph.VertexID
+	w    float64
+}
+
+// newAugmentedSkeleton wraps base with room for extra vertices.
+func newAugmentedSkeleton(base graph.WeightedView) *augmentedSkeleton {
+	return &augmentedSkeleton{
+		base:      base,
+		extraAdj:  make(map[graph.VertexID][]graph.Arc),
+		mergedAdj: make(map[graph.VertexID][]graph.Arc),
+	}
+}
+
+// addVertex reserves a new augmented vertex and returns its id.
+func (a *augmentedSkeleton) addVertex() graph.VertexID {
+	id := graph.VertexID(a.base.NumVertices() + a.extraVerts)
+	a.extraVerts++
+	return id
+}
+
+// addEdge adds an edge between u and v with weight w.  For undirected base
+// graphs the edge is traversable both ways.
+func (a *augmentedSkeleton) addEdge(u, v graph.VertexID, w float64) graph.EdgeID {
+	id := graph.EdgeID(a.base.NumEdges() + len(a.extraEdges))
+	a.extraEdges = append(a.extraEdges, augEdge{u: u, v: v, w: w})
+	a.extraAdj[u] = append(a.extraAdj[u], graph.Arc{To: v, Edge: id})
+	if !a.base.Directed() {
+		a.extraAdj[v] = append(a.extraAdj[v], graph.Arc{To: u, Edge: id})
+	}
+	// Invalidate merged adjacency caches for the touched vertices.
+	delete(a.mergedAdj, u)
+	delete(a.mergedAdj, v)
+	return id
+}
+
+func (a *augmentedSkeleton) Directed() bool { return a.base.Directed() }
+
+func (a *augmentedSkeleton) NumVertices() int { return a.base.NumVertices() + a.extraVerts }
+
+func (a *augmentedSkeleton) NumEdges() int { return a.base.NumEdges() + len(a.extraEdges) }
+
+func (a *augmentedSkeleton) Neighbors(v graph.VertexID) []graph.Arc {
+	if int(v) >= a.base.NumVertices() {
+		return a.extraAdj[v]
+	}
+	extra, ok := a.extraAdj[v]
+	if !ok {
+		return a.base.Neighbors(v)
+	}
+	if merged, ok := a.mergedAdj[v]; ok {
+		return merged
+	}
+	baseArcs := a.base.Neighbors(v)
+	merged := make([]graph.Arc, 0, len(baseArcs)+len(extra))
+	merged = append(merged, baseArcs...)
+	merged = append(merged, extra...)
+	a.mergedAdj[v] = merged
+	return merged
+}
+
+func (a *augmentedSkeleton) Weight(e graph.EdgeID) float64 {
+	if int(e) < a.base.NumEdges() {
+		return a.base.Weight(e)
+	}
+	return a.extraEdges[int(e)-a.base.NumEdges()].w
+}
+
+func (a *augmentedSkeleton) InitialWeight(e graph.EdgeID) float64 {
+	if int(e) < a.base.NumEdges() {
+		return a.base.InitialWeight(e)
+	}
+	return a.extraEdges[int(e)-a.base.NumEdges()].w
+}
+
+func (a *augmentedSkeleton) EdgeEndpoints(e graph.EdgeID) graph.Endpoints {
+	if int(e) < a.base.NumEdges() {
+		return a.base.EdgeEndpoints(e)
+	}
+	ae := a.extraEdges[int(e)-a.base.NumEdges()]
+	return graph.Endpoints{U: ae.u, V: ae.v}
+}
+
+func (a *augmentedSkeleton) EdgeBetween(u, v graph.VertexID) (graph.EdgeID, bool) {
+	// Extra arcs first (they are few), then the base graph.
+	for _, arc := range a.extraAdj[u] {
+		if arc.To == v {
+			return arc.Edge, true
+		}
+	}
+	if int(u) < a.base.NumVertices() && int(v) < a.base.NumVertices() {
+		return a.base.EdgeBetween(u, v)
+	}
+	return graph.NoEdge, false
+}
+
+var _ graph.WeightedView = (*augmentedSkeleton)(nil)

@@ -1,0 +1,305 @@
+// Package core implements KSP-DG, the distributed filter-and-refine
+// algorithm for answering k shortest path queries over dynamic road networks
+// (Section 5 of the paper).
+//
+// Each iteration computes one more reference path on the skeleton graph Gλ
+// (the filter step), asks a PartialProvider for the partial k shortest paths
+// between every pair of adjacent vertices on the reference path (the refine
+// step, executed in parallel across subgraphs/workers), joins the partial
+// paths into candidate k shortest paths in G, and folds them into the running
+// result list L.  The search stops once the distance of the k-th path in L is
+// no greater than the distance of the next unexplored reference path
+// (Theorem 3), which guarantees the result is exact with respect to the
+// skeleton's lower bounds.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/shortest"
+)
+
+// Options configures query processing.
+type Options struct {
+	// BeamWidth bounds the number of partial combinations kept while joining
+	// partial paths along a reference path.  Zero means max(2k, k+4).  Wider
+	// beams make the join closer to exhaustive at higher cost.
+	BeamWidth int
+	// MaxIterations caps the number of reference paths examined per query as
+	// a safety valve.  Zero means 10000.
+	MaxIterations int
+	// Parallelism is passed to LocalProvider when the engine builds its own
+	// provider; it has no effect when a custom provider is supplied.
+	Parallelism int
+	// DisablePairCache turns off the reuse of partial k shortest paths across
+	// consecutive reference paths (the Section 5.2 optimisation).  Only used
+	// by the ablation benchmarks.
+	DisablePairCache bool
+}
+
+func (o Options) beam(k int) int {
+	if o.BeamWidth > 0 {
+		return o.BeamWidth
+	}
+	b := 2 * k
+	if b < k+4 {
+		b = k + 4
+	}
+	return b
+}
+
+func (o Options) maxIterations() int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return 10000
+}
+
+// Result is the answer to one KSP query together with execution statistics.
+type Result struct {
+	// Paths holds up to k shortest loopless paths in ascending distance.
+	Paths []graph.Path
+	// Iterations is the number of reference paths examined (filter steps).
+	Iterations int
+	// PairsRefined is the number of distinct adjacent boundary pairs whose
+	// partial k shortest paths were computed for this query.
+	PairsRefined int
+	// CandidatesGenerated counts candidate complete paths produced by joins.
+	CandidatesGenerated int
+	// Elapsed is the wall-clock processing time of the query.
+	Elapsed time.Duration
+}
+
+// Engine answers KSP queries using the DTLP index and a PartialProvider for
+// the refine step.
+type Engine struct {
+	index    *dtlp.Index
+	provider PartialProvider
+	opts     Options
+}
+
+// NewEngine creates an engine over the given index.  If provider is nil a
+// LocalProvider over the index's partition is used.
+func NewEngine(index *dtlp.Index, provider PartialProvider, opts Options) *Engine {
+	if provider == nil {
+		provider = NewLocalProvider(index.Partition(), opts.Parallelism)
+	}
+	return &Engine{index: index, provider: provider, opts: opts}
+}
+
+// Index returns the engine's DTLP index.
+func (e *Engine) Index() *dtlp.Index { return e.index }
+
+// Query answers q(s, t) with the given k, returning up to k shortest loopless
+// paths from s to t under the current edge weights.
+func (e *Engine) Query(s, t graph.VertexID, k int) (Result, error) {
+	start := time.Now()
+	res := Result{}
+	parent := e.index.Partition().Parent()
+	if k <= 0 {
+		return res, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	n := parent.NumVertices()
+	if int(s) < 0 || int(s) >= n || int(t) < 0 || int(t) >= n {
+		return res, fmt.Errorf("core: query endpoints (%d,%d) outside [0,%d)", s, t, n)
+	}
+	if s == t {
+		res.Paths = []graph.Path{{Vertices: []graph.VertexID{s}}}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	view, sAug, tAug, toGlobal, err := e.buildAugmentedSkeleton(s, t)
+	if err != nil {
+		return res, err
+	}
+
+	gen := shortest.NewGenerator(view, sAug, tAug, nil)
+	pairCache := make(map[PairRequest][]graph.Path)
+	resultSet := make(map[string]bool)
+	var list []graph.Path
+
+	ref, ok := gen.Next()
+	if !ok {
+		// No reference path: s and t are disconnected (also under the
+		// skeleton abstraction).  Return an empty result.
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	maxIter := e.opts.maxIterations()
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations++
+		seq := toGlobal(ref)
+		candidates, err := e.candidateKSP(seq, k, pairCache, &res)
+		if err != nil {
+			return res, err
+		}
+		for _, c := range candidates {
+			key := graph.PathKey(c)
+			if resultSet[key] {
+				continue
+			}
+			resultSet[key] = true
+			list = append(list, c)
+		}
+		sort.Slice(list, func(i, j int) bool { return graph.ComparePaths(list[i], list[j]) < 0 })
+		if len(list) > k {
+			list = list[:k]
+		}
+
+		next, okNext := gen.Next()
+		if !okNext {
+			break
+		}
+		if len(list) >= k && list[k-1].Dist <= next.Dist+1e-9 {
+			break
+		}
+		ref = next
+	}
+	res.Paths = list
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// buildAugmentedSkeleton maps the query endpoints onto the skeleton graph,
+// attaching non-boundary endpoints per Section 5.3.  It returns the weighted
+// view to search, the augmented source/target ids, and a translator from a
+// path over augmented ids to global vertex ids.
+func (e *Engine) buildAugmentedSkeleton(s, t graph.VertexID) (graph.WeightedView, graph.VertexID, graph.VertexID, func(graph.Path) []graph.VertexID, error) {
+	skel := e.index.Skeleton()
+	snap := skel.Graph().Snapshot()
+	aug := newAugmentedSkeleton(snap)
+
+	extraGlobal := make(map[graph.VertexID]graph.VertexID) // augmented id -> global id
+
+	resolve := func(v graph.VertexID, bounds map[graph.VertexID]float64) (graph.VertexID, error) {
+		if id, ok := skel.SkelID(v); ok {
+			return id, nil
+		}
+		id := aug.addVertex()
+		extraGlobal[id] = v
+		attached := 0
+		for bv, d := range bounds {
+			if sb, ok := skel.SkelID(bv); ok && !math.IsInf(d, 1) {
+				aug.addEdge(id, sb, d)
+				attached++
+			}
+		}
+		return id, nil
+	}
+
+	sAug, err := resolve(s, e.index.BoundaryLowerBounds(s))
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	var tAug graph.VertexID
+	if id, ok := skel.SkelID(t); ok {
+		tAug = id
+	} else {
+		id := aug.addVertex()
+		extraGlobal[id] = t
+		for bv, d := range e.index.BoundaryLowerBoundsTo(t) {
+			if sb, ok := skel.SkelID(bv); ok && !math.IsInf(d, 1) {
+				// Edge direction boundary -> t for directed graphs; for
+				// undirected graphs addEdge installs both directions anyway.
+				aug.addEdge(sb, id, d)
+			}
+		}
+		tAug = id
+	}
+	// Two non-boundary endpoints sharing a subgraph additionally need a
+	// direct skeleton edge so purely-local answers are reachable.
+	if _, sBound := skel.SkelID(s); !sBound {
+		if _, tBound := skel.SkelID(t); !tBound {
+			if d := e.index.WithinSubgraphDistance(s, t); !math.IsInf(d, 1) {
+				aug.addEdge(sAug, tAug, d)
+			}
+		}
+	}
+
+	toGlobal := func(p graph.Path) []graph.VertexID {
+		out := make([]graph.VertexID, len(p.Vertices))
+		for i, v := range p.Vertices {
+			if g, ok := extraGlobal[v]; ok {
+				out[i] = g
+			} else {
+				out[i] = skel.GlobalID(v)
+			}
+		}
+		return out
+	}
+	return aug, sAug, tAug, toGlobal, nil
+}
+
+// candidateKSP implements Algorithm 4: it fetches partial k shortest paths
+// for every adjacent pair of the reference sequence (reusing the query-local
+// cache for pairs already refined by earlier reference paths, the
+// optimisation discussed in Section 5.2) and joins them into complete
+// candidate paths from s to t.
+func (e *Engine) candidateKSP(seq []graph.VertexID, k int, cache map[PairRequest][]graph.Path, res *Result) ([]graph.Path, error) {
+	if len(seq) < 2 {
+		return nil, nil
+	}
+	var missing []PairRequest
+	for i := 0; i+1 < len(seq); i++ {
+		pr := PairRequest{A: seq[i], B: seq[i+1]}
+		if _, ok := cache[pr]; !ok || e.opts.DisablePairCache {
+			missing = append(missing, pr)
+		}
+	}
+	if len(missing) > 0 {
+		partials, err := e.provider.PartialKSP(missing, k)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range missing {
+			cache[pr] = partials[pr]
+		}
+		res.PairsRefined += len(missing)
+	}
+
+	beam := e.opts.beam(k)
+	// Join segment by segment, keeping the `beam` shortest simple partial
+	// combinations (Algorithm 4 keeps k; a slightly wider beam compensates
+	// for combinations discarded due to vertex overlaps).
+	current := []graph.Path{}
+	first := cache[PairRequest{A: seq[0], B: seq[1]}]
+	if len(first) == 0 {
+		return nil, nil
+	}
+	current = append(current, first...)
+	for i := 1; i+1 < len(seq); i++ {
+		segs := cache[PairRequest{A: seq[i], B: seq[i+1]}]
+		if len(segs) == 0 {
+			return nil, nil
+		}
+		var next []graph.Path
+		for _, prefix := range current {
+			for _, seg := range segs {
+				joined, err := prefix.Concat(seg)
+				if err != nil || !joined.IsSimple() {
+					continue
+				}
+				next = append(next, joined)
+			}
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		sort.Slice(next, func(a, b int) bool { return graph.ComparePaths(next[a], next[b]) < 0 })
+		if len(next) > beam {
+			next = next[:beam]
+		}
+		current = next
+	}
+	res.CandidatesGenerated += len(current)
+	if len(current) > k {
+		current = current[:k]
+	}
+	return current, nil
+}

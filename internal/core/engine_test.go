@@ -1,0 +1,380 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/shortest"
+	"kspdg/internal/testutil"
+)
+
+func buildEngine(t testing.TB, g *graph.Graph, z, xi int) (*partition.Partition, *dtlp.Index, *Engine) {
+	t.Helper()
+	p, err := partition.PartitionGraph(g, z)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: xi})
+	if err != nil {
+		t.Fatalf("dtlp: %v", err)
+	}
+	return p, x, NewEngine(x, nil, Options{})
+}
+
+// assertMatchesOracle checks that the engine's k shortest path distances
+// exactly match the brute-force oracle for the query.
+func assertMatchesOracle(t *testing.T, g *graph.Graph, e *Engine, s, tt graph.VertexID, k int) {
+	t.Helper()
+	res, err := e.Query(s, tt, k)
+	if err != nil {
+		t.Fatalf("Query(%d,%d,%d): %v", s, tt, k, err)
+	}
+	want := testutil.BruteForceKSP(g, s, tt, k)
+	if len(res.Paths) != len(want) {
+		t.Fatalf("Query(%d,%d,%d) returned %d paths, oracle %d\n got: %v\nwant: %v",
+			s, tt, k, len(res.Paths), len(want), res.Paths, want)
+	}
+	for i := range want {
+		if math.Abs(res.Paths[i].Dist-want[i].Dist) > 1e-9 {
+			t.Errorf("Query(%d,%d,%d) path %d dist = %g, oracle %g", s, tt, k, i, res.Paths[i].Dist, want[i].Dist)
+		}
+		if err := res.Paths[i].Validate(g); err != nil {
+			t.Errorf("Query(%d,%d,%d) path %d invalid: %v", s, tt, k, i, err)
+		}
+		if math.Abs(res.Paths[i].EvalDist(g)-res.Paths[i].Dist) > 1e-9 {
+			t.Errorf("Query(%d,%d,%d) path %d reported dist %g but edges sum to %g",
+				s, tt, k, i, res.Paths[i].Dist, res.Paths[i].EvalDist(g))
+		}
+		if res.Paths[i].Source() != s || res.Paths[i].Target() != tt {
+			t.Errorf("Query(%d,%d,%d) path %d endpoints wrong: %v", s, tt, k, i, res.Paths[i])
+		}
+	}
+}
+
+func TestQueryBoundaryEndpoints(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, _, e := buildEngine(t, g, 6, 2)
+	boundary := p.BoundaryVertices()
+	if len(boundary) < 2 {
+		t.Skip("not enough boundary vertices")
+	}
+	for _, k := range []int{1, 2, 3, 5} {
+		assertMatchesOracle(t, g, e, boundary[0], boundary[len(boundary)-1], k)
+	}
+}
+
+func TestQueryNonBoundaryEndpoints(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, _, e := buildEngine(t, g, 6, 2)
+	// Pick two non-boundary vertices far apart.
+	var interior []graph.VertexID
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		if !p.IsBoundary(v) {
+			interior = append(interior, v)
+		}
+	}
+	if len(interior) < 2 {
+		t.Skip("no interior vertices")
+	}
+	s, tt := interior[0], interior[len(interior)-1]
+	for _, k := range []int{1, 2, 4} {
+		assertMatchesOracle(t, g, e, s, tt, k)
+	}
+}
+
+func TestQueryMixedEndpoints(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, _, e := buildEngine(t, g, 6, 2)
+	boundary := p.BoundaryVertices()
+	var interior []graph.VertexID
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		if !p.IsBoundary(v) {
+			interior = append(interior, v)
+		}
+	}
+	if len(boundary) == 0 || len(interior) == 0 {
+		t.Skip("need both boundary and interior vertices")
+	}
+	assertMatchesOracle(t, g, e, boundary[0], interior[len(interior)-1], 3)
+	assertMatchesOracle(t, g, e, interior[0], boundary[len(boundary)-1], 3)
+}
+
+func TestQuerySameSubgraphInteriorEndpoints(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, _, e := buildEngine(t, g, 6, 2)
+	// Find two interior vertices that share a subgraph.
+	var s, tt graph.VertexID = graph.NoVertex, graph.NoVertex
+outer:
+	for _, sg := range p.Subgraphs {
+		var interior []graph.VertexID
+		for _, v := range sg.Globals {
+			if !p.IsBoundary(v) {
+				interior = append(interior, v)
+			}
+		}
+		if len(interior) >= 2 {
+			s, tt = interior[0], interior[1]
+			break outer
+		}
+	}
+	if s == graph.NoVertex {
+		t.Skip("no subgraph with two interior vertices")
+	}
+	assertMatchesOracle(t, g, e, s, tt, 2)
+}
+
+func TestQueryTrivialAndErrorCases(t *testing.T) {
+	g := testutil.PaperGraph()
+	_, _, e := buildEngine(t, g, 6, 1)
+	res, err := e.Query(3, 3, 2)
+	if err != nil || len(res.Paths) != 1 || res.Paths[0].Len() != 0 {
+		t.Errorf("s==t should return the trivial path, got %v, %v", res.Paths, err)
+	}
+	if _, err := e.Query(0, 1, 0); err == nil {
+		t.Errorf("k=0 should error")
+	}
+	if _, err := e.Query(0, graph.VertexID(g.NumVertices()+3), 1); err == nil {
+		t.Errorf("out-of-range target should error")
+	}
+	if _, err := e.Query(-1, 0, 1); err == nil {
+		t.Errorf("negative source should error")
+	}
+}
+
+func TestQueryDisconnectedGraph(t *testing.T) {
+	b := graph.NewBuilder(8, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(5, 6, 1)
+	b.AddEdge(6, 7, 1)
+	g := b.Build()
+	_, _, e := buildEngine(t, g, 3, 1)
+	res, err := e.Query(0, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 0 {
+		t.Errorf("disconnected query should return no paths, got %v", res.Paths)
+	}
+}
+
+func TestQueryAfterWeightUpdates(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, x, e := buildEngine(t, g, 6, 2)
+	rng := rand.New(rand.NewSource(99))
+	boundary := p.BoundaryVertices()
+	for round := 0; round < 10; round++ {
+		batch := testutil.PerturbWeights(g, rng, 0.35, 0.3, 0.1)
+		if err := x.ApplyUpdates(batch); err != nil {
+			t.Fatal(err)
+		}
+		s := boundary[rng.Intn(len(boundary))]
+		tt := graph.VertexID(rng.Intn(g.NumVertices()))
+		if s == tt {
+			continue
+		}
+		assertMatchesOracle(t, g, e, s, tt, 1+rng.Intn(4))
+	}
+}
+
+func TestQueryStatsPopulated(t *testing.T) {
+	g := testutil.PaperGraph()
+	_, _, e := buildEngine(t, g, 6, 2)
+	res, err := e.Query(testutil.V1, testutil.V19, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 1 {
+		t.Errorf("iterations = %d, want >= 1", res.Iterations)
+	}
+	if res.PairsRefined == 0 {
+		t.Errorf("expected refined pairs")
+	}
+	if res.CandidatesGenerated == 0 {
+		t.Errorf("expected generated candidates")
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("elapsed should be positive")
+	}
+}
+
+func TestQueryWithExplicitLocalProviderParallel(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(x, NewLocalProvider(p, 4), Options{})
+	assertMatchesOracle(t, g, e, testutil.V1, testutil.V19, 4)
+}
+
+func TestPartialKSPForPair(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := p.BoundaryVertices()
+	var a, b graph.VertexID = graph.NoVertex, graph.NoVertex
+	for i := 0; i < len(boundary) && a == graph.NoVertex; i++ {
+		for j := i + 1; j < len(boundary); j++ {
+			if len(p.CommonSubgraphs(boundary[i], boundary[j])) > 0 {
+				a, b = boundary[i], boundary[j]
+				break
+			}
+		}
+	}
+	if a == graph.NoVertex {
+		t.Skip("no co-located boundary pair")
+	}
+	paths := PartialKSPForPair(p, PairRequest{A: a, B: b}, 3)
+	if len(paths) == 0 {
+		t.Fatal("expected partial paths")
+	}
+	for i, path := range paths {
+		if path.Source() != a || path.Target() != b {
+			t.Errorf("partial path %d endpoints wrong: %v", i, path)
+		}
+		if err := path.Validate(g); err != nil {
+			t.Errorf("partial path %d invalid: %v", i, err)
+		}
+		if i > 0 && paths[i-1].Dist > path.Dist+1e-9 {
+			t.Errorf("partial paths not sorted")
+		}
+	}
+	// Same-vertex pair yields the trivial path.
+	trivial := PartialKSPForPair(p, PairRequest{A: a, B: a}, 2)
+	if len(trivial) != 1 || trivial[0].Len() != 0 {
+		t.Errorf("same-vertex pair should return trivial path, got %v", trivial)
+	}
+}
+
+func TestLocalProviderValidation(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := NewLocalProvider(p, 0)
+	if _, err := lp.PartialKSP([]PairRequest{{A: 0, B: 1}}, 0); err == nil {
+		t.Errorf("k=0 should be rejected")
+	}
+	out, err := lp.PartialKSP(nil, 2)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty request should return empty map, got %v, %v", out, err)
+	}
+}
+
+func TestQueryDirectedGraph(t *testing.T) {
+	// Directed ring + chords.
+	b := graph.NewBuilder(12, true)
+	for i := 0; i < 12; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%12), 1+float64(i%4))
+	}
+	b.AddEdge(0, 6, 3)
+	b.AddEdge(3, 9, 2)
+	b.AddEdge(9, 2, 5)
+	g := b.Build()
+	_, _, e := buildEngine(t, g, 5, 2)
+	res, err := e.Query(0, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.BruteForceKSP(g, 0, 7, 3)
+	if len(res.Paths) != len(want) {
+		t.Fatalf("directed query returned %d paths, oracle %d", len(res.Paths), len(want))
+	}
+	for i := range want {
+		if math.Abs(res.Paths[i].Dist-want[i].Dist) > 1e-9 {
+			t.Errorf("directed path %d dist = %g, oracle %g", i, res.Paths[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestQueryOnGrid(t *testing.T) {
+	g := testutil.GridGraph(6, 6, 1)
+	_, _, e := buildEngine(t, g, 8, 2)
+	res, err := e.Query(0, graph.VertexID(g.NumVertices()-1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 3 {
+		t.Fatalf("expected 3 paths, got %d", len(res.Paths))
+	}
+	// On a unit grid the shortest distance between opposite corners is the
+	// Manhattan distance; several ties exist so all three should equal 10.
+	for i, p := range res.Paths {
+		if p.Dist != 10 {
+			t.Errorf("grid path %d dist = %g, want 10", i, p.Dist)
+		}
+	}
+	sp, _ := shortest.ShortestPath(g, 0, graph.VertexID(g.NumVertices()-1), nil)
+	if res.Paths[0].Dist != sp.Dist {
+		t.Errorf("first path should match Dijkstra")
+	}
+}
+
+// Property: KSP-DG matches the brute-force oracle on random graphs, random
+// partitions, random endpoints and random k, including after weight changes.
+func TestPropertyKSPDGMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 14 + rng.Intn(18)
+		g := testutil.RandomConnected(rng, n, n/3)
+		p, err := partition.PartitionGraph(g, 5+rng.Intn(5))
+		if err != nil {
+			return false
+		}
+		x, err := dtlp.Build(p, dtlp.Config{Xi: 1 + rng.Intn(3)})
+		if err != nil {
+			return false
+		}
+		e := NewEngine(x, nil, Options{})
+		// Optionally perturb weights.
+		if rng.Intn(2) == 1 {
+			batch := testutil.PerturbWeights(g, rng, 0.4, 0.5, 0.05)
+			if err := x.ApplyUpdates(batch); err != nil {
+				return false
+			}
+		}
+		for q := 0; q < 3; q++ {
+			s := graph.VertexID(rng.Intn(n))
+			tt := graph.VertexID(rng.Intn(n))
+			if s == tt {
+				continue
+			}
+			k := 1 + rng.Intn(4)
+			res, err := e.Query(s, tt, k)
+			if err != nil {
+				return false
+			}
+			want := testutil.BruteForceKSP(g, s, tt, k)
+			if len(res.Paths) != len(want) {
+				return false
+			}
+			for i := range want {
+				if math.Abs(res.Paths[i].Dist-want[i].Dist) > 1e-9 {
+					return false
+				}
+				if res.Paths[i].Validate(g) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kspdg/internal/graph"
+)
+
+// This file implements the query variants the paper lists as future work in
+// Section 8: KSP queries constrained to pass through designated vertices, and
+// KSP queries whose answers must be mutually diverse.  Both are built on top
+// of the standard KSP-DG iteration, so they run unchanged on the local and
+// distributed providers.
+
+// QueryVia answers a constrained KSP query: the k shortest loopless paths
+// from s to t that visit every waypoint, in order.  Each leg (s→w1, w1→w2,
+// ..., wn→t) is answered with a KSP-DG query and the legs are joined keeping
+// the k shortest simple combinations, mirroring how candidateKSP joins
+// partial paths along a reference path.
+func (e *Engine) QueryVia(s graph.VertexID, waypoints []graph.VertexID, t graph.VertexID, k int) (Result, error) {
+	var agg Result
+	if k <= 0 {
+		return agg, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	stops := make([]graph.VertexID, 0, len(waypoints)+2)
+	stops = append(stops, s)
+	stops = append(stops, waypoints...)
+	stops = append(stops, t)
+	for i := 0; i+1 < len(stops); i++ {
+		if stops[i] == stops[i+1] {
+			return agg, fmt.Errorf("core: consecutive duplicate waypoint %d", stops[i])
+		}
+	}
+	beam := e.opts.beam(k)
+	var combos []graph.Path
+	for i := 0; i+1 < len(stops); i++ {
+		legRes, err := e.Query(stops[i], stops[i+1], k)
+		if err != nil {
+			return agg, err
+		}
+		agg.Iterations += legRes.Iterations
+		agg.PairsRefined += legRes.PairsRefined
+		agg.CandidatesGenerated += legRes.CandidatesGenerated
+		agg.Elapsed += legRes.Elapsed
+		if len(legRes.Paths) == 0 {
+			// One leg is unreachable: the whole constrained query has no
+			// answer.
+			return agg, nil
+		}
+		if combos == nil {
+			combos = append(combos, legRes.Paths...)
+			continue
+		}
+		var next []graph.Path
+		for _, prefix := range combos {
+			for _, leg := range legRes.Paths {
+				joined, err := prefix.Concat(leg)
+				if err != nil || !joined.IsSimple() {
+					continue
+				}
+				next = append(next, joined)
+			}
+		}
+		if len(next) == 0 {
+			return agg, nil
+		}
+		sort.Slice(next, func(a, b int) bool { return graph.ComparePaths(next[a], next[b]) < 0 })
+		if len(next) > beam {
+			next = next[:beam]
+		}
+		combos = next
+	}
+	if len(combos) > k {
+		combos = combos[:k]
+	}
+	agg.Paths = combos
+	return agg, nil
+}
+
+// PathOverlap returns the fraction of shared vertices between two paths
+// (Jaccard similarity of their vertex sets).  It is the diversity measure
+// used by QueryDiverse.
+func PathOverlap(a, b graph.Path) float64 {
+	if len(a.Vertices) == 0 && len(b.Vertices) == 0 {
+		return 1
+	}
+	set := make(map[graph.VertexID]bool, len(a.Vertices))
+	for _, v := range a.Vertices {
+		set[v] = true
+	}
+	inter := 0
+	union := len(set)
+	seen := make(map[graph.VertexID]bool, len(b.Vertices))
+	for _, v := range b.Vertices {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if set[v] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// QueryDiverse answers a diversity-constrained KSP query: up to k shortest
+// loopless paths from s to t such that the vertex overlap (Jaccard
+// similarity) between any two returned paths is at most maxOverlap.  The
+// shortest path is always included; subsequent candidates are admitted
+// greedily in ascending distance order.  candidateFactor controls how many
+// ordinary shortest paths are examined (candidateFactor*k, minimum 2k).
+func (e *Engine) QueryDiverse(s, t graph.VertexID, k int, maxOverlap float64, candidateFactor int) (Result, error) {
+	var res Result
+	if k <= 0 {
+		return res, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if maxOverlap < 0 || maxOverlap > 1 {
+		return res, fmt.Errorf("core: maxOverlap must be in [0,1], got %g", maxOverlap)
+	}
+	if candidateFactor < 2 {
+		candidateFactor = 2
+	}
+	inner, err := e.Query(s, t, candidateFactor*k)
+	if err != nil {
+		return res, err
+	}
+	res.Iterations = inner.Iterations
+	res.PairsRefined = inner.PairsRefined
+	res.CandidatesGenerated = inner.CandidatesGenerated
+	res.Elapsed = inner.Elapsed
+	for _, cand := range inner.Paths {
+		ok := true
+		for _, chosen := range res.Paths {
+			if PathOverlap(cand, chosen) > maxOverlap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res.Paths = append(res.Paths, cand)
+			if len(res.Paths) == k {
+				break
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/testutil"
+)
+
+func TestQueryViaSingleWaypoint(t *testing.T) {
+	g := testutil.PaperGraph()
+	_, _, e := buildEngine(t, g, 6, 2)
+	res, err := e.QueryVia(testutil.V1, []graph.VertexID{testutil.V9}, testutil.V19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) == 0 {
+		t.Fatal("expected constrained paths")
+	}
+	for i, p := range res.Paths {
+		if !p.Contains(testutil.V9) {
+			t.Errorf("path %d does not visit the waypoint: %v", i, p)
+		}
+		if p.Source() != testutil.V1 || p.Target() != testutil.V19 {
+			t.Errorf("path %d endpoints wrong: %v", i, p)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Errorf("path %d invalid: %v", i, err)
+		}
+		if i > 0 && res.Paths[i-1].Dist > p.Dist+1e-9 {
+			t.Errorf("constrained paths not sorted by distance")
+		}
+	}
+	// The best constrained path can never beat the unconstrained shortest.
+	plain, err := e.Query(testutil.V1, testutil.V19, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paths[0].Dist < plain.Paths[0].Dist-1e-9 {
+		t.Errorf("constrained best %g beats unconstrained best %g", res.Paths[0].Dist, plain.Paths[0].Dist)
+	}
+	if res.Iterations == 0 || res.Elapsed <= 0 {
+		t.Errorf("aggregated stats missing: %+v", res)
+	}
+}
+
+func TestQueryViaNoWaypointsEqualsQuery(t *testing.T) {
+	g := testutil.PaperGraph()
+	_, _, e := buildEngine(t, g, 6, 2)
+	via, err := e.QueryVia(testutil.V4, nil, testutil.V13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := e.Query(testutil.V4, testutil.V13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(via.Paths) != len(plain.Paths) {
+		t.Fatalf("QueryVia without waypoints returned %d paths, Query %d", len(via.Paths), len(plain.Paths))
+	}
+	for i := range plain.Paths {
+		if math.Abs(via.Paths[i].Dist-plain.Paths[i].Dist) > 1e-9 {
+			t.Errorf("path %d dist %g vs %g", i, via.Paths[i].Dist, plain.Paths[i].Dist)
+		}
+	}
+}
+
+func TestQueryViaErrorsAndUnreachable(t *testing.T) {
+	g := testutil.PaperGraph()
+	_, _, e := buildEngine(t, g, 6, 1)
+	if _, err := e.QueryVia(0, nil, 5, 0); err == nil {
+		t.Errorf("k=0 should error")
+	}
+	if _, err := e.QueryVia(0, []graph.VertexID{0}, 5, 2); err == nil {
+		t.Errorf("duplicate consecutive waypoint should error")
+	}
+	// Disconnected graph: constrained query returns no paths.
+	b := graph.NewBuilder(6, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	dg := b.Build()
+	_, _, de := buildEngine(t, dg, 3, 1)
+	res, err := de.QueryVia(0, []graph.VertexID{2}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 0 {
+		t.Errorf("unreachable constrained query should return no paths")
+	}
+}
+
+func TestPathOverlap(t *testing.T) {
+	a := graph.Path{Vertices: []graph.VertexID{1, 2, 3, 4}}
+	b := graph.Path{Vertices: []graph.VertexID{1, 5, 6, 4}}
+	c := graph.Path{Vertices: []graph.VertexID{1, 2, 3, 4}}
+	d := graph.Path{Vertices: []graph.VertexID{7, 8}}
+	if got := PathOverlap(a, c); got != 1 {
+		t.Errorf("identical paths overlap = %g, want 1", got)
+	}
+	if got := PathOverlap(a, d); got != 0 {
+		t.Errorf("disjoint paths overlap = %g, want 0", got)
+	}
+	if got := PathOverlap(a, b); math.Abs(got-2.0/6.0) > 1e-9 {
+		t.Errorf("overlap = %g, want 1/3", got)
+	}
+	if got := PathOverlap(graph.Path{}, graph.Path{}); got != 1 {
+		t.Errorf("empty paths overlap = %g, want 1", got)
+	}
+}
+
+func TestQueryDiverse(t *testing.T) {
+	g := testutil.GridGraph(6, 6, 1)
+	_, _, e := buildEngine(t, g, 8, 2)
+	s, tt := graph.VertexID(0), graph.VertexID(g.NumVertices()-1)
+	res, err := e.QueryDiverse(s, tt, 3, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) == 0 {
+		t.Fatal("expected diverse paths")
+	}
+	plain, _ := e.Query(s, tt, 1)
+	if math.Abs(res.Paths[0].Dist-plain.Paths[0].Dist) > 1e-9 {
+		t.Errorf("first diverse path must be the overall shortest")
+	}
+	for i := 0; i < len(res.Paths); i++ {
+		for j := i + 1; j < len(res.Paths); j++ {
+			if ov := PathOverlap(res.Paths[i], res.Paths[j]); ov > 0.6+1e-9 {
+				t.Errorf("paths %d and %d overlap %g > 0.6", i, j, ov)
+			}
+		}
+		if err := res.Paths[i].Validate(g); err != nil {
+			t.Errorf("diverse path %d invalid: %v", i, err)
+		}
+	}
+	// Overlap threshold 1 degenerates to plain KSP.
+	loose, err := e.QueryDiverse(s, tt, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := e.Query(s, tt, 3)
+	if len(loose.Paths) != len(want.Paths) {
+		t.Errorf("maxOverlap=1 should reduce to plain KSP (%d vs %d paths)", len(loose.Paths), len(want.Paths))
+	}
+	// Validation errors.
+	if _, err := e.QueryDiverse(s, tt, 0, 0.5, 2); err == nil {
+		t.Errorf("k=0 should error")
+	}
+	if _, err := e.QueryDiverse(s, tt, 2, 1.5, 2); err == nil {
+		t.Errorf("maxOverlap>1 should error")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/shortest"
+)
+
+// PairRequest asks for the partial k shortest paths between two adjacent
+// vertices of a reference path (global vertex ids).  The vertices of a pair
+// always share at least one subgraph.
+type PairRequest struct {
+	A, B graph.VertexID
+}
+
+// PartialProvider supplies partial k shortest paths for boundary pairs.  The
+// refine step of KSP-DG is expressed against this interface so that the same
+// engine code runs both locally (LocalProvider) and on a cluster where the
+// pairs are fanned out to the workers owning the relevant subgraphs
+// (cluster.Provider).
+type PartialProvider interface {
+	// PartialKSP returns, for every requested pair, up to k shortest paths
+	// between the pair's endpoints restricted to single subgraphs containing
+	// both, expressed in global vertex ids and sorted by distance.
+	PartialKSP(pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error)
+}
+
+// LocalProvider computes partial k shortest paths directly against the local
+// partition, optionally using multiple goroutines.  It is the single-process
+// stand-in for the SubgraphBolts of the Storm deployment.
+type LocalProvider struct {
+	part *partition.Partition
+	// Parallelism is the number of worker goroutines; 0 or 1 means serial.
+	Parallelism int
+}
+
+// NewLocalProvider returns a LocalProvider over the given partition.
+func NewLocalProvider(part *partition.Partition, parallelism int) *LocalProvider {
+	return &LocalProvider{part: part, Parallelism: parallelism}
+}
+
+// PartialKSP implements PartialProvider.
+func (lp *LocalProvider) PartialKSP(pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	out := make(map[PairRequest][]graph.Path, len(pairs))
+	if len(pairs) == 0 {
+		return out, nil
+	}
+	par := lp.Parallelism
+	if par <= 1 || len(pairs) == 1 {
+		for _, pr := range pairs {
+			out[pr] = PartialKSPForPair(lp.part, pr, k)
+		}
+		return out, nil
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan PairRequest)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pr := range jobs {
+				paths := PartialKSPForPair(lp.part, pr, k)
+				mu.Lock()
+				out[pr] = paths
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, pr := range pairs {
+		jobs <- pr
+	}
+	close(jobs)
+	wg.Wait()
+	return out, nil
+}
+
+// PartialKSPForPair computes up to k shortest paths between the pair's
+// endpoints, searching each subgraph that contains both endpoints and merging
+// the per-subgraph results (Algorithm 4, lines 3-8).  Paths are returned in
+// global vertex ids sorted by distance.
+func PartialKSPForPair(part *partition.Partition, pr PairRequest, k int) []graph.Path {
+	if pr.A == pr.B {
+		return []graph.Path{{Vertices: []graph.VertexID{pr.A}}}
+	}
+	var merged []graph.Path
+	seen := make(map[string]bool)
+	for _, id := range part.CommonSubgraphs(pr.A, pr.B) {
+		sub := part.Subgraph(id)
+		la, okA := sub.ToLocal(pr.A)
+		lb, okB := sub.ToLocal(pr.B)
+		if !okA || !okB {
+			continue
+		}
+		for _, lp := range shortest.Yen(sub.Local, la, lb, k, nil) {
+			gp := sub.GlobalPath(lp)
+			key := graph.PathKey(gp)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			merged = append(merged, gp)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return graph.ComparePaths(merged[i], merged[j]) < 0 })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}

@@ -1,0 +1,355 @@
+// Package dtlp implements the Distributed Two-Level Path index (DTLP) from
+// Section 3 of the paper.
+//
+// The first level indexes, for every pair of boundary vertices inside a
+// subgraph, a set of at most ξ bounding paths: the paths with the fewest
+// virtual fragments (vfrags).  An edge with initial weight w0 consists of w0
+// vfrags, each with unit weight w/w0 under the current weight w.  Bounding
+// paths never change as weights evolve, which is what makes the index cheap
+// to maintain; only their distances and bound distances are refreshed.  From
+// the bounding paths the index derives, per subgraph, a lower bound distance
+// (LBD) for each boundary pair (Theorem 1), and across subgraphs the minimum
+// lower bound distance (MBD).
+//
+// The second level is the skeleton graph Gλ whose vertices are all boundary
+// vertices and whose edge weights are the MBDs.  Gλ supplies the reference
+// paths that drive the KSP-DG search.
+//
+// An Edge-Path index (EP-Index) maps every subgraph edge to the bounding
+// paths crossing it so that a weight change only touches the affected paths
+// (Algorithm 2).  The optional MFP-tree compression of the EP-Index lives in
+// package mfptree.
+package dtlp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+)
+
+// Config controls DTLP construction.
+type Config struct {
+	// Xi (ξ) is the maximum number of bounding paths kept per boundary pair.
+	// It must be at least 1.  Larger values tighten the lower bounds (fewer
+	// KSP-DG iterations) at higher construction and maintenance cost.
+	Xi int
+	// MaxEnumerate caps the number of candidate paths enumerated per pair
+	// while searching for Xi distinct vfrag counts.  Zero means 3*Xi+2.
+	MaxEnumerate int
+	// Parallelism is the number of goroutines used to index subgraphs during
+	// construction.  Zero means GOMAXPROCS.
+	Parallelism int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Xi < 1 {
+		return c, fmt.Errorf("dtlp: Xi must be >= 1, got %d", c.Xi)
+	}
+	if c.MaxEnumerate <= 0 {
+		c.MaxEnumerate = 3*c.Xi + 2
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c, nil
+}
+
+// PairKey identifies an ordered pair of global boundary vertices.  For
+// undirected graphs the pair is normalised so that A <= B.
+type PairKey struct {
+	A, B graph.VertexID
+}
+
+// MakePairKey builds a PairKey, normalising the order for undirected graphs.
+func MakePairKey(a, b graph.VertexID, directed bool) PairKey {
+	if !directed && a > b {
+		a, b = b, a
+	}
+	return PairKey{A: a, B: b}
+}
+
+// Index is the DTLP index over a partitioned graph.
+type Index struct {
+	cfg  Config
+	part *partition.Partition
+
+	subs     []*SubgraphIndex
+	skeleton *Skeleton
+
+	mu       sync.RWMutex
+	pairSubs map[PairKey][]partition.SubgraphID // subgraphs contributing a finite LBD for the pair
+}
+
+// Build constructs the DTLP index for the given partition.  Subgraphs are
+// indexed in parallel (the distributed deployment assigns them to workers;
+// here goroutines stand in for workers during offline construction).
+func Build(part *partition.Partition, cfg Config) (*Index, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{
+		cfg:      cfg,
+		part:     part,
+		subs:     make([]*SubgraphIndex, part.NumSubgraphs()),
+		pairSubs: make(map[PairKey][]partition.SubgraphID),
+	}
+
+	// Index each subgraph (first level): bounding paths, EP-Index, LBDs.
+	type job struct{ id partition.SubgraphID }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	errOnce := sync.Once{}
+	var buildErr error
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				si, err := buildSubgraphIndex(part.Subgraph(j.id), cfg)
+				if err != nil {
+					errOnce.Do(func() { buildErr = err })
+					continue
+				}
+				x.subs[j.id] = si
+			}
+		}()
+	}
+	for id := 0; id < part.NumSubgraphs(); id++ {
+		jobs <- job{id: partition.SubgraphID(id)}
+	}
+	close(jobs)
+	wg.Wait()
+	if buildErr != nil {
+		return nil, buildErr
+	}
+
+	// Record which subgraphs contribute to each boundary pair.
+	directed := part.Parent().Directed()
+	for _, si := range x.subs {
+		for key := range si.pairs {
+			gk := si.globalPairKey(key, directed)
+			x.pairSubs[gk] = append(x.pairSubs[gk], si.sub.ID)
+		}
+	}
+
+	// Second level: skeleton graph with MBD edge weights.
+	skel, err := buildSkeleton(part, x.mbdAll(directed), directed)
+	if err != nil {
+		return nil, err
+	}
+	x.skeleton = skel
+	return x, nil
+}
+
+// Config returns the configuration the index was built with.
+func (x *Index) Config() Config { return x.cfg }
+
+// Partition returns the partition the index was built over.
+func (x *Index) Partition() *partition.Partition { return x.part }
+
+// Skeleton returns the skeleton graph Gλ (second index level).
+func (x *Index) Skeleton() *Skeleton { return x.skeleton }
+
+// SubgraphIndex returns the first-level index of one subgraph.
+func (x *Index) SubgraphIndex(id partition.SubgraphID) *SubgraphIndex { return x.subs[id] }
+
+// LBD returns the lower bound distance between global boundary vertices a and
+// b within subgraph id, or +Inf if the pair is not indexed there.
+func (x *Index) LBD(id partition.SubgraphID, a, b graph.VertexID) float64 {
+	return x.subs[id].LBDGlobal(a, b)
+}
+
+// MBD returns the minimum lower bound distance between global boundary
+// vertices a and b across all subgraphs containing both, or +Inf if no
+// subgraph indexes the pair.
+func (x *Index) MBD(a, b graph.VertexID) float64 {
+	directed := x.part.Parent().Directed()
+	key := MakePairKey(a, b, directed)
+	x.mu.RLock()
+	subs := x.pairSubs[key]
+	x.mu.RUnlock()
+	best := inf()
+	for _, id := range subs {
+		if d := x.subs[id].LBDGlobal(a, b); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// mbdAll computes the MBD of every indexed boundary pair.
+func (x *Index) mbdAll(directed bool) map[PairKey]float64 {
+	out := make(map[PairKey]float64)
+	for key, subs := range x.pairSubs {
+		best := inf()
+		for _, id := range subs {
+			if d := x.subs[id].LBDGlobal(key.A, key.B); d < best {
+				best = d
+			}
+		}
+		if best < inf() {
+			out[key] = best
+		}
+	}
+	_ = directed
+	return out
+}
+
+// BoundaryLowerBounds returns, for an arbitrary (possibly non-boundary)
+// global vertex v, a lower bound on the distance within each containing
+// subgraph from v to every boundary vertex of that subgraph.  This implements
+// the Step 1 handling of non-boundary query endpoints (Section 5.3): the
+// returned map is used to attach v to the skeleton graph.
+//
+// The bound used is the exact shortest distance inside the subgraph, which is
+// a valid (and the tightest possible) lower bound for the first/last segment
+// of any path leaving the subgraph through a boundary vertex.
+func (x *Index) BoundaryLowerBounds(v graph.VertexID) map[graph.VertexID]float64 {
+	out := make(map[graph.VertexID]float64)
+	for _, id := range x.part.SubgraphsOf(v) {
+		si := x.subs[id]
+		for bv, d := range si.boundaryDistancesFrom(v) {
+			if cur, ok := out[bv]; !ok || d < cur {
+				out[bv] = d
+			}
+		}
+	}
+	return out
+}
+
+// BoundaryLowerBoundsTo is the directed counterpart of BoundaryLowerBounds:
+// it returns, per boundary vertex b of the subgraphs containing v, a lower
+// bound on the within-subgraph distance travelling from b to v.  For
+// undirected graphs it equals BoundaryLowerBounds.
+func (x *Index) BoundaryLowerBoundsTo(v graph.VertexID) map[graph.VertexID]float64 {
+	if !x.part.Parent().Directed() {
+		return x.BoundaryLowerBounds(v)
+	}
+	out := make(map[graph.VertexID]float64)
+	for _, id := range x.part.SubgraphsOf(v) {
+		si := x.subs[id]
+		for bv, d := range si.boundaryDistancesTo(v) {
+			if cur, ok := out[bv]; !ok || d < cur {
+				out[bv] = d
+			}
+		}
+	}
+	return out
+}
+
+// WithinSubgraphDistance returns the smallest shortest-path distance from s
+// to t measured inside any single subgraph containing both, or +Inf if no
+// subgraph contains both vertices.  KSP-DG uses it to attach a direct edge
+// between two non-boundary query endpoints that share a subgraph.
+func (x *Index) WithinSubgraphDistance(s, t graph.VertexID) float64 {
+	best := inf()
+	for _, id := range x.part.CommonSubgraphs(s, t) {
+		sub := x.part.Subgraph(id)
+		ls, okS := sub.ToLocal(s)
+		lt, okT := sub.ToLocal(t)
+		if !okS || !okT {
+			continue
+		}
+		if d := shortestDistanceLocal(sub, ls, lt); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ApplyUpdates ingests a batch of global edge weight updates: it propagates
+// the new weights to the owning subgraphs' local graphs, refreshes the
+// affected bounding path distances via the EP-Index, recomputes lower bound
+// distances, and updates the skeleton graph edge weights (Algorithm 2).
+//
+// The parent graph itself is not modified; callers that also track the full
+// graph (the master node) apply the same batch there.
+func (x *Index) ApplyUpdates(batch []graph.WeightUpdate) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	// Capture pre-update weights to derive the deltas used for incremental
+	// bounding path distance maintenance.
+	type pendingDelta struct {
+		sub   partition.SubgraphID
+		local graph.EdgeID
+		delta float64
+	}
+	deltas := make([]pendingDelta, 0, len(batch))
+	numEdges := x.part.Parent().NumEdges()
+	for _, u := range batch {
+		if u.Edge < 0 || int(u.Edge) >= numEdges {
+			return fmt.Errorf("dtlp: update for edge %d outside [0,%d)", u.Edge, numEdges)
+		}
+		loc := x.part.Locate(u.Edge)
+		if loc.Subgraph == partition.NoSubgraph {
+			return fmt.Errorf("dtlp: update for edge %d not covered by partition", u.Edge)
+		}
+		old := x.part.Subgraph(loc.Subgraph).Local.Weight(loc.LocalEdge)
+		deltas = append(deltas, pendingDelta{sub: loc.Subgraph, local: loc.LocalEdge, delta: u.NewWeight - old})
+	}
+	// Push new weights into the subgraph local graphs.
+	if _, err := x.part.ApplyUpdates(batch); err != nil {
+		return err
+	}
+	// Update bounding path distances through the EP-Index and collect the
+	// affected subgraphs.
+	affected := make(map[partition.SubgraphID]bool)
+	for _, d := range deltas {
+		if d.delta == 0 {
+			continue
+		}
+		x.subs[d.sub].applyEdgeDelta(d.local, d.delta)
+		affected[d.sub] = true
+	}
+	// Refresh bound distances and LBDs in each affected subgraph, then update
+	// the skeleton edge weights for pairs whose MBD changed.
+	directed := x.part.Parent().Directed()
+	for id := range affected {
+		si := x.subs[id]
+		changed := si.refreshBounds()
+		for _, localPair := range changed {
+			gk := si.globalPairKey(localPair, directed)
+			mbd := x.MBD(gk.A, gk.B)
+			if err := x.skeleton.SetWeight(gk, mbd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises index size for the construction-cost experiments
+// (Figures 15-18) and Table 1.
+type Stats struct {
+	NumSubgraphs        int
+	NumBoundaryVertices int
+	SkeletonVertices    int
+	SkeletonEdges       int
+	NumBoundingPaths    int
+	EPIndexEntries      int // total (edge -> path) entries across all subgraphs
+	ApproxBytes         int64
+}
+
+// Stats returns size statistics of the index.
+func (x *Index) Stats() Stats {
+	st := Stats{
+		NumSubgraphs:        x.part.NumSubgraphs(),
+		NumBoundaryVertices: len(x.part.BoundaryVertices()),
+		SkeletonVertices:    x.skeleton.NumVertices(),
+		SkeletonEdges:       x.skeleton.NumEdges(),
+	}
+	for _, si := range x.subs {
+		st.NumBoundingPaths += si.numPaths
+		st.EPIndexEntries += si.epEntries
+		st.ApproxBytes += si.approxBytes()
+	}
+	st.ApproxBytes += int64(st.SkeletonEdges) * 24
+	return st
+}
+
+func inf() float64 { return infValue }

@@ -1,0 +1,156 @@
+package dtlp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+)
+
+// Skeleton is the second level of DTLP: the skeleton graph Gλ (Section 3.6).
+// Its vertices are the boundary vertices of all subgraphs; two vertices are
+// connected iff they are boundary vertices of a common subgraph with a finite
+// lower bound distance, and the edge weight is the minimum lower bound
+// distance (MBD) between them.
+//
+// The skeleton's topology is fixed once built (bounding paths, and hence
+// reachability within subgraphs, do not depend on weights); only the edge
+// weights change as the underlying graph evolves.  A Skeleton is safe for
+// concurrent readers with a single writer (the index maintenance path).
+type Skeleton struct {
+	directed bool
+	// g is the skeleton graph over compact skeleton vertex ids.
+	g *graph.Graph
+	// globals maps skeleton vertex id -> global boundary vertex id.
+	globals []graph.VertexID
+	toSkel  map[graph.VertexID]graph.VertexID
+
+	mu       sync.RWMutex
+	pairEdge map[PairKey]graph.EdgeID // global pair -> skeleton edge
+}
+
+// buildSkeleton constructs the skeleton graph from the per-pair MBDs.
+func buildSkeleton(part *partition.Partition, mbd map[PairKey]float64, directed bool) (*Skeleton, error) {
+	boundary := part.BoundaryVertices()
+	s := &Skeleton{
+		directed: directed,
+		globals:  append([]graph.VertexID(nil), boundary...),
+		toSkel:   make(map[graph.VertexID]graph.VertexID, len(boundary)),
+		pairEdge: make(map[PairKey]graph.EdgeID, len(mbd)),
+	}
+	for i, v := range s.globals {
+		s.toSkel[v] = graph.VertexID(i)
+	}
+	b := graph.NewBuilder(len(s.globals), directed)
+	// Deterministic edge order: iterate pairs sorted by (A, B).
+	keys := make([]PairKey, 0, len(mbd))
+	for k := range mbd {
+		keys = append(keys, k)
+	}
+	sortPairKeys(keys)
+	for _, k := range keys {
+		sa, okA := s.toSkel[k.A]
+		sb, okB := s.toSkel[k.B]
+		if !okA || !okB {
+			return nil, fmt.Errorf("dtlp: pair (%d,%d) references non-boundary vertex", k.A, k.B)
+		}
+		e, err := b.AddEdge(sa, sb, mbd[k])
+		if err != nil {
+			return nil, fmt.Errorf("dtlp: building skeleton: %w", err)
+		}
+		s.pairEdge[k] = e
+	}
+	s.g = b.Build()
+	return s, nil
+}
+
+func sortPairKeys(keys []PairKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+}
+
+// Graph returns the underlying skeleton graph (vertices are skeleton ids).
+func (s *Skeleton) Graph() *graph.Graph { return s.g }
+
+// Directed reports whether the skeleton graph is directed.
+func (s *Skeleton) Directed() bool { return s.directed }
+
+// NumVertices returns the number of skeleton vertices (boundary vertices).
+func (s *Skeleton) NumVertices() int { return len(s.globals) }
+
+// NumEdges returns the number of skeleton edges.
+func (s *Skeleton) NumEdges() int { return s.g.NumEdges() }
+
+// SkelID translates a global boundary vertex to its skeleton id.
+func (s *Skeleton) SkelID(global graph.VertexID) (graph.VertexID, bool) {
+	id, ok := s.toSkel[global]
+	return id, ok
+}
+
+// GlobalID translates a skeleton id back to the global vertex id.
+func (s *Skeleton) GlobalID(skel graph.VertexID) graph.VertexID { return s.globals[skel] }
+
+// GlobalPath translates a path over skeleton ids into global vertex ids.
+func (s *Skeleton) GlobalPath(p graph.Path) graph.Path {
+	out := graph.Path{Vertices: make([]graph.VertexID, len(p.Vertices)), Dist: p.Dist}
+	for i, v := range p.Vertices {
+		out.Vertices[i] = s.globals[v]
+	}
+	return out
+}
+
+// Weight returns the current MBD weight of the skeleton edge between the
+// global boundary vertices a and b, or +Inf if no such edge exists.
+func (s *Skeleton) Weight(a, b graph.VertexID) float64 {
+	key := MakePairKey(a, b, s.directed)
+	s.mu.RLock()
+	e, ok := s.pairEdge[key]
+	s.mu.RUnlock()
+	if !ok {
+		return infValue
+	}
+	return s.g.Weight(e)
+}
+
+// SetWeight updates the skeleton edge weight for the global pair key to the
+// new MBD.  Pairs without a skeleton edge are ignored (they were unreachable
+// within every subgraph at construction time, which cannot change).
+func (s *Skeleton) SetWeight(key PairKey, mbd float64) error {
+	s.mu.RLock()
+	e, ok := s.pairEdge[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	if mbd < 0 || mbd == infValue {
+		return fmt.Errorf("dtlp: invalid skeleton weight %g for pair (%d,%d)", mbd, key.A, key.B)
+	}
+	_, err := s.g.UpdateWeight(e, mbd)
+	return err
+}
+
+// Snapshot returns a consistent snapshot of the skeleton graph weights for
+// query processing, along with the id mappings needed to interpret it.
+func (s *Skeleton) Snapshot() *SkeletonView {
+	return &SkeletonView{skel: s, snap: s.g.Snapshot()}
+}
+
+// SkeletonView is an immutable view of the skeleton graph taken at a point in
+// time.  In the distributed deployment each worker holds a replica of the
+// skeleton; a SkeletonView models the worker-local copy a query runs against.
+type SkeletonView struct {
+	skel *Skeleton
+	snap *graph.Snapshot
+}
+
+// View returns the weighted view of the skeleton snapshot.
+func (v *SkeletonView) View() graph.WeightedView { return v.snap }
+
+// Skeleton returns the parent skeleton (for id translation).
+func (v *SkeletonView) Skeleton() *Skeleton { return v.skel }

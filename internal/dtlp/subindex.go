@@ -1,0 +1,374 @@
+package dtlp
+
+import (
+	"math"
+	"sort"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/shortest"
+)
+
+var infValue = math.Inf(1)
+
+// BoundingPath is one indexed bounding path between two boundary vertices of
+// a subgraph (Section 3.4).  The vertex/edge sequences are fixed at
+// construction time; only Dist (the current actual distance) and Bound (the
+// current bound distance) change as the graph evolves.
+type BoundingPath struct {
+	// ID is unique within the owning SubgraphIndex.
+	ID int
+	// Pair is the local boundary pair this path connects.
+	Pair PairKey
+	// Vertices is the path in subgraph-local vertex ids.
+	Vertices []graph.VertexID
+	// Edges is the path in subgraph-local edge ids.
+	Edges []graph.EdgeID
+	// Vfrags is ϕ(P): the total number of virtual fragments, i.e. the sum of
+	// initial edge weights along the path.  It never changes.
+	Vfrags float64
+	// Dist is the current actual distance of the path, maintained
+	// incrementally from edge weight deltas.
+	Dist float64
+	// Bound is the current bound distance BD(P): the sum of the ϕ(P)
+	// smallest unit weights in the subgraph.
+	Bound float64
+}
+
+// pairEntry groups the bounding paths of one local boundary pair together
+// with the pair's current lower bound distance.
+type pairEntry struct {
+	key   PairKey // local vertex ids
+	paths []*BoundingPath
+	lbd   float64
+}
+
+// SubgraphIndex is the first level of DTLP for a single subgraph: the
+// bounding paths for every pair of its boundary vertices, the EP-Index
+// mapping local edges to the bounding paths crossing them, and the unit
+// weight bookkeeping needed to compute bound distances.
+type SubgraphIndex struct {
+	sub *partition.Subgraph
+	cfg Config
+
+	pairs   map[PairKey]*pairEntry           // keyed by local pair
+	epIndex map[graph.EdgeID][]*BoundingPath // local edge -> covering paths
+
+	// Unit-weight machinery: sortedUnits holds (unit weight, fragment count)
+	// per edge ordered by unit weight ascending, with running prefix sums for
+	// O(log E) bound distance queries.  It is rebuilt lazily after updates.
+	unitsDirty  bool
+	sortedUnits []unitEntry
+	prefixFrags []float64 // cumulative fragment counts
+	prefixCost  []float64 // cumulative unitWeight*frags
+
+	numPaths  int
+	epEntries int
+}
+
+type unitEntry struct {
+	unit  float64
+	frags float64
+}
+
+// buildSubgraphIndex indexes a single subgraph: for every pair of its
+// boundary vertices it computes up to ξ bounding paths under the vfrag
+// metric, registers them in the EP-Index and derives the pair's LBD.
+func buildSubgraphIndex(sub *partition.Subgraph, cfg Config) (*SubgraphIndex, error) {
+	si := &SubgraphIndex{
+		sub:     sub,
+		cfg:     cfg,
+		pairs:   make(map[PairKey]*pairEntry),
+		epIndex: make(map[graph.EdgeID][]*BoundingPath),
+	}
+	directed := sub.Local.Directed()
+	// The vfrag metric ranks paths by their initial weights: an edge with
+	// initial weight w0 contributes w0 vfrags.
+	vfragOpts := &shortest.Options{Weight: sub.Local.InitialWeight}
+
+	nextID := 0
+	addPair := func(a, b graph.VertexID) {
+		la, okA := sub.ToLocal(a)
+		lb, okB := sub.ToLocal(b)
+		if !okA || !okB {
+			return
+		}
+		key := MakePairKey(la, lb, directed)
+		if _, dup := si.pairs[key]; dup {
+			return
+		}
+		candidates := shortest.KShortestDistinctLengths(sub.Local, key.A, key.B, cfg.Xi, cfg.MaxEnumerate, vfragOpts)
+		if len(candidates) == 0 {
+			return // pair unreachable inside this subgraph
+		}
+		entry := &pairEntry{key: key, lbd: infValue}
+		for _, p := range candidates {
+			bp := &BoundingPath{
+				ID:       nextID,
+				Pair:     key,
+				Vertices: p.Vertices,
+				Vfrags:   p.Dist, // distance under the vfrag metric
+			}
+			nextID++
+			// Record local edge ids and the current actual distance.
+			for i := 0; i+1 < len(p.Vertices); i++ {
+				e, ok := sub.Local.EdgeBetween(p.Vertices[i], p.Vertices[i+1])
+				if !ok {
+					continue
+				}
+				bp.Edges = append(bp.Edges, e)
+				bp.Dist += sub.Local.Weight(e)
+				si.epIndex[e] = append(si.epIndex[e], bp)
+				si.epEntries++
+			}
+			entry.paths = append(entry.paths, bp)
+			si.numPaths++
+		}
+		si.pairs[key] = entry
+	}
+
+	bnd := sub.Boundary
+	for i := 0; i < len(bnd); i++ {
+		for j := i + 1; j < len(bnd); j++ {
+			addPair(bnd[i], bnd[j])
+			if directed {
+				addPair(bnd[j], bnd[i])
+			}
+		}
+	}
+
+	si.unitsDirty = true
+	si.refreshBounds()
+	return si, nil
+}
+
+// Subgraph returns the indexed subgraph.
+func (si *SubgraphIndex) Subgraph() *partition.Subgraph { return si.sub }
+
+// NumPairs returns the number of indexed boundary pairs.
+func (si *SubgraphIndex) NumPairs() int { return len(si.pairs) }
+
+// NumBoundingPaths returns the total number of bounding paths indexed.
+func (si *SubgraphIndex) NumBoundingPaths() int { return si.numPaths }
+
+// EPIndexEntries returns the number of (edge -> path) entries in the
+// EP-Index of this subgraph.
+func (si *SubgraphIndex) EPIndexEntries() int { return si.epEntries }
+
+// BoundingPaths returns the bounding paths of the local pair (la, lb), or nil
+// if the pair is not indexed.
+func (si *SubgraphIndex) BoundingPaths(la, lb graph.VertexID) []*BoundingPath {
+	key := MakePairKey(la, lb, si.sub.Local.Directed())
+	entry, ok := si.pairs[key]
+	if !ok {
+		return nil
+	}
+	return entry.paths
+}
+
+// PathsThroughEdge returns the bounding paths crossing the local edge e (the
+// EP-Index lookup of Algorithm 2).
+func (si *SubgraphIndex) PathsThroughEdge(e graph.EdgeID) []*BoundingPath { return si.epIndex[e] }
+
+// PathSets returns, per local edge, the ids of the bounding paths crossing
+// it.  This is the raw EP-Index content consumed by the MFP-tree compressor.
+func (si *SubgraphIndex) PathSets() map[graph.EdgeID][]int {
+	out := make(map[graph.EdgeID][]int, len(si.epIndex))
+	for e, paths := range si.epIndex {
+		ids := make([]int, len(paths))
+		for i, p := range paths {
+			ids[i] = p.ID
+		}
+		out[e] = ids
+	}
+	return out
+}
+
+// LBDLocal returns the lower bound distance of the local pair (la, lb), or
+// +Inf if the pair is not indexed (e.g. unreachable within the subgraph).
+func (si *SubgraphIndex) LBDLocal(la, lb graph.VertexID) float64 {
+	key := MakePairKey(la, lb, si.sub.Local.Directed())
+	if entry, ok := si.pairs[key]; ok {
+		return entry.lbd
+	}
+	return infValue
+}
+
+// LBDGlobal is LBDLocal with global vertex ids.
+func (si *SubgraphIndex) LBDGlobal(a, b graph.VertexID) float64 {
+	la, okA := si.sub.ToLocal(a)
+	lb, okB := si.sub.ToLocal(b)
+	if !okA || !okB {
+		return infValue
+	}
+	return si.LBDLocal(la, lb)
+}
+
+// globalPairKey translates a local pair key into global vertex ids.
+func (si *SubgraphIndex) globalPairKey(local PairKey, directed bool) PairKey {
+	return MakePairKey(si.sub.ToGlobal(local.A), si.sub.ToGlobal(local.B), directed)
+}
+
+// applyEdgeDelta adjusts the actual distance of every bounding path crossing
+// the local edge e by delta and marks the unit-weight cache dirty.  Called by
+// Index.ApplyUpdates after the subgraph's local weight has been updated.
+func (si *SubgraphIndex) applyEdgeDelta(e graph.EdgeID, delta float64) {
+	for _, bp := range si.epIndex[e] {
+		bp.Dist += delta
+	}
+	si.unitsDirty = true
+}
+
+// refreshBounds recomputes the bound distance of every bounding path and the
+// LBD of every pair from the current unit weights, returning the local pair
+// keys whose LBD changed.
+func (si *SubgraphIndex) refreshBounds() []PairKey {
+	si.rebuildUnitsIfDirty()
+	var changed []PairKey
+	for key, entry := range si.pairs {
+		minDist := infValue
+		maxBound := 0.0
+		for _, bp := range entry.paths {
+			bp.Bound = si.sumSmallestUnits(bp.Vfrags)
+			if bp.Dist < minDist {
+				minDist = bp.Dist
+			}
+			if bp.Bound > maxBound {
+				maxBound = bp.Bound
+			}
+		}
+		// Theorem 1: if the largest bound distance reaches the smallest
+		// actual distance among the bounding paths, that actual distance is
+		// the exact shortest distance; otherwise the largest bound distance
+		// is a valid lower bound.
+		lbd := maxBound
+		if maxBound >= minDist {
+			lbd = minDist
+		}
+		if lbd != entry.lbd {
+			entry.lbd = lbd
+			changed = append(changed, key)
+		}
+	}
+	return changed
+}
+
+// rebuildUnitsIfDirty rebuilds the sorted unit-weight table and its prefix
+// sums from the subgraph's current weights.
+func (si *SubgraphIndex) rebuildUnitsIfDirty() {
+	if !si.unitsDirty && si.sortedUnits != nil {
+		return
+	}
+	g := si.sub.Local
+	n := g.NumEdges()
+	if cap(si.sortedUnits) < n {
+		si.sortedUnits = make([]unitEntry, n)
+		si.prefixFrags = make([]float64, n+1)
+		si.prefixCost = make([]float64, n+1)
+	}
+	si.sortedUnits = si.sortedUnits[:n]
+	for e := 0; e < n; e++ {
+		w0 := g.InitialWeight(graph.EdgeID(e))
+		w := g.Weight(graph.EdgeID(e))
+		frags := w0
+		unit := 0.0
+		if w0 > 0 {
+			unit = w / w0
+		}
+		si.sortedUnits[e] = unitEntry{unit: unit, frags: frags}
+	}
+	sort.Slice(si.sortedUnits, func(i, j int) bool { return si.sortedUnits[i].unit < si.sortedUnits[j].unit })
+	si.prefixFrags = si.prefixFrags[:n+1]
+	si.prefixCost = si.prefixCost[:n+1]
+	si.prefixFrags[0], si.prefixCost[0] = 0, 0
+	for i, u := range si.sortedUnits {
+		si.prefixFrags[i+1] = si.prefixFrags[i] + u.frags
+		si.prefixCost[i+1] = si.prefixCost[i] + u.frags*u.unit
+	}
+	si.unitsDirty = false
+}
+
+// sumSmallestUnits returns the total weight of the phi smallest virtual
+// fragments in the subgraph (greedily taking fragments from the edges with
+// the smallest unit weights).  If the subgraph holds fewer than phi
+// fragments, all of them are summed.
+func (si *SubgraphIndex) sumSmallestUnits(phi float64) float64 {
+	si.rebuildUnitsIfDirty()
+	n := len(si.sortedUnits)
+	if n == 0 || phi <= 0 {
+		return 0
+	}
+	// Binary search for the first prefix holding at least phi fragments.
+	i := sort.Search(n, func(i int) bool { return si.prefixFrags[i+1] >= phi })
+	if i == n {
+		return si.prefixCost[n]
+	}
+	remaining := phi - si.prefixFrags[i]
+	return si.prefixCost[i] + remaining*si.sortedUnits[i].unit
+}
+
+// boundaryDistancesFrom returns the shortest distance within this subgraph
+// from global vertex v to every boundary vertex of the subgraph.  Used when
+// attaching non-boundary query endpoints to the skeleton graph.
+func (si *SubgraphIndex) boundaryDistancesFrom(v graph.VertexID) map[graph.VertexID]float64 {
+	lv, ok := si.sub.ToLocal(v)
+	if !ok {
+		return nil
+	}
+	tree := shortest.Dijkstra(si.sub.Local, lv, nil)
+	out := make(map[graph.VertexID]float64, len(si.sub.Boundary))
+	for _, bv := range si.sub.Boundary {
+		lb, ok := si.sub.ToLocal(bv)
+		if !ok {
+			continue
+		}
+		if tree.Reachable(lb) {
+			out[bv] = tree.Dist[lb]
+		}
+	}
+	return out
+}
+
+// boundaryDistancesTo returns the shortest distance within this subgraph
+// from every boundary vertex of the subgraph to global vertex v.  Used for
+// directed graphs when attaching a non-boundary destination vertex to the
+// skeleton graph.
+func (si *SubgraphIndex) boundaryDistancesTo(v graph.VertexID) map[graph.VertexID]float64 {
+	lv, ok := si.sub.ToLocal(v)
+	if !ok {
+		return nil
+	}
+	out := make(map[graph.VertexID]float64, len(si.sub.Boundary))
+	for _, bv := range si.sub.Boundary {
+		lb, ok := si.sub.ToLocal(bv)
+		if !ok {
+			continue
+		}
+		if d := shortest.ShortestDistance(si.sub.Local, lb, lv, nil); !math.IsInf(d, 1) {
+			out[bv] = d
+		}
+	}
+	return out
+}
+
+// shortestDistanceLocal returns the shortest distance between two local
+// vertices of a subgraph under its current weights.
+func shortestDistanceLocal(sub *partition.Subgraph, s, t graph.VertexID) float64 {
+	return shortest.ShortestDistance(sub.Local, s, t, nil)
+}
+
+// approxBytes estimates the memory footprint of this subgraph's index,
+// counting bounding path vertex/edge slices and EP-Index entries.  Used for
+// the construction-cost experiments.
+func (si *SubgraphIndex) approxBytes() int64 {
+	var b int64
+	for _, entry := range si.pairs {
+		b += 48 // pair bookkeeping
+		for _, bp := range entry.paths {
+			b += int64(len(bp.Vertices))*4 + int64(len(bp.Edges))*4 + 56
+		}
+	}
+	b += int64(si.epEntries) * 8
+	b += int64(len(si.sortedUnits)) * 16
+	return b
+}

@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// buildPaperGraph constructs the 19-vertex example graph G from Figure 3 of
+// the paper (vertices renumbered 0..18 for v1..v19).
+func buildPaperGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder(19, false)
+	edges := []struct {
+		u, v VertexID
+		w    float64
+	}{
+		{0, 1, 3}, {0, 3, 3}, {1, 2, 6}, {1, 4, 3}, {2, 5, 2}, {3, 4, 4},
+		{4, 5, 4}, {3, 6, 3}, {5, 8, 4}, {6, 7, 3}, {7, 8, 5}, {8, 9, 6},
+		{8, 13, 7}, {9, 10, 5}, {10, 11, 3}, {11, 12, 3}, {12, 13, 5},
+		{10, 13, 6}, {12, 15, 5}, {12, 17, 3}, {13, 15, 3}, {15, 16, 2},
+		{16, 17, 2}, {17, 18, 3},
+	}
+	for _, e := range edges {
+		if _, err := b.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", e.u, e.v, err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := buildPaperGraph(t)
+	if got, want := g.NumVertices(), 19; got != want {
+		t.Errorf("NumVertices = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), 24; got != want {
+		t.Errorf("NumEdges = %d, want %d", got, want)
+	}
+	if g.Directed() {
+		t.Errorf("graph should be undirected")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(3, false)
+	if _, err := b.AddEdge(0, 3, 1); err == nil {
+		t.Errorf("expected error for out-of-range vertex")
+	}
+	if _, err := b.AddEdge(-1, 1, 1); err == nil {
+		t.Errorf("expected error for negative vertex")
+	}
+	if _, err := b.AddEdge(1, 1, 1); err == nil {
+		t.Errorf("expected error for self-loop")
+	}
+	if _, err := b.AddEdge(0, 1, -2); err == nil {
+		t.Errorf("expected error for negative weight")
+	}
+}
+
+func TestUndirectedAdjacencySymmetric(t *testing.T) {
+	g := buildPaperGraph(t)
+	for v := VertexID(0); int(v) < g.NumVertices(); v++ {
+		for _, a := range g.Neighbors(v) {
+			found := false
+			for _, back := range g.Neighbors(a.To) {
+				if back.To == v && back.Edge == a.Edge {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("arc %d->%d (edge %d) has no reverse entry", v, a.To, a.Edge)
+			}
+		}
+	}
+}
+
+func TestDirectedAdjacencyOneWay(t *testing.T) {
+	b := NewBuilder(3, true)
+	e01, _ := b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	g := b.Build()
+	if !g.Directed() {
+		t.Fatal("graph should be directed")
+	}
+	if got := len(g.Neighbors(1)); got != 1 {
+		t.Errorf("vertex 1 should have 1 outgoing arc, got %d", got)
+	}
+	if got := len(g.Neighbors(2)); got != 0 {
+		t.Errorf("vertex 2 should have 0 outgoing arcs, got %d", got)
+	}
+	if _, ok := g.EdgeBetween(1, 0); ok {
+		t.Errorf("reverse edge should not exist in directed graph")
+	}
+	if e, ok := g.EdgeBetween(0, 1); !ok || e != e01 {
+		t.Errorf("EdgeBetween(0,1) = %d,%v; want %d,true", e, ok, e01)
+	}
+}
+
+func TestWeightUpdateAndVersion(t *testing.T) {
+	g := buildPaperGraph(t)
+	e, ok := g.EdgeBetween(0, 1)
+	if !ok {
+		t.Fatal("edge (0,1) missing")
+	}
+	if got := g.Weight(e); got != 3 {
+		t.Fatalf("initial weight = %g, want 3", got)
+	}
+	v0 := g.Version()
+	delta, err := g.UpdateWeight(e, 5)
+	if err != nil {
+		t.Fatalf("UpdateWeight: %v", err)
+	}
+	if delta != 2 {
+		t.Errorf("delta = %g, want 2", delta)
+	}
+	if got := g.Weight(e); got != 5 {
+		t.Errorf("weight after update = %g, want 5", got)
+	}
+	if got := g.InitialWeight(e); got != 3 {
+		t.Errorf("initial weight must not change, got %g", got)
+	}
+	if g.Version() != v0+1 {
+		t.Errorf("version should increment by 1")
+	}
+	if _, err := g.UpdateWeight(e, -1); err == nil {
+		t.Errorf("expected error for negative weight")
+	}
+	if _, err := g.UpdateWeight(EdgeID(9999), 1); err == nil {
+		t.Errorf("expected error for out-of-range edge")
+	}
+}
+
+func TestApplyUpdatesAtomicVersion(t *testing.T) {
+	g := buildPaperGraph(t)
+	batch := []WeightUpdate{{Edge: 0, NewWeight: 10}, {Edge: 1, NewWeight: 11}, {Edge: 2, NewWeight: 12}}
+	v0 := g.Version()
+	if err := g.ApplyUpdates(batch); err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
+	if g.Version() != v0+1 {
+		t.Errorf("batch should bump version exactly once")
+	}
+	for _, u := range batch {
+		if got := g.Weight(u.Edge); got != u.NewWeight {
+			t.Errorf("edge %d weight = %g, want %g", u.Edge, got, u.NewWeight)
+		}
+	}
+	// Invalid batches are rejected wholesale.
+	if err := g.ApplyUpdates([]WeightUpdate{{Edge: 0, NewWeight: 1}, {Edge: 9999, NewWeight: 1}}); err == nil {
+		t.Errorf("expected error for invalid batch")
+	}
+	if got := g.Weight(0); got != 10 {
+		t.Errorf("rejected batch must not be partially applied; edge 0 weight = %g, want 10", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	g := buildPaperGraph(t)
+	e, _ := g.EdgeBetween(0, 1)
+	snap := g.Snapshot()
+	if _, err := g.UpdateWeight(e, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Weight(e); got != 3 {
+		t.Errorf("snapshot weight = %g, want 3 (isolated from later updates)", got)
+	}
+	snap2 := g.Snapshot()
+	if got := snap2.Weight(e); got != 100 {
+		t.Errorf("new snapshot weight = %g, want 100", got)
+	}
+	if snap2.Version() <= snap.Version() {
+		t.Errorf("later snapshot should have greater version")
+	}
+	if snap.NumVertices() != g.NumVertices() || snap.NumEdges() != g.NumEdges() {
+		t.Errorf("snapshot topology should match graph")
+	}
+}
+
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	g := buildPaperGraph(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := EdgeID(rng.Intn(g.NumEdges()))
+				if seed%2 == 0 {
+					if _, err := g.UpdateWeight(e, 1+rng.Float64()*10); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					s := g.Snapshot()
+					if s.Weight(e) < 0 {
+						t.Error("observed negative weight")
+						return
+					}
+				}
+			}
+		}(int64(i))
+	}
+	// Let the goroutines race for a short while.
+	for i := 0; i < 1000; i++ {
+		g.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestEdgesAccessor(t *testing.T) {
+	g := buildPaperGraph(t)
+	edges := g.Edges()
+	if len(edges) != g.NumEdges() {
+		t.Fatalf("Edges() returned %d, want %d", len(edges), g.NumEdges())
+	}
+	if edges[0].U != 0 || edges[0].V != 1 || edges[0].Weight != 3 {
+		t.Errorf("edge 0 = %+v, want {0 1 3}", edges[0])
+	}
+}
+
+func TestSortedArcs(t *testing.T) {
+	g := buildPaperGraph(t)
+	arcs := SortedArcs(g, 8)
+	for i := 1; i < len(arcs); i++ {
+		if arcs[i-1].To > arcs[i].To {
+			t.Errorf("SortedArcs not sorted: %v", arcs)
+		}
+	}
+}
+
+// Property: after any sequence of valid updates, Weight(e) equals the last
+// value written and InitialWeight(e) never changes.
+func TestPropertyWeightLastWriteWins(t *testing.T) {
+	g := buildPaperGraph(t)
+	f := func(raw []uint16) bool {
+		last := make(map[EdgeID]float64)
+		for _, r := range raw {
+			e := EdgeID(int(r) % g.NumEdges())
+			w := float64(r%1000) + 1
+			if _, err := g.UpdateWeight(e, w); err != nil {
+				return false
+			}
+			last[e] = w
+		}
+		for e, w := range last {
+			if g.Weight(e) != w {
+				return false
+			}
+		}
+		for e := EdgeID(0); int(e) < g.NumEdges(); e++ {
+			if g.InitialWeight(e) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

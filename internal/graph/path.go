@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Path is a simple (loop-free) path through a graph: a sequence of vertices
+// together with the total distance under the weights it was computed with.
+type Path struct {
+	Vertices []VertexID
+	Dist     float64
+}
+
+// Source returns the first vertex of the path, or NoVertex for an empty path.
+func (p Path) Source() VertexID {
+	if len(p.Vertices) == 0 {
+		return NoVertex
+	}
+	return p.Vertices[0]
+}
+
+// Target returns the last vertex of the path, or NoVertex for an empty path.
+func (p Path) Target() VertexID {
+	if len(p.Vertices) == 0 {
+		return NoVertex
+	}
+	return p.Vertices[len(p.Vertices)-1]
+}
+
+// Len returns the number of edges on the path.
+func (p Path) Len() int {
+	if len(p.Vertices) == 0 {
+		return 0
+	}
+	return len(p.Vertices) - 1
+}
+
+// IsSimple reports whether the path visits no vertex twice.
+func (p Path) IsSimple() bool {
+	seen := make(map[VertexID]struct{}, len(p.Vertices))
+	for _, v := range p.Vertices {
+		if _, dup := seen[v]; dup {
+			return false
+		}
+		seen[v] = struct{}{}
+	}
+	return true
+}
+
+// Contains reports whether v appears on the path.
+func (p Path) Contains(v VertexID) bool {
+	for _, u := range p.Vertices {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	return Path{Vertices: append([]VertexID(nil), p.Vertices...), Dist: p.Dist}
+}
+
+// Equal reports whether two paths visit the same vertex sequence.  Distances
+// are not compared because the same sequence may be evaluated under different
+// weight snapshots.
+func (p Path) Equal(q Path) bool {
+	if len(p.Vertices) != len(q.Vertices) {
+		return false
+	}
+	for i := range p.Vertices {
+		if p.Vertices[i] != q.Vertices[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path as "v0->v1->...->vn (dist)".
+func (p Path) String() string {
+	if len(p.Vertices) == 0 {
+		return "<empty path>"
+	}
+	var b strings.Builder
+	for i, v := range p.Vertices {
+		if i > 0 {
+			b.WriteString("->")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	fmt.Fprintf(&b, " (%.3f)", p.Dist)
+	return b.String()
+}
+
+// EvalDist recomputes the distance of the path's vertex sequence under the
+// weights of view v.  It returns +Inf if a required edge does not exist.
+func (p Path) EvalDist(v WeightedView) float64 {
+	var d float64
+	for i := 0; i+1 < len(p.Vertices); i++ {
+		e, ok := v.EdgeBetween(p.Vertices[i], p.Vertices[i+1])
+		if !ok {
+			return math.Inf(1)
+		}
+		d += v.Weight(e)
+	}
+	return d
+}
+
+// Validate checks that each consecutive vertex pair is connected in view v
+// and that the path is simple.  It returns a descriptive error otherwise.
+func (p Path) Validate(v WeightedView) error {
+	if !p.IsSimple() {
+		return fmt.Errorf("path %s is not simple", p)
+	}
+	for i := 0; i+1 < len(p.Vertices); i++ {
+		if _, ok := v.EdgeBetween(p.Vertices[i], p.Vertices[i+1]); !ok {
+			return fmt.Errorf("path %s uses missing edge (%d,%d)", p, p.Vertices[i], p.Vertices[i+1])
+		}
+	}
+	return nil
+}
+
+// Concat joins p with q, where q must start at p's target.  The shared vertex
+// appears once in the result.  Distances are added.
+func (p Path) Concat(q Path) (Path, error) {
+	if len(p.Vertices) == 0 {
+		return q.Clone(), nil
+	}
+	if len(q.Vertices) == 0 {
+		return p.Clone(), nil
+	}
+	if p.Target() != q.Source() {
+		return Path{}, fmt.Errorf("graph: cannot concat %s with %s: endpoints differ", p, q)
+	}
+	out := Path{
+		Vertices: make([]VertexID, 0, len(p.Vertices)+len(q.Vertices)-1),
+		Dist:     p.Dist + q.Dist,
+	}
+	out.Vertices = append(out.Vertices, p.Vertices...)
+	out.Vertices = append(out.Vertices, q.Vertices[1:]...)
+	return out, nil
+}
+
+// ComparePaths orders paths by distance, breaking ties by lexicographic
+// vertex sequence so orderings are deterministic.  It returns -1, 0 or +1.
+func ComparePaths(a, b Path) int {
+	switch {
+	case a.Dist < b.Dist:
+		return -1
+	case a.Dist > b.Dist:
+		return 1
+	}
+	n := len(a.Vertices)
+	if len(b.Vertices) < n {
+		n = len(b.Vertices)
+	}
+	for i := 0; i < n; i++ {
+		if a.Vertices[i] != b.Vertices[i] {
+			if a.Vertices[i] < b.Vertices[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a.Vertices) < len(b.Vertices):
+		return -1
+	case len(a.Vertices) > len(b.Vertices):
+		return 1
+	}
+	return 0
+}
+
+// PathKey returns a compact string key identifying the vertex sequence of p,
+// suitable for use in maps when deduplicating candidate paths.
+func PathKey(p Path) string {
+	var b strings.Builder
+	b.Grow(len(p.Vertices) * 4)
+	for i, v := range p.Vertices {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package mfptree
+
+import (
+	"sort"
+
+	"kspdg/internal/graph"
+)
+
+// Jaccard returns the Jaccard similarity |A∩B| / |A∪B| of two path id sets.
+// It is the "ideal compressing ratio" the LSH grouping tries to maximise
+// within groups (Section 4.1).
+func Jaccard(a, b []PathID) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[PathID]bool, len(a))
+	for _, p := range a {
+		set[p] = true
+	}
+	inter := 0
+	union := len(set)
+	seen := make(map[PathID]bool, len(b))
+	for _, p := range b {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if set[p] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// splitmix64 is a small, fast, well-mixed 64-bit hash used to derive the
+// MinHash functions.  Each hash function i permutes path ids by hashing
+// (seed, i, pathID).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashPath(seed uint64, fn int, p PathID) uint64 {
+	return splitmix64(seed ^ splitmix64(uint64(fn)*0x9e3779b97f4a7c15+uint64(p)+1))
+}
+
+// Signature computes the MinHash signature (one value per hash function) of
+// a path id set.  Signatures of two sets agree on a fraction of positions
+// that estimates their Jaccard similarity.
+func Signature(set []PathID, cfg Config) []uint64 {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil
+	}
+	sig := make([]uint64, cfg.NumHashes)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+		for _, p := range set {
+			if h := hashPath(cfg.Seed, i, p); h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// lshGroups groups edges whose MinHash signatures collide in at least one
+// band.  Edges in the same group are expected to share many bounding paths.
+// Each edge appears in exactly one group (bands connect groups transitively
+// through a union-find).
+func lshGroups(pathSets map[graph.EdgeID][]PathID, cfg Config) [][]graph.EdgeID {
+	edges := make([]graph.EdgeID, 0, len(pathSets))
+	for e := range pathSets {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	if len(edges) == 0 {
+		return nil
+	}
+
+	// Union-find over edge indices.
+	parent := make([]int, len(edges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	rows := cfg.NumHashes / cfg.Bands
+	sigs := make([][]uint64, len(edges))
+	for i, e := range edges {
+		sigs[i] = Signature(pathSets[e], cfg)
+	}
+	for band := 0; band < cfg.Bands; band++ {
+		buckets := make(map[uint64]int) // band hash -> first edge index
+		for i := range edges {
+			h := uint64(band) + 0x51_7c_c1_b7_27_22_0a_95
+			for r := 0; r < rows; r++ {
+				h = splitmix64(h ^ sigs[i][band*rows+r])
+			}
+			if first, ok := buckets[h]; ok {
+				union(first, i)
+			} else {
+				buckets[h] = i
+			}
+		}
+	}
+
+	groupsByRoot := make(map[int][]graph.EdgeID)
+	for i, e := range edges {
+		r := find(i)
+		groupsByRoot[r] = append(groupsByRoot[r], e)
+	}
+	roots := make([]int, 0, len(groupsByRoot))
+	for r := range groupsByRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]graph.EdgeID, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groupsByRoot[r])
+	}
+	return out
+}

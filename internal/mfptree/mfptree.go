@@ -1,0 +1,285 @@
+// Package mfptree implements the EP-Index compression scheme of Section 4 of
+// the paper: edges whose bounding-path sets are similar (high Jaccard
+// similarity, estimated with MinHash and grouped with banded LSH) are placed
+// in the same group, and within each group the path sets are compacted into a
+// modified FP-tree (MFP-tree) that shares common prefixes.  The per-group
+// trees are merged under a common root, producing the forest Te.
+//
+// The forest supports the same operation the flat EP-Index provides — "give
+// me every bounding path that crosses edge e" — by locating the edge's tail
+// node and walking up exactly |P_e| ancestors, so weight-change maintenance
+// (Algorithm 2) works directly on the compressed representation.
+package mfptree
+
+import (
+	"fmt"
+	"sort"
+
+	"kspdg/internal/graph"
+)
+
+// PathID identifies a bounding path within one subgraph index.
+type PathID = int
+
+// Config controls MinHash signature generation and LSH banding.
+type Config struct {
+	// NumHashes is the number of MinHash functions (rows of the signature
+	// matrix).  Zero means 8.
+	NumHashes int
+	// Bands is the number of LSH bands; it must divide NumHashes.  Zero
+	// means 4.  Edges that collide in at least one band share a group.
+	Bands int
+	// Seed makes signature generation deterministic.
+	Seed uint64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NumHashes == 0 {
+		c.NumHashes = 8
+	}
+	if c.Bands == 0 {
+		c.Bands = 4
+	}
+	if c.NumHashes <= 0 || c.Bands <= 0 {
+		return c, fmt.Errorf("mfptree: NumHashes and Bands must be positive")
+	}
+	if c.NumHashes%c.Bands != 0 {
+		return c, fmt.Errorf("mfptree: Bands (%d) must divide NumHashes (%d)", c.Bands, c.NumHashes)
+	}
+	return c, nil
+}
+
+// node is one MFP-tree node.  Normal nodes carry a bounding path id; tail
+// nodes carry the edge whose path set ends at that node together with the
+// size of that path set.
+type node struct {
+	parent   *node
+	children []*node
+
+	// isTail distinguishes tail (edge) nodes from normal (path) nodes.
+	isTail bool
+	path   PathID       // valid when !isTail
+	edge   graph.EdgeID // valid when isTail
+	setLen int          // valid when isTail: |P_edge|
+}
+
+// Forest is the merged MFP-tree Te for one subgraph's EP-Index.
+type Forest struct {
+	cfg    Config
+	roots  []*node                // one root per group tree
+	tails  map[graph.EdgeID]*node // edge -> its tail node
+	groups [][]graph.EdgeID       // LSH grouping of edges
+	// pathIndex maps a path id to every node carrying it, used to find the
+	// longest matching prefix during insertion.
+	pathIndex map[PathID][]*node
+
+	numNodes       int
+	uncompressed   int // total EP-Index entries (sum of |P_e|)
+	totalPathNodes int // normal nodes in the forest
+}
+
+// Build compresses the given EP-Index content (edge -> path id set) into a
+// merged MFP-tree forest.
+func Build(pathSets map[graph.EdgeID][]PathID, cfg Config) (*Forest, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	f := &Forest{
+		cfg:       cfg,
+		tails:     make(map[graph.EdgeID]*node, len(pathSets)),
+		pathIndex: make(map[PathID][]*node),
+	}
+	for _, set := range pathSets {
+		f.uncompressed += len(set)
+	}
+
+	// Group edges whose path sets are likely similar.
+	f.groups = lshGroups(pathSets, cfg)
+
+	// Build one MFP-tree per group and hang all group roots under the forest.
+	for _, group := range f.groups {
+		root := f.buildGroupTree(group, pathSets)
+		if root != nil {
+			f.roots = append(f.roots, root)
+		}
+	}
+	return f, nil
+}
+
+// buildGroupTree builds the MFP-tree of one edge group.
+func (f *Forest) buildGroupTree(group []graph.EdgeID, pathSets map[graph.EdgeID][]PathID) *node {
+	// Frequency of each path across the group's path sets; paths that occur
+	// in many sets sort first so that shared prefixes align.
+	freq := make(map[PathID]int)
+	for _, e := range group {
+		for _, p := range pathSets[e] {
+			freq[p]++
+		}
+	}
+	root := &node{}
+	f.numNodes++ // group root
+
+	// Deterministic edge order inside the group.
+	edges := append([]graph.EdgeID(nil), group...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+
+	for _, e := range edges {
+		set := pathSets[e]
+		if len(set) == 0 {
+			continue
+		}
+		seq := append([]PathID(nil), set...)
+		sort.Slice(seq, func(i, j int) bool {
+			if freq[seq[i]] != freq[seq[j]] {
+				return freq[seq[i]] > freq[seq[j]]
+			}
+			return seq[i] < seq[j]
+		})
+		f.insert(root, e, seq)
+	}
+	return root
+}
+
+// insert adds the sequence seq followed by the tail node for edge e into the
+// tree rooted at root, reusing the longest matching prefix already present in
+// the forest (the match may start at any node of this group's tree, per the
+// paper's modification of the FP-tree).
+func (f *Forest) insert(root *node, e graph.EdgeID, seq []PathID) {
+	attach, matched := f.longestPrefixNode(root, seq)
+	cur := attach
+	if cur == nil {
+		cur = root
+	}
+	for _, p := range seq[matched:] {
+		child := &node{parent: cur, path: p}
+		cur.children = append(cur.children, child)
+		f.pathIndex[p] = append(f.pathIndex[p], child)
+		f.numNodes++
+		f.totalPathNodes++
+		cur = child
+	}
+	tail := &node{parent: cur, isTail: true, edge: e, setLen: len(seq)}
+	cur.children = append(cur.children, tail)
+	f.tails[e] = tail
+	f.numNodes++
+}
+
+// longestPrefixNode finds the deepest node of a chain matching a prefix of
+// seq within the tree rooted at root.  It returns the last matched node and
+// the number of matched elements (0 if no match, in which case the sequence
+// is inserted at the root).
+func (f *Forest) longestPrefixNode(root *node, seq []PathID) (*node, int) {
+	if len(seq) == 0 {
+		return root, 0
+	}
+	bestNode := (*node)(nil)
+	bestLen := 0
+	// Candidate starting points: every existing node labelled seq[0] that
+	// belongs to this group's tree.
+	for _, start := range f.pathIndex[seq[0]] {
+		if !inTree(start, root) {
+			continue
+		}
+		n := start
+		length := 1
+		for length < len(seq) {
+			var next *node
+			for _, c := range n.children {
+				if !c.isTail && c.path == seq[length] {
+					next = c
+					break
+				}
+			}
+			if next == nil {
+				break
+			}
+			n = next
+			length++
+		}
+		if length > bestLen {
+			bestLen = length
+			bestNode = n
+			if bestLen == len(seq) {
+				break
+			}
+		}
+	}
+	if bestNode == nil {
+		return root, 0
+	}
+	return bestNode, bestLen
+}
+
+// inTree reports whether n belongs to the tree rooted at root.
+func inTree(n, root *node) bool {
+	for cur := n; cur != nil; cur = cur.parent {
+		if cur == root {
+			return true
+		}
+	}
+	return false
+}
+
+// PathsForEdge returns the bounding path ids whose paths cross edge e, by
+// walking up |P_e| ancestors from the edge's tail node.  It returns nil if
+// the edge is unknown.
+func (f *Forest) PathsForEdge(e graph.EdgeID) []PathID {
+	tail, ok := f.tails[e]
+	if !ok {
+		return nil
+	}
+	out := make([]PathID, 0, tail.setLen)
+	cur := tail.parent
+	for i := 0; i < tail.setLen && cur != nil; i++ {
+		out = append(out, cur.path)
+		cur = cur.parent
+	}
+	return out
+}
+
+// VisitPathsForEdge calls visit for every bounding path id crossing edge e.
+// This is the maintenance hook of Algorithm 2 on the compressed index: the
+// caller updates the distance of each visited path by the weight delta.
+func (f *Forest) VisitPathsForEdge(e graph.EdgeID, visit func(PathID)) {
+	tail, ok := f.tails[e]
+	if !ok {
+		return
+	}
+	cur := tail.parent
+	for i := 0; i < tail.setLen && cur != nil; i++ {
+		visit(cur.path)
+		cur = cur.parent
+	}
+}
+
+// Groups returns the LSH edge grouping the forest was built with.
+func (f *Forest) Groups() [][]graph.EdgeID { return f.groups }
+
+// NumEdges returns the number of edges indexed.
+func (f *Forest) NumEdges() int { return len(f.tails) }
+
+// Stats summarises the compression achieved.
+type Stats struct {
+	Edges               int
+	Groups              int
+	UncompressedEntries int     // flat EP-Index entries (one per edge-path pair)
+	PathNodes           int     // normal nodes stored in the forest
+	TotalNodes          int     // including group roots and tail nodes
+	CompressionRatio    float64 // PathNodes / UncompressedEntries (lower is better)
+}
+
+// Stats returns compression statistics.
+func (f *Forest) Stats() Stats {
+	st := Stats{
+		Edges:               len(f.tails),
+		Groups:              len(f.groups),
+		UncompressedEntries: f.uncompressed,
+		PathNodes:           f.totalPathNodes,
+		TotalNodes:          f.numNodes,
+	}
+	if f.uncompressed > 0 {
+		st.CompressionRatio = float64(f.totalPathNodes) / float64(f.uncompressed)
+	}
+	return st
+}

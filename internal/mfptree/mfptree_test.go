@@ -1,0 +1,329 @@
+package mfptree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/testutil"
+)
+
+// figure8PathSets reproduces the EP-Index of Figures 8-9 of the paper: twelve
+// bounding paths P1..P12 between v1 and v10 over fifteen edges.  Edge ids are
+// synthetic; the path sets mirror the figure's columns.
+func figure8PathSets() map[graph.EdgeID][]PathID {
+	return map[graph.EdgeID][]PathID{
+		0:  {4, 5},                // e1,2
+		1:  {1, 6, 7, 8, 9},       // e1,4
+		2:  {2, 3, 9, 10, 11, 12}, // e1,5
+		3:  {4, 5},                // e2,5
+		4:  {6, 7, 9},             // e4,5
+		5:  {1, 8, 9},             // e4,7
+		6:  {10},                  // e5,6
+		7:  {2, 4, 6, 11},         // e5,8
+		8:  {3, 5, 7, 12},         // e5,9
+		9:  {10},                  // e6,9
+		10: {8, 11},               // e7,8
+		11: {12},                  // e8,9
+		12: {1, 9, 11},            // e7,10
+		13: {2, 4, 6, 8, 12},      // e8,10
+		14: {3, 5, 7, 10},         // e9,10
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []PathID
+		want float64
+	}{
+		{[]PathID{1, 2, 3}, []PathID{1, 2, 3}, 1},
+		{[]PathID{1, 2}, []PathID{3, 4}, 0},
+		{[]PathID{1, 2, 3}, []PathID{2, 3, 4}, 0.5},
+		{nil, nil, 1},
+		{[]PathID{1}, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); got != c.want {
+			t.Errorf("Jaccard(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSignatureEstimatesJaccard(t *testing.T) {
+	cfg := Config{NumHashes: 128, Bands: 16, Seed: 42}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		var a, b []PathID
+		for p := 0; p < 60; p++ {
+			r := rng.Float64()
+			if r < 0.4 {
+				a = append(a, p)
+				b = append(b, p)
+			} else if r < 0.7 {
+				a = append(a, p)
+			} else {
+				b = append(b, p)
+			}
+		}
+		sa := Signature(a, cfg)
+		sb := Signature(b, cfg)
+		agree := 0
+		for i := range sa {
+			if sa[i] == sb[i] {
+				agree++
+			}
+		}
+		est := float64(agree) / float64(len(sa))
+		truth := Jaccard(a, b)
+		if est < truth-0.3 || est > truth+0.3 {
+			t.Errorf("trial %d: MinHash estimate %g too far from true Jaccard %g", trial, est, truth)
+		}
+	}
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	cfg := Config{NumHashes: 16, Bands: 4, Seed: 7}
+	set := []PathID{3, 1, 4, 1, 5}
+	if !reflect.DeepEqual(Signature(set, cfg), Signature(set, cfg)) {
+		t.Errorf("signature should be deterministic")
+	}
+	other := Config{NumHashes: 16, Bands: 4, Seed: 8}
+	if reflect.DeepEqual(Signature(set, cfg), Signature(set, other)) {
+		t.Errorf("different seeds should give different signatures")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Build(map[graph.EdgeID][]PathID{}, Config{NumHashes: 10, Bands: 3}); err == nil {
+		t.Errorf("bands not dividing hashes should be rejected")
+	}
+	if _, err := Build(map[graph.EdgeID][]PathID{}, Config{NumHashes: -1, Bands: -1}); err == nil {
+		t.Errorf("negative config should be rejected")
+	}
+	if _, err := Build(map[graph.EdgeID][]PathID{}, Config{}); err != nil {
+		t.Errorf("default config should be accepted: %v", err)
+	}
+}
+
+func TestForestPreservesPathSets(t *testing.T) {
+	sets := figure8PathSets()
+	f, err := Build(sets, Config{NumHashes: 8, Bands: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumEdges() != len(sets) {
+		t.Fatalf("forest indexes %d edges, want %d", f.NumEdges(), len(sets))
+	}
+	for e, want := range sets {
+		got := f.PathsForEdge(e)
+		if len(got) != len(want) {
+			t.Errorf("edge %d: got %d paths, want %d (%v vs %v)", e, len(got), len(want), got, want)
+			continue
+		}
+		gs := append([]PathID(nil), got...)
+		ws := append([]PathID(nil), want...)
+		sort.Ints(gs)
+		sort.Ints(ws)
+		if !reflect.DeepEqual(gs, ws) {
+			t.Errorf("edge %d: path set %v, want %v", e, gs, ws)
+		}
+	}
+	if got := f.PathsForEdge(graph.EdgeID(999)); got != nil {
+		t.Errorf("unknown edge should return nil, got %v", got)
+	}
+}
+
+func TestVisitPathsForEdge(t *testing.T) {
+	sets := figure8PathSets()
+	f, err := Build(sets, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visited []PathID
+	f.VisitPathsForEdge(13, func(p PathID) { visited = append(visited, p) })
+	sort.Ints(visited)
+	want := append([]PathID(nil), sets[13]...)
+	sort.Ints(want)
+	if !reflect.DeepEqual(visited, want) {
+		t.Errorf("visited %v, want %v", visited, want)
+	}
+	called := false
+	f.VisitPathsForEdge(graph.EdgeID(999), func(PathID) { called = true })
+	if called {
+		t.Errorf("visiting unknown edge should not call the callback")
+	}
+}
+
+func TestForestCompresses(t *testing.T) {
+	sets := figure8PathSets()
+	f, err := Build(sets, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Edges != len(sets) {
+		t.Errorf("stats edges = %d, want %d", st.Edges, len(sets))
+	}
+	if st.UncompressedEntries == 0 || st.PathNodes == 0 || st.TotalNodes == 0 {
+		t.Errorf("stats should be populated: %+v", st)
+	}
+	if st.PathNodes > st.UncompressedEntries {
+		t.Errorf("compression should never expand path nodes: %+v", st)
+	}
+	if st.CompressionRatio <= 0 || st.CompressionRatio > 1 {
+		t.Errorf("compression ratio %g out of range", st.CompressionRatio)
+	}
+	if st.Groups != len(f.Groups()) {
+		t.Errorf("group count mismatch")
+	}
+}
+
+func TestGroupsPartitionEdges(t *testing.T) {
+	sets := figure8PathSets()
+	f, err := Build(sets, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[graph.EdgeID]bool)
+	for _, g := range f.Groups() {
+		for _, e := range g {
+			if seen[e] {
+				t.Errorf("edge %d appears in multiple groups", e)
+			}
+			seen[e] = true
+		}
+	}
+	if len(seen) != len(sets) {
+		t.Errorf("groups cover %d edges, want %d", len(seen), len(sets))
+	}
+}
+
+func TestIdenticalPathSetsShareGroup(t *testing.T) {
+	// Edges with identical path sets must always collide in every band and
+	// therefore end up in the same group.
+	sets := map[graph.EdgeID][]PathID{
+		0: {1, 2, 3},
+		1: {1, 2, 3},
+		2: {7, 8, 9, 10},
+		3: {7, 8, 9, 10},
+	}
+	f, err := Build(sets, Config{NumHashes: 8, Bands: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupOf := make(map[graph.EdgeID]int)
+	for gi, g := range f.Groups() {
+		for _, e := range g {
+			groupOf[e] = gi
+		}
+	}
+	if groupOf[0] != groupOf[1] {
+		t.Errorf("edges 0 and 1 with identical sets should share a group")
+	}
+	if groupOf[2] != groupOf[3] {
+		t.Errorf("edges 2 and 3 with identical sets should share a group")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	f, err := Build(map[graph.EdgeID][]PathID{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumEdges() != 0 || len(f.Groups()) != 0 {
+		t.Errorf("empty input should give empty forest")
+	}
+	st := f.Stats()
+	if st.CompressionRatio != 0 {
+		t.Errorf("empty forest ratio = %g, want 0", st.CompressionRatio)
+	}
+}
+
+// Integration: compress the EP-Index produced by the DTLP index of the paper
+// graph and check the compressed forest returns the same path sets.
+func TestCompressDTLPEPIndex(t *testing.T) {
+	g := testutil.PaperGraph()
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sg := range p.Subgraphs {
+		si := x.SubgraphIndex(sg.ID)
+		sets := si.PathSets()
+		if len(sets) == 0 {
+			continue
+		}
+		f, err := Build(sets, Config{Seed: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e, want := range sets {
+			got := f.PathsForEdge(e)
+			gs := append([]PathID(nil), got...)
+			ws := append([]PathID(nil), want...)
+			sort.Ints(gs)
+			sort.Ints(ws)
+			if !reflect.DeepEqual(gs, ws) {
+				t.Errorf("subgraph %d edge %d: compressed set %v != original %v", sg.ID, e, gs, ws)
+			}
+		}
+		st := f.Stats()
+		if st.PathNodes > st.UncompressedEntries {
+			t.Errorf("subgraph %d: compression expanded the index: %+v", sg.ID, st)
+		}
+	}
+}
+
+// Property: for random path sets the forest always returns exactly the
+// original sets, regardless of grouping.
+func TestPropertyForestLossless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numEdges := 2 + rng.Intn(20)
+		numPaths := 2 + rng.Intn(15)
+		sets := make(map[graph.EdgeID][]PathID, numEdges)
+		for e := 0; e < numEdges; e++ {
+			var set []PathID
+			for p := 0; p < numPaths; p++ {
+				if rng.Float64() < 0.4 {
+					set = append(set, p)
+				}
+			}
+			if len(set) == 0 {
+				set = []PathID{rng.Intn(numPaths)}
+			}
+			sets[graph.EdgeID(e)] = set
+		}
+		forest, err := Build(sets, Config{Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		for e, want := range sets {
+			got := forest.PathsForEdge(e)
+			if len(got) != len(want) {
+				return false
+			}
+			gs := append([]PathID(nil), got...)
+			ws := append([]PathID(nil), want...)
+			sort.Ints(gs)
+			sort.Ints(ws)
+			if !reflect.DeepEqual(gs, ws) {
+				return false
+			}
+		}
+		st := forest.Stats()
+		return st.PathNodes <= st.UncompressedEntries
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,401 @@
+// Package partition splits a road network into edge-disjoint subgraphs of
+// bounded size, following Section 3.3 of the paper: starting from an
+// arbitrary vertex the graph is traversed breadth-first and edges are
+// assigned to subgraphs such that every subgraph has at most z vertices,
+// subgraphs may share vertices ("boundary vertices") but never edges, and the
+// union of all subgraphs is the original graph.
+//
+// Each Subgraph materialises its own local graph.Graph over compact local
+// vertex indices so that shortest path searches inside a subgraph cost
+// O(|subgraph|) rather than O(|G|).  The Partition keeps the mapping between
+// global and local identifiers and propagates weight updates from the parent
+// graph to the owning subgraph.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"kspdg/internal/graph"
+)
+
+// SubgraphID identifies a subgraph within a Partition.
+type SubgraphID int32
+
+// NoSubgraph is a sentinel SubgraphID meaning "none".
+const NoSubgraph SubgraphID = -1
+
+// EdgeLocation records which subgraph owns a global edge and the edge's local
+// identifier inside that subgraph.
+type EdgeLocation struct {
+	Subgraph  SubgraphID
+	LocalEdge graph.EdgeID
+}
+
+// Subgraph is one partition element: a bounded-size local graph plus the
+// mappings back to the parent graph.
+type Subgraph struct {
+	// ID is the subgraph's identifier within its Partition.
+	ID SubgraphID
+	// Local is the subgraph materialised over local vertex ids
+	// 0..len(Globals)-1.  Its weights track the parent graph through
+	// Partition.ApplyUpdates.
+	Local *graph.Graph
+	// Globals maps local vertex index -> global VertexID.
+	Globals []graph.VertexID
+	// GlobalEdges maps local edge index -> global EdgeID.
+	GlobalEdges []graph.EdgeID
+	// Boundary lists the global ids of this subgraph's boundary vertices
+	// (vertices shared with at least one other subgraph), sorted ascending.
+	Boundary []graph.VertexID
+
+	toLocal map[graph.VertexID]graph.VertexID
+}
+
+// NumVertices returns the number of vertices in the subgraph.
+func (s *Subgraph) NumVertices() int { return len(s.Globals) }
+
+// NumEdges returns the number of edges owned by the subgraph.
+func (s *Subgraph) NumEdges() int { return len(s.GlobalEdges) }
+
+// ToLocal translates a global vertex id to the subgraph-local id.
+func (s *Subgraph) ToLocal(v graph.VertexID) (graph.VertexID, bool) {
+	l, ok := s.toLocal[v]
+	return l, ok
+}
+
+// ToGlobal translates a subgraph-local vertex id to the global id.
+func (s *Subgraph) ToGlobal(local graph.VertexID) graph.VertexID { return s.Globals[local] }
+
+// Contains reports whether the subgraph contains global vertex v.
+func (s *Subgraph) Contains(v graph.VertexID) bool {
+	_, ok := s.toLocal[v]
+	return ok
+}
+
+// ContainsBoundary reports whether global vertex v is a boundary vertex of
+// this subgraph.
+func (s *Subgraph) ContainsBoundary(v graph.VertexID) bool {
+	i := sort.Search(len(s.Boundary), func(i int) bool { return s.Boundary[i] >= v })
+	return i < len(s.Boundary) && s.Boundary[i] == v
+}
+
+// GlobalPath translates a path expressed in local vertex ids into global ids.
+func (s *Subgraph) GlobalPath(p graph.Path) graph.Path {
+	out := graph.Path{Vertices: make([]graph.VertexID, len(p.Vertices)), Dist: p.Dist}
+	for i, v := range p.Vertices {
+		out.Vertices[i] = s.Globals[v]
+	}
+	return out
+}
+
+// LocalPath translates a path expressed in global vertex ids into local ids.
+// It returns false if any vertex is not part of the subgraph.
+func (s *Subgraph) LocalPath(p graph.Path) (graph.Path, bool) {
+	out := graph.Path{Vertices: make([]graph.VertexID, len(p.Vertices)), Dist: p.Dist}
+	for i, v := range p.Vertices {
+		l, ok := s.toLocal[v]
+		if !ok {
+			return graph.Path{}, false
+		}
+		out.Vertices[i] = l
+	}
+	return out, true
+}
+
+// Partition is the result of partitioning a graph: the set of subgraphs plus
+// global<->local mappings and boundary vertex bookkeeping.
+type Partition struct {
+	// Z is the maximum number of vertices per subgraph the partition was
+	// built with.
+	Z int
+	// Subgraphs lists all subgraphs, indexed by SubgraphID.
+	Subgraphs []*Subgraph
+
+	parent     *graph.Graph
+	edgeLoc    []EdgeLocation                  // global edge -> location
+	vertexSubs map[graph.VertexID][]SubgraphID // global vertex -> subgraphs containing it
+	isBoundary []bool                          // global vertex -> boundary flag
+	boundary   []graph.VertexID                // sorted global boundary vertices
+}
+
+// PartitionGraph partitions g into subgraphs with at most z vertices each
+// using breadth-first traversal.  z must be at least 2 (an edge needs two
+// vertices).
+func PartitionGraph(g *graph.Graph, z int) (*Partition, error) {
+	if z < 2 {
+		return nil, fmt.Errorf("partition: z = %d, need at least 2", z)
+	}
+	n := g.NumVertices()
+	p := &Partition{
+		Z:          z,
+		parent:     g,
+		edgeLoc:    make([]EdgeLocation, g.NumEdges()),
+		vertexSubs: make(map[graph.VertexID][]SubgraphID),
+		isBoundary: make([]bool, n),
+	}
+	for i := range p.edgeLoc {
+		p.edgeLoc[i] = EdgeLocation{Subgraph: NoSubgraph, LocalEdge: graph.NoEdge}
+	}
+
+	edgeAssigned := make([]bool, g.NumEdges())
+	// builders[i] accumulates the edges of subgraph i before materialisation.
+	type pending struct {
+		vertices []graph.VertexID // insertion order
+		inSet    map[graph.VertexID]bool
+		edges    []graph.EdgeID
+	}
+	var pendings []*pending
+
+	// Breadth-first sweep over all vertices; each sweep grows subgraphs until
+	// every edge is assigned.  Iterating vertices in id order makes the
+	// partitioning deterministic.
+	for start := graph.VertexID(0); int(start) < n; start++ {
+		if !hasUnassignedEdge(g, start, edgeAssigned) {
+			continue
+		}
+		// Grow subgraphs seeded at start until all edges reachable from it
+		// are assigned.
+		queue := []graph.VertexID{start}
+		enqueued := map[graph.VertexID]bool{start: true}
+		cur := &pending{inSet: make(map[graph.VertexID]bool)}
+		addVertex := func(v graph.VertexID) {
+			if !cur.inSet[v] {
+				cur.inSet[v] = true
+				cur.vertices = append(cur.vertices, v)
+			}
+		}
+		flush := func() {
+			if len(cur.edges) > 0 {
+				pendings = append(pendings, cur)
+			}
+			cur = &pending{inSet: make(map[graph.VertexID]bool)}
+		}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range g.Neighbors(u) {
+				if edgeAssigned[a.Edge] {
+					continue
+				}
+				// Number of new vertices this edge would add to the current
+				// subgraph.
+				need := 0
+				if !cur.inSet[u] {
+					need++
+				}
+				if !cur.inSet[a.To] {
+					need++
+				}
+				if len(cur.vertices)+need > z {
+					// Current subgraph is full; start a new one.
+					flush()
+				}
+				addVertex(u)
+				addVertex(a.To)
+				cur.edges = append(cur.edges, a.Edge)
+				edgeAssigned[a.Edge] = true
+				if !enqueued[a.To] {
+					enqueued[a.To] = true
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		flush()
+	}
+
+	// Materialise subgraphs.
+	for i, pend := range pendings {
+		id := SubgraphID(i)
+		sg := &Subgraph{
+			ID:          id,
+			Globals:     append([]graph.VertexID(nil), pend.vertices...),
+			GlobalEdges: append([]graph.EdgeID(nil), pend.edges...),
+			toLocal:     make(map[graph.VertexID]graph.VertexID, len(pend.vertices)),
+		}
+		for li, gv := range sg.Globals {
+			sg.toLocal[gv] = graph.VertexID(li)
+			p.vertexSubs[gv] = append(p.vertexSubs[gv], id)
+		}
+		b := graph.NewBuilder(len(sg.Globals), g.Directed())
+		for le, ge := range sg.GlobalEdges {
+			ends := g.EdgeEndpoints(ge)
+			lu := sg.toLocal[ends.U]
+			lv := sg.toLocal[ends.V]
+			if _, err := b.AddEdge(lu, lv, g.InitialWeight(ge)); err != nil {
+				return nil, fmt.Errorf("partition: building subgraph %d: %w", id, err)
+			}
+			p.edgeLoc[ge] = EdgeLocation{Subgraph: id, LocalEdge: graph.EdgeID(le)}
+		}
+		sg.Local = b.Build()
+		// Bring subgraph weights up to the parent's current weights (they may
+		// differ from the initial weights if the graph evolved before
+		// partitioning).
+		var updates []graph.WeightUpdate
+		for le, ge := range sg.GlobalEdges {
+			if w := g.Weight(ge); w != g.InitialWeight(ge) {
+				updates = append(updates, graph.WeightUpdate{Edge: graph.EdgeID(le), NewWeight: w})
+			}
+		}
+		if len(updates) > 0 {
+			if err := sg.Local.ApplyUpdates(updates); err != nil {
+				return nil, err
+			}
+		}
+		p.Subgraphs = append(p.Subgraphs, sg)
+	}
+
+	// Boundary vertices: vertices present in more than one subgraph.
+	for v, subs := range p.vertexSubs {
+		if len(subs) > 1 {
+			p.isBoundary[v] = true
+			p.boundary = append(p.boundary, v)
+		}
+	}
+	sort.Slice(p.boundary, func(i, j int) bool { return p.boundary[i] < p.boundary[j] })
+	for _, sg := range p.Subgraphs {
+		for _, gv := range sg.Globals {
+			if p.isBoundary[gv] {
+				sg.Boundary = append(sg.Boundary, gv)
+			}
+		}
+		sort.Slice(sg.Boundary, func(i, j int) bool { return sg.Boundary[i] < sg.Boundary[j] })
+	}
+	return p, nil
+}
+
+func hasUnassignedEdge(g *graph.Graph, v graph.VertexID, assigned []bool) bool {
+	for _, a := range g.Neighbors(v) {
+		if !assigned[a.Edge] {
+			return true
+		}
+	}
+	return false
+}
+
+// Parent returns the graph this partition was built from.
+func (p *Partition) Parent() *graph.Graph { return p.parent }
+
+// NumSubgraphs returns the number of subgraphs.
+func (p *Partition) NumSubgraphs() int { return len(p.Subgraphs) }
+
+// Subgraph returns the subgraph with the given id.
+func (p *Partition) Subgraph(id SubgraphID) *Subgraph { return p.Subgraphs[id] }
+
+// IsBoundary reports whether global vertex v is a boundary vertex.
+func (p *Partition) IsBoundary(v graph.VertexID) bool { return p.isBoundary[v] }
+
+// BoundaryVertices returns all boundary vertices, sorted ascending.  The
+// returned slice is owned by the partition and must not be modified.
+func (p *Partition) BoundaryVertices() []graph.VertexID { return p.boundary }
+
+// SubgraphsOf returns the ids of the subgraphs containing global vertex v.
+func (p *Partition) SubgraphsOf(v graph.VertexID) []SubgraphID { return p.vertexSubs[v] }
+
+// CommonSubgraphs returns the ids of subgraphs that contain both u and v.
+func (p *Partition) CommonSubgraphs(u, v graph.VertexID) []SubgraphID {
+	var out []SubgraphID
+	for _, a := range p.vertexSubs[u] {
+		for _, b := range p.vertexSubs[v] {
+			if a == b {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Locate returns the owning subgraph and local edge id of global edge e.
+func (p *Partition) Locate(e graph.EdgeID) EdgeLocation { return p.edgeLoc[e] }
+
+// ApplyUpdates propagates a batch of global weight updates to the owning
+// subgraphs' local graphs, and returns the per-subgraph translated batches.
+// The parent graph itself is not modified (callers typically update the
+// parent first and then propagate).
+func (p *Partition) ApplyUpdates(batch []graph.WeightUpdate) (map[SubgraphID][]graph.WeightUpdate, error) {
+	perSub := make(map[SubgraphID][]graph.WeightUpdate)
+	for _, u := range batch {
+		if int(u.Edge) < 0 || int(u.Edge) >= len(p.edgeLoc) {
+			return nil, fmt.Errorf("partition: update for unknown edge %d", u.Edge)
+		}
+		loc := p.edgeLoc[u.Edge]
+		if loc.Subgraph == NoSubgraph {
+			return nil, fmt.Errorf("partition: edge %d not assigned to any subgraph", u.Edge)
+		}
+		perSub[loc.Subgraph] = append(perSub[loc.Subgraph], graph.WeightUpdate{Edge: loc.LocalEdge, NewWeight: u.NewWeight})
+	}
+	for id, ups := range perSub {
+		if err := p.Subgraphs[id].Local.ApplyUpdates(ups); err != nil {
+			return nil, err
+		}
+	}
+	return perSub, nil
+}
+
+// Validate checks the structural invariants of the partition against its
+// parent graph: every edge belongs to exactly one subgraph, edge endpoints
+// are vertices of the owning subgraph, no subgraph exceeds z vertices, and
+// boundary flags are consistent.  Intended for tests and debugging.
+func (p *Partition) Validate() error {
+	seen := make([]bool, p.parent.NumEdges())
+	for _, sg := range p.Subgraphs {
+		if len(sg.Globals) > p.Z {
+			return fmt.Errorf("subgraph %d has %d vertices, exceeds z=%d", sg.ID, len(sg.Globals), p.Z)
+		}
+		for le, ge := range sg.GlobalEdges {
+			if seen[ge] {
+				return fmt.Errorf("edge %d assigned to more than one subgraph", ge)
+			}
+			seen[ge] = true
+			ends := p.parent.EdgeEndpoints(ge)
+			if !sg.Contains(ends.U) || !sg.Contains(ends.V) {
+				return fmt.Errorf("subgraph %d owns edge %d but misses an endpoint", sg.ID, ge)
+			}
+			loc := p.edgeLoc[ge]
+			if loc.Subgraph != sg.ID || loc.LocalEdge != graph.EdgeID(le) {
+				return fmt.Errorf("edge %d location mismatch", ge)
+			}
+		}
+	}
+	for e, ok := range seen {
+		if !ok {
+			return fmt.Errorf("edge %d not assigned to any subgraph", e)
+		}
+	}
+	for v := graph.VertexID(0); int(v) < p.parent.NumVertices(); v++ {
+		want := len(p.vertexSubs[v]) > 1
+		if p.isBoundary[v] != want {
+			return fmt.Errorf("vertex %d boundary flag %v inconsistent with membership count %d",
+				v, p.isBoundary[v], len(p.vertexSubs[v]))
+		}
+	}
+	return nil
+}
+
+// Stats summarises a partition for reporting (Table 1 of the paper).
+type Stats struct {
+	NumSubgraphs          int
+	NumBoundaryVertices   int
+	SubgraphsWithOver5Bnd int // number of subgraphs with more than five boundary vertices
+	MaxSubgraphVertices   int
+	AvgSubgraphVertices   float64
+}
+
+// ComputeStats returns summary statistics of the partition.
+func (p *Partition) ComputeStats() Stats {
+	st := Stats{NumSubgraphs: len(p.Subgraphs), NumBoundaryVertices: len(p.boundary)}
+	total := 0
+	for _, sg := range p.Subgraphs {
+		total += len(sg.Globals)
+		if len(sg.Globals) > st.MaxSubgraphVertices {
+			st.MaxSubgraphVertices = len(sg.Globals)
+		}
+		if len(sg.Boundary) > 5 {
+			st.SubgraphsWithOver5Bnd++
+		}
+	}
+	if len(p.Subgraphs) > 0 {
+		st.AvgSubgraphVertices = float64(total) / float64(len(p.Subgraphs))
+	}
+	return st
+}

@@ -1,0 +1,117 @@
+package shortest
+
+import (
+	"container/heap"
+
+	"kspdg/internal/graph"
+)
+
+// Generator enumerates the k shortest loopless paths from a source to a
+// target one at a time, in ascending order of distance, using Yen's deviation
+// scheme incrementally.  KSP-DG uses a Generator over the skeleton graph to
+// produce reference paths lazily: each iteration consumes one more reference
+// path and the termination test peeks at the next one, so eagerly computing
+// all of them up front would be wasted work.
+type Generator struct {
+	view graph.WeightedView
+	s, t graph.VertexID
+	opts *Options
+
+	produced   []graph.Path
+	candidates pathHeap
+	seen       map[string]bool
+	exhausted  bool
+	started    bool
+}
+
+// NewGenerator creates a Generator for paths from s to t under opts.
+func NewGenerator(v graph.WeightedView, s, t graph.VertexID, opts *Options) *Generator {
+	return &Generator{view: v, s: s, t: t, opts: opts, seen: make(map[string]bool)}
+}
+
+// Produced returns the paths generated so far, in order.
+func (g *Generator) Produced() []graph.Path { return g.produced }
+
+// Next returns the next shortest path that has not been returned yet.  The
+// second return value is false when no further simple path exists.
+func (g *Generator) Next() (graph.Path, bool) {
+	if g.exhausted {
+		return graph.Path{}, false
+	}
+	if !g.started {
+		g.started = true
+		if g.s == g.t {
+			p := graph.Path{Vertices: []graph.VertexID{g.s}}
+			g.produced = append(g.produced, p)
+			g.exhausted = true
+			return p, true
+		}
+		first, ok := ShortestPath(g.view, g.s, g.t, g.opts)
+		if !ok {
+			g.exhausted = true
+			return graph.Path{}, false
+		}
+		g.produced = append(g.produced, first)
+		g.seen[graph.PathKey(first)] = true
+		heap.Init(&g.candidates)
+		return first, true
+	}
+	// Deviate from the most recently produced path, then pop the best
+	// candidate accumulated so far.
+	prev := g.produced[len(g.produced)-1]
+	for j := 0; j < prev.Len(); j++ {
+		spur := prev.Vertices[j]
+		rootVerts := prev.Vertices[:j+1]
+
+		banEdges := make(map[graph.EdgeID]bool)
+		if g.opts != nil {
+			for e := range g.opts.ForbiddenEdges {
+				banEdges[e] = true
+			}
+		}
+		for _, p := range g.produced {
+			if p.Len() > j && samePrefix(p.Vertices, rootVerts) {
+				if e, ok := g.view.EdgeBetween(p.Vertices[j], p.Vertices[j+1]); ok {
+					banEdges[e] = true
+				}
+			}
+		}
+		banVerts := make(map[graph.VertexID]bool)
+		if g.opts != nil {
+			for u := range g.opts.ForbiddenVertices {
+				banVerts[u] = true
+			}
+		}
+		for _, u := range rootVerts[:j] {
+			banVerts[u] = true
+		}
+
+		spurOpts := &Options{ForbiddenVertices: banVerts, ForbiddenEdges: banEdges}
+		if g.opts != nil {
+			spurOpts.Weight = g.opts.Weight
+		}
+		spurPath, ok := ShortestPath(g.view, spur, g.t, spurOpts)
+		if !ok {
+			continue
+		}
+		rootPath := graph.Path{Vertices: append([]graph.VertexID(nil), rootVerts...)}
+		rootPath.Dist = pathDist(g.view, rootPath.Vertices, g.opts)
+		total, err := rootPath.Concat(spurPath)
+		if err != nil || !total.IsSimple() {
+			continue
+		}
+		key := graph.PathKey(total)
+		if g.seen[key] {
+			continue
+		}
+		g.seen[key] = true
+		heap.Push(&g.candidates, total)
+	}
+	if g.candidates.Len() == 0 {
+		g.exhausted = true
+		return graph.Path{}, false
+	}
+	next := heap.Pop(&g.candidates).(graph.Path)
+	g.produced = append(g.produced, next)
+	return next, true
+}

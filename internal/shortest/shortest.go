@@ -1,0 +1,159 @@
+// Package shortest implements single-source shortest path search (Dijkstra)
+// and Yen's algorithm for k shortest loopless paths.  These are the
+// sequential building blocks that both the DTLP index construction and the
+// KSP-DG refine step (partial k shortest paths within a subgraph) rely on, as
+// well as the centralized baselines evaluated in the paper.
+//
+// All algorithms operate on a graph.WeightedView, so they work on live
+// graphs, snapshots, and partitioned subgraphs alike.  An Options value can
+// substitute a different weight function (used by the DTLP index, which
+// searches under initial-weight/vfrag metrics) and can forbid vertices or
+// edges (used by Yen's deviation step).
+package shortest
+
+import (
+	"math"
+
+	"kspdg/internal/graph"
+)
+
+// WeightFunc maps an edge to the weight used during search.  It allows
+// searching under a metric other than the view's current weights (for
+// example, the initial weights that define virtual fragments in DTLP).
+type WeightFunc func(graph.EdgeID) float64
+
+// Options configures a shortest path search.  The zero value (or nil pointer)
+// searches under the view's current weights with nothing forbidden.
+type Options struct {
+	// Weight substitutes the edge weight function.  Nil means the view's
+	// current weights.
+	Weight WeightFunc
+	// ForbiddenVertices are excluded from the search (they can be neither
+	// visited nor relaxed).  The source is never excluded.
+	ForbiddenVertices map[graph.VertexID]bool
+	// ForbiddenEdges are excluded from the search.
+	ForbiddenEdges map[graph.EdgeID]bool
+}
+
+func (o *Options) weightFn(v graph.WeightedView) WeightFunc {
+	if o != nil && o.Weight != nil {
+		return o.Weight
+	}
+	return v.Weight
+}
+
+func (o *Options) vertexForbidden(u graph.VertexID) bool {
+	return o != nil && o.ForbiddenVertices != nil && o.ForbiddenVertices[u]
+}
+
+func (o *Options) edgeForbidden(e graph.EdgeID) bool {
+	return o != nil && o.ForbiddenEdges != nil && o.ForbiddenEdges[e]
+}
+
+// Tree is a shortest path tree rooted at Source, as produced by Dijkstra.
+// Dist[v] is +Inf for unreachable vertices.
+type Tree struct {
+	Source     graph.VertexID
+	Dist       []float64
+	Parent     []graph.VertexID
+	ParentEdge []graph.EdgeID
+}
+
+// Reachable reports whether t contains a path from the source to v.
+func (t *Tree) Reachable(v graph.VertexID) bool {
+	return !math.IsInf(t.Dist[v], 1)
+}
+
+// PathTo reconstructs the shortest path from the tree's source to v.
+// The second return value is false if v is unreachable.
+func (t *Tree) PathTo(v graph.VertexID) (graph.Path, bool) {
+	if !t.Reachable(v) {
+		return graph.Path{}, false
+	}
+	var rev []graph.VertexID
+	for u := v; u != graph.NoVertex; u = t.Parent[u] {
+		rev = append(rev, u)
+		if u == t.Source {
+			break
+		}
+	}
+	verts := make([]graph.VertexID, len(rev))
+	for i, u := range rev {
+		verts[len(rev)-1-i] = u
+	}
+	return graph.Path{Vertices: verts, Dist: t.Dist[v]}, true
+}
+
+// Dijkstra computes the full shortest path tree from source s under opts.
+func Dijkstra(v graph.WeightedView, s graph.VertexID, opts *Options) *Tree {
+	return dijkstra(v, s, graph.NoVertex, opts)
+}
+
+// ShortestPath computes one shortest path from s to t under opts.  The search
+// stops as soon as t is settled.  The second return value is false if t is
+// unreachable.
+func ShortestPath(v graph.WeightedView, s, t graph.VertexID, opts *Options) (graph.Path, bool) {
+	if s == t {
+		return graph.Path{Vertices: []graph.VertexID{s}}, true
+	}
+	tree := dijkstra(v, s, t, opts)
+	return tree.PathTo(t)
+}
+
+// ShortestDistance returns only the shortest distance from s to t, or +Inf if
+// t is unreachable.
+func ShortestDistance(v graph.WeightedView, s, t graph.VertexID, opts *Options) float64 {
+	if s == t {
+		return 0
+	}
+	tree := dijkstra(v, s, t, opts)
+	return tree.Dist[t]
+}
+
+// dijkstra runs Dijkstra's algorithm from s.  If target is a valid vertex the
+// search terminates once target is settled (its distance is then exact);
+// distances of unsettled vertices are upper bounds in that case.
+func dijkstra(v graph.WeightedView, s, target graph.VertexID, opts *Options) *Tree {
+	n := v.NumVertices()
+	t := &Tree{
+		Source:     s,
+		Dist:       make([]float64, n),
+		Parent:     make([]graph.VertexID, n),
+		ParentEdge: make([]graph.EdgeID, n),
+	}
+	inf := math.Inf(1)
+	for i := range t.Dist {
+		t.Dist[i] = inf
+		t.Parent[i] = graph.NoVertex
+		t.ParentEdge[i] = graph.NoEdge
+	}
+	weight := opts.weightFn(v)
+	t.Dist[s] = 0
+
+	pq := newVertexHeap(n)
+	pq.push(s, 0)
+	settled := make([]bool, n)
+	for pq.len() > 0 {
+		u, du := pq.pop()
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		if u == target {
+			break
+		}
+		for _, a := range v.Neighbors(u) {
+			if settled[a.To] || opts.vertexForbidden(a.To) || opts.edgeForbidden(a.Edge) {
+				continue
+			}
+			nd := du + weight(a.Edge)
+			if nd < t.Dist[a.To] {
+				t.Dist[a.To] = nd
+				t.Parent[a.To] = u
+				t.ParentEdge[a.To] = a.Edge
+				pq.push(a.To, nd)
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,174 @@
+package shortest
+
+import (
+	"container/heap"
+
+	"kspdg/internal/graph"
+)
+
+// Yen computes up to k shortest loopless (simple) paths from s to t in
+// ascending order of distance, following Yen's classic deviation algorithm
+// [Yen 1971].  Fewer than k paths are returned if the graph does not contain
+// k distinct simple paths from s to t.
+//
+// opts applies to every underlying shortest path search: a custom weight
+// function affects the metric the paths are ranked by, and forbidden
+// vertices/edges are excluded everywhere (in addition to Yen's own deviation
+// bans).
+func Yen(v graph.WeightedView, s, t graph.VertexID, k int, opts *Options) []graph.Path {
+	if k <= 0 {
+		return nil
+	}
+	if s == t {
+		return []graph.Path{{Vertices: []graph.VertexID{s}}}
+	}
+	first, ok := ShortestPath(v, s, t, opts)
+	if !ok {
+		return nil
+	}
+	result := []graph.Path{first}
+	seen := map[string]bool{graph.PathKey(first): true}
+	candidates := &pathHeap{}
+	heap.Init(candidates)
+
+	for len(result) < k {
+		prev := result[len(result)-1]
+		// Deviate from every spur node of the previously found path.
+		for j := 0; j < prev.Len(); j++ {
+			spur := prev.Vertices[j]
+			rootVerts := prev.Vertices[:j+1]
+
+			banEdges := make(map[graph.EdgeID]bool)
+			if opts != nil {
+				for e := range opts.ForbiddenEdges {
+					banEdges[e] = true
+				}
+			}
+			// Ban the edge that each already-accepted path with the same
+			// root prefix takes out of the spur node.
+			for _, p := range result {
+				if p.Len() > j && samePrefix(p.Vertices, rootVerts) {
+					if e, ok := v.EdgeBetween(p.Vertices[j], p.Vertices[j+1]); ok {
+						banEdges[e] = true
+					}
+				}
+			}
+			// Ban the root path vertices (except the spur node) so the spur
+			// path cannot loop back into the root.
+			banVerts := make(map[graph.VertexID]bool)
+			if opts != nil {
+				for u := range opts.ForbiddenVertices {
+					banVerts[u] = true
+				}
+			}
+			for _, u := range rootVerts[:j] {
+				banVerts[u] = true
+			}
+
+			spurOpts := &Options{ForbiddenVertices: banVerts, ForbiddenEdges: banEdges}
+			if opts != nil {
+				spurOpts.Weight = opts.Weight
+			}
+			spurPath, ok := ShortestPath(v, spur, t, spurOpts)
+			if !ok {
+				continue
+			}
+			rootPath := graph.Path{Vertices: append([]graph.VertexID(nil), rootVerts...)}
+			rootPath.Dist = pathDist(v, rootPath.Vertices, opts)
+			total, err := rootPath.Concat(spurPath)
+			if err != nil || !total.IsSimple() {
+				continue
+			}
+			key := graph.PathKey(total)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			heap.Push(candidates, total)
+		}
+		if candidates.Len() == 0 {
+			break
+		}
+		next := heap.Pop(candidates).(graph.Path)
+		result = append(result, next)
+	}
+	return result
+}
+
+// samePrefix reports whether p begins with exactly the vertices of prefix.
+func samePrefix(p, prefix []graph.VertexID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathDist sums the weights along a vertex sequence under opts.
+func pathDist(v graph.WeightedView, verts []graph.VertexID, opts *Options) float64 {
+	weight := opts.weightFn(v)
+	var d float64
+	for i := 0; i+1 < len(verts); i++ {
+		e, ok := v.EdgeBetween(verts[i], verts[i+1])
+		if !ok {
+			return 0
+		}
+		d += weight(e)
+	}
+	return d
+}
+
+// pathHeap is a min-heap of candidate paths ordered by ComparePaths.
+type pathHeap []graph.Path
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return graph.ComparePaths(h[i], h[j]) < 0 }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(graph.Path)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// KShortestDistinctLengths returns the shortest paths from s to t whose
+// length (under the search metric) falls into the `limit` smallest distinct
+// length classes.  Paths sharing the same length class are all kept but the
+// class counts only once towards limit.  This is the enumeration primitive
+// used by DTLP bounding path selection, where "bounding paths containing the
+// same number of vfrags are counted as only one path" (Section 3.4).
+//
+// The metric is given by opts.Weight (typically initial weights, so the path
+// length equals the vfrag count).  Enumeration generates at most maxEnumerate
+// candidate paths to bound worst-case cost; the result is therefore capped at
+// maxEnumerate paths even when a length class has more ties.
+func KShortestDistinctLengths(v graph.WeightedView, s, t graph.VertexID, limit, maxEnumerate int, opts *Options) []graph.Path {
+	if limit <= 0 {
+		return nil
+	}
+	if maxEnumerate < limit {
+		maxEnumerate = limit
+	}
+	all := Yen(v, s, t, maxEnumerate, opts)
+	var out []graph.Path
+	seen := make(map[int64]bool, limit)
+	for _, p := range all {
+		// Path lengths under the vfrag metric are sums of integer initial
+		// weights; rounding guards against floating point noise.
+		key := int64(p.Dist*1000 + 0.5)
+		if !seen[key] {
+			if len(seen) >= limit {
+				break
+			}
+			seen[key] = true
+		}
+		out = append(out, p)
+	}
+	return out
+}
