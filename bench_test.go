@@ -7,7 +7,10 @@ package kspdg_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"kspdg/internal/baseline"
 	"kspdg/internal/cluster"
@@ -16,6 +19,7 @@ import (
 	"kspdg/internal/graph"
 	"kspdg/internal/mfptree"
 	"kspdg/internal/partition"
+	"kspdg/internal/serve"
 	"kspdg/internal/shortest"
 	"kspdg/internal/workload"
 )
@@ -373,6 +377,78 @@ func BenchmarkAblationPairCache(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkConcurrentQueries measures the serve layer under the mixed regime
+// the paper targets: a pool of concurrent queries answered against immutable
+// index epochs while weight-update batches land in flight, each publishing a
+// new epoch (and invalidating the per-query result cache).
+func BenchmarkConcurrentQueries(b *testing.B) {
+	ds, err := workload.BuiltinDataset("NY", workload.ScaleTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := partition.PartitionGraph(ds.Graph, ds.DefaultZ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	index, err := dtlp.Build(part, dtlp.Config{Xi: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// MaxIterations keeps the rare pathological query from dominating the
+	// measurement; the benchmark tracks scheduling throughput, exactness is
+	// covered by internal/difftest.
+	srv := serve.New(index, nil, serve.Options{Engine: core.Options{MaxIterations: 200}})
+	defer srv.Close()
+
+	qs := workload.NewQueryGenerator(ds.Graph.NumVertices(), 7).Batch(64)
+	tm := workload.NewTrafficModel(0.1, 0.3, 3)
+
+	// Background writer: one update batch every few milliseconds until the
+	// benchmark stops.
+	done := make(chan struct{})
+	var updater sync.WaitGroup
+	updater.Add(1)
+	go func() {
+		defer updater.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				batch, err := tm.Step(ds.Graph)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := srv.ApplyUpdates(batch); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := qs[int(next.Add(1))%len(qs)]
+			if _, err := srv.Query(q.Source, q.Target, 4); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(done)
+	updater.Wait()
+	st := srv.Stats()
+	b.ReportMetric(float64(st.CacheHits)/float64(max(st.QueriesServed, 1)), "cachehit/query")
+	b.ReportMetric(float64(st.Epoch), "epochs")
 }
 
 // BenchmarkAblationVfragYen covers the vfrag ablation indirectly: the cost of

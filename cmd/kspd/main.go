@@ -1,17 +1,20 @@
 // Command kspd runs the distributed KSP-DG deployment over TCP: worker
 // processes host subgraphs and answer partial-KSP requests, and a master
-// process builds the DTLP index, drives the filter/refine iterations, and
-// fans the refine step out to the workers — the same roles the paper assigns
-// to SubgraphBolts and QueryBolts on Storm (Section 6.1).
+// process builds the DTLP index, serves concurrent snapshot-isolated queries
+// through the serve layer, and fans the refine step out to the workers — the
+// same roles the paper assigns to SubgraphBolts and QueryBolts on Storm
+// (Section 6.1).
 //
 // All processes derive the same dataset and partition deterministically from
-// the shared flags, so no graph shipping is needed.
+// the shared flags, so no graph shipping is needed.  The master replays a
+// mixed workload: random queries flow through a bounded worker pool while
+// weight-update batches land in between, each published as a new index epoch.
 //
 // Start two workers and a master on one machine:
 //
 //	kspd -mode worker -dataset NY -scale tiny -worker-id 0 -num-workers 2 -listen 127.0.0.1:7001 &
 //	kspd -mode worker -dataset NY -scale tiny -worker-id 1 -num-workers 2 -listen 127.0.0.1:7002 &
-//	kspd -mode master -dataset NY -scale tiny -num-workers 2 -connect 127.0.0.1:7001,127.0.0.1:7002 -queries 50 -k 3
+//	kspd -mode master -dataset NY -scale tiny -num-workers 2 -connect 127.0.0.1:7001,127.0.0.1:7002 -queries 50 -k 3 -update-batches 3
 package main
 
 import (
@@ -26,7 +29,9 @@ import (
 	"kspdg/internal/cluster"
 	"kspdg/internal/core"
 	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
 	"kspdg/internal/partition"
+	"kspdg/internal/serve"
 	"kspdg/internal/workload"
 )
 
@@ -44,6 +49,10 @@ func main() {
 		queries    = flag.Int("queries", 20, "number of random queries to run (master mode)")
 		k          = flag.Int("k", 2, "k shortest paths per query (master mode)")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		batches    = flag.Int("update-batches", 2, "weight-update batches interleaved with the queries (master mode)")
+		alpha      = flag.Float64("alpha", 0.2, "fraction of edges perturbed per update batch")
+		tau        = flag.Float64("tau", 0.3, "relative weight variation per update batch")
+		conc       = flag.Int("concurrency", 0, "query worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -67,7 +76,17 @@ func main() {
 	case "worker":
 		runWorker(part, *workerID, *numWorkers, *listen)
 	case "master":
-		runMaster(ds, part, *xi, *connect, *queries, *k, *seed)
+		runMaster(ds, part, masterConfig{
+			xi:      *xi,
+			connect: *connect,
+			queries: *queries,
+			k:       *k,
+			seed:    *seed,
+			batches: *batches,
+			alpha:   *alpha,
+			tau:     *tau,
+			conc:    *conc,
+		})
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want worker or master)", *mode))
 	}
@@ -97,7 +116,11 @@ func runWorker(part *partition.Partition, workerID, numWorkers int, listen strin
 			owned = append(owned, partition.SubgraphID(i))
 		}
 	}
-	srv, err := cluster.Serve(listen, cluster.NewWorker(workerID, part, owned))
+	worker := cluster.NewWorker(workerID, part, owned)
+	// A standalone worker maintains its own copy of the weights; incoming
+	// update batches must be applied locally.
+	worker.EnableLocalApply()
+	srv, err := cluster.Serve(listen, worker)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,13 +131,26 @@ func runWorker(part *partition.Partition, workerID, numWorkers int, listen strin
 	_ = srv.Close()
 }
 
-// runMaster builds the DTLP index, connects to the workers, and processes a
-// batch of random queries, reporting timing and per-query statistics.
-func runMaster(ds *workload.Dataset, part *partition.Partition, xi int, connect string, numQueries, k int, seed int64) {
+type masterConfig struct {
+	xi      int
+	connect string
+	queries int
+	k       int
+	seed    int64
+	batches int
+	alpha   float64
+	tau     float64
+	conc    int
+}
+
+// runMaster builds the DTLP index, connects to the workers, and replays a
+// mixed query/update workload through the concurrent snapshot-isolated serve
+// layer, reporting timing and scheduling statistics.
+func runMaster(ds *workload.Dataset, part *partition.Partition, cfg masterConfig) {
 	fmt.Printf("kspd master: dataset %s, %d vertices, %d edges, %d subgraphs\n",
 		ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), part.NumSubgraphs())
 	start := time.Now()
-	index, err := dtlp.Build(part, dtlp.Config{Xi: xi})
+	index, err := dtlp.Build(part, dtlp.Config{Xi: cfg.xi})
 	if err != nil {
 		fatal(err)
 	}
@@ -122,9 +158,10 @@ func runMaster(ds *workload.Dataset, part *partition.Partition, xi int, connect 
 		time.Since(start).Round(time.Millisecond), index.Skeleton().NumVertices(), index.Skeleton().NumEdges())
 
 	var provider core.PartialProvider
-	if connect != "" {
+	var broadcast func([]graph.WeightUpdate) error
+	if cfg.connect != "" {
 		var remotes []*cluster.RemoteWorker
-		for _, addr := range strings.Split(connect, ",") {
+		for _, addr := range strings.Split(cfg.connect, ",") {
 			addr = strings.TrimSpace(addr)
 			if addr == "" {
 				continue
@@ -138,28 +175,43 @@ func runMaster(ds *workload.Dataset, part *partition.Partition, xi int, connect 
 			fmt.Printf("kspd master: connected to worker %s\n", addr)
 		}
 		provider = cluster.NewRemoteProvider(remotes)
+		broadcast = func(batch []graph.WeightUpdate) error {
+			for _, rw := range remotes {
+				if _, err := rw.ApplyUpdates(batch); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 	} else {
 		fmt.Println("kspd master: no -connect given, running the refine step locally")
 	}
-	engine := core.NewEngine(index, provider, core.Options{})
+	srv := serve.New(index, provider, serve.Options{Workers: cfg.conc, Broadcast: broadcast})
+	defer srv.Close()
 
-	qs := workload.NewQueryGenerator(ds.Graph.NumVertices(), seed).Batch(numQueries)
-	start = time.Now()
+	sc := workload.GenerateMixed(ds.Graph, cfg.queries, cfg.batches, cfg.k, cfg.alpha, cfg.tau, cfg.seed)
+	report, err := srv.RunScenario(sc)
+	if err != nil {
+		fatal(err)
+	}
+	if errs := report.Errs(); len(errs) > 0 {
+		fatal(errs[0])
+	}
 	totalIter := 0
-	for i, q := range qs {
-		res, err := engine.Query(q.Source, q.Target, k)
-		if err != nil {
-			fatal(err)
-		}
-		totalIter += res.Iterations
+	for i, qr := range report.Results {
+		totalIter += qr.Result.Iterations
 		if i < 3 {
-			fmt.Printf("  query %d: %d -> %d, %d paths, best %.1f, %d iterations, %v\n",
-				i, q.Source, q.Target, len(res.Paths), bestDist(res), res.Iterations, res.Elapsed.Round(time.Microsecond))
+			fmt.Printf("  query %d: %d -> %d, %d paths, best %.1f, epoch %d, %d iterations, %v\n",
+				i, qr.Query.Source, qr.Query.Target, len(qr.Result.Paths), bestDist(qr.Result),
+				qr.Result.Epoch, qr.Result.Iterations, qr.Result.Elapsed.Round(time.Microsecond))
 		}
 	}
-	elapsed := time.Since(start)
-	fmt.Printf("kspd master: %d queries (k=%d) in %v, avg %.2f iterations/query\n",
-		len(qs), k, elapsed.Round(time.Millisecond), float64(totalIter)/float64(len(qs)))
+	st := srv.Stats()
+	fmt.Printf("kspd master: %d queries (k=%d) + %d update batches in %v, avg %.2f iterations/query\n",
+		len(report.Results), cfg.k, report.BatchesApplied, report.Elapsed.Round(time.Millisecond),
+		float64(totalIter)/float64(max(len(report.Results), 1)))
+	fmt.Printf("kspd master: epoch %d, %d cache hits, %d coalesced, %d edge updates applied\n",
+		st.Epoch, st.CacheHits, st.Coalesced, st.UpdatesApplied)
 }
 
 func bestDist(res core.Result) float64 {

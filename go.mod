@@ -1,0 +1,3 @@
+module kspdg
+
+go 1.24

@@ -12,7 +12,7 @@ import (
 )
 
 func TestYenBaselineMatchesOracle(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	alg := NewYen(g)
 	if alg.Name() != "Yen" {
 		t.Errorf("name = %q", alg.Name())
@@ -36,7 +36,7 @@ func TestYenBaselineMatchesOracle(t *testing.T) {
 }
 
 func TestFindKSPMatchesYen(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	alg := NewFindKSP(g)
 	if alg.Name() != "FindKSP" {
 		t.Errorf("name = %q", alg.Name())
@@ -68,7 +68,7 @@ func TestFindKSPMatchesYen(t *testing.T) {
 }
 
 func TestFindKSPEdgeCases(t *testing.T) {
-	g := testutil.LineGraph(5)
+	g := testutil.LineGraph(t, 5)
 	alg := NewFindKSP(g)
 	if got, _ := alg.Query(2, 2, 3); len(got) != 1 || got[0].Len() != 0 {
 		t.Errorf("s==t should return trivial path, got %v", got)
@@ -109,7 +109,7 @@ func TestFindKSPDirected(t *testing.T) {
 }
 
 func TestCANDSMatchesDijkstra(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	c, err := NewCANDS(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -154,14 +154,14 @@ func TestCANDSMatchesDijkstra(t *testing.T) {
 }
 
 func TestCANDSMaintenance(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	c, err := NewCANDS(g, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := c.RecomputedPairs
 	rng := rand.New(rand.NewSource(11))
-	batch := testutil.PerturbWeights(g, rng, 0.5, 0.5, 0.1)
+	batch := testutil.PerturbWeights(t, g, rng, 0.5, 0.5, 0.1)
 	if err := c.ApplyUpdates(batch); err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestCANDSRejectsDirected(t *testing.T) {
 }
 
 func TestCANDSQueryEdgeCases(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	c, err := NewCANDS(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -259,7 +259,7 @@ func TestPropertyCANDSEqualsDijkstra(t *testing.T) {
 			return false
 		}
 		if rng.Intn(2) == 1 {
-			batch := testutil.PerturbWeights(g, rng, 0.5, 0.5, 0.05)
+			batch := testutil.PerturbWeights(t, g, rng, 0.5, 0.5, 0.05)
 			if err := c.ApplyUpdates(batch); err != nil {
 				return false
 			}

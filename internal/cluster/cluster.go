@@ -107,7 +107,11 @@ func New(index *dtlp.Index, cfg Config) (*Cluster, error) {
 		c.assign[l.id] = best
 	}
 	for w := 0; w < cfg.NumWorkers; w++ {
-		c.workers = append(c.workers, NewWorker(w, part, owned[w]))
+		worker := NewWorker(w, part, owned[w])
+		// In-process workers share the master's index, so they can serve
+		// epoch-pinned requests from the retained views.
+		worker.SetViewResolver(index.ViewAt)
+		c.workers = append(c.workers, worker)
 	}
 	return c, nil
 }
@@ -230,8 +234,19 @@ type distProvider struct {
 	c *Cluster
 }
 
-// PartialKSP implements core.PartialProvider.
+// PartialKSP implements core.PartialProvider against the workers' live
+// weights.
 func (dp *distProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
+	return dp.partialKSP(pairs, k, PartialKSPRequest{})
+}
+
+// PartialKSPView implements core.ViewProvider: requests are pinned to the
+// query's epoch so every worker answers from the same frozen weights.
+func (dp *distProvider) PartialKSPView(iv *dtlp.IndexView, pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
+	return dp.partialKSP(pairs, k, PartialKSPRequest{Epoch: iv.Epoch(), HasEpoch: true})
+}
+
+func (dp *distProvider) partialKSP(pairs []core.PairRequest, k int, template PartialKSPRequest) (map[core.PairRequest][]graph.Path, error) {
 	c := dp.c
 	out := make(map[core.PairRequest][]graph.Path, len(pairs))
 	if len(pairs) == 0 {
@@ -260,7 +275,8 @@ func (dp *distProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.Pa
 		wg.Add(1)
 		go func(w int, prs []core.PairRequest) {
 			defer wg.Done()
-			req := PartialKSPRequest{Pairs: prs, K: k}
+			req := template
+			req.Pairs, req.K = prs, k
 			c.account(req)
 			resp := c.workers[w].HandlePartialKSP(req)
 			c.account(resp)

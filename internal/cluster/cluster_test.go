@@ -31,7 +31,7 @@ func buildCluster(t testing.TB, g *graph.Graph, z, xi, workers int) (*dtlp.Index
 }
 
 func TestNewValidation(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, _ := partition.PartitionGraph(g, 6)
 	x, _ := dtlp.Build(p, dtlp.Config{Xi: 1})
 	if _, err := New(x, Config{NumWorkers: 0}); err == nil {
@@ -65,7 +65,7 @@ func TestAssignmentCoversAllSubgraphs(t *testing.T) {
 }
 
 func TestClusterQueryMatchesOracle(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	_, c := buildCluster(t, g, 6, 2, 3)
 	engine := c.Engine(core.Options{})
 	cases := []struct {
@@ -132,10 +132,10 @@ func TestClusterResultsIndependentOfWorkerCount(t *testing.T) {
 }
 
 func TestClusterApplyUpdates(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	_, c := buildCluster(t, g, 6, 2, 2)
 	rng := rand.New(rand.NewSource(1))
-	batch := testutil.PerturbWeights(g, rng, 0.5, 0.4, 0.1)
+	batch := testutil.PerturbWeights(t, g, rng, 0.5, 0.4, 0.1)
 	if err := c.ApplyUpdates(batch); err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestClusterApplyUpdates(t *testing.T) {
 }
 
 func TestClusterStatsBytes(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, _ := partition.PartitionGraph(g, 6)
 	x, _ := dtlp.Build(p, dtlp.Config{Xi: 1})
 	c, err := New(x, Config{NumWorkers: 2, MeasureBytes: true})
@@ -213,7 +213,7 @@ func TestProcessBatchLoadBalance(t *testing.T) {
 }
 
 func TestRemoteWorkerRoundTrip(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +267,7 @@ func TestRemoteWorkerRoundTrip(t *testing.T) {
 }
 
 func TestRemoteProviderQueryMatchesOracle(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)

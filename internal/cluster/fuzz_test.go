@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"kspdg/internal/core"
+	"kspdg/internal/graph"
+)
+
+// FuzzWireRoundTrip builds request and reply envelopes from fuzzed fields,
+// encodes them with the TCP transport's gob encoding, decodes them back and
+// requires the result to be identical.  Any asymmetry here would corrupt the
+// master/worker protocol silently.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add("partial", int64(3), int32(1), int32(2), uint64(0), false, 7.5, uint8(2))
+	f.Add("partial", int64(8), int32(40), int32(41), uint64(12), true, 1.25, uint8(5))
+	f.Add("update", int64(1), int32(0), int32(9), uint64(3), true, 0.5, uint8(1))
+	f.Add("stats", int64(0), int32(0), int32(0), uint64(0), false, 0.0, uint8(0))
+	f.Add("shutdown", int64(0), int32(0), int32(0), uint64(0), false, 0.0, uint8(0))
+	f.Fuzz(func(t *testing.T, kind string, k int64, a, b int32, epoch uint64, hasEpoch bool, dist float64, n uint8) {
+		env := envelope{Kind: kind}
+		switch kind {
+		case "partial":
+			req := &PartialKSPRequest{K: int(k), Epoch: epoch, HasEpoch: hasEpoch}
+			for i := uint8(0); i < n%8; i++ {
+				req.Pairs = append(req.Pairs, core.PairRequest{
+					A: graph.VertexID(a + int32(i)),
+					B: graph.VertexID(b - int32(i)),
+				})
+			}
+			env.Partial = req
+		case "update":
+			req := &WeightUpdateRequest{}
+			for i := uint8(0); i < n%8; i++ {
+				req.Updates = append(req.Updates, graph.WeightUpdate{
+					Edge:      graph.EdgeID(a + int32(i)),
+					NewWeight: dist,
+				})
+			}
+			env.Update = req
+		case "stats":
+			env.Stats = &StatsRequest{}
+		default:
+			env.Shutdown = true
+		}
+		data, err := marshalEnvelope(env)
+		if err != nil {
+			t.Fatalf("marshal envelope: %v", err)
+		}
+		got, err := unmarshalEnvelope(data)
+		if err != nil {
+			t.Fatalf("unmarshal envelope: %v", err)
+		}
+		if !envelopesEqual(env, got) {
+			t.Fatalf("envelope round trip changed the message:\n sent %+v\n got  %+v", env, got)
+		}
+
+		rep := replyEnvelope{
+			Partial: &PartialKSPResponse{Results: [][]PathMsg{{
+				{Vertices: []graph.VertexID{graph.VertexID(a), graph.VertexID(b)}, Dist: dist},
+			}}},
+			Update: &WeightUpdateResponse{PathsTouched: int(n)},
+			Stats:  &StatsResponse{Worker: int(a), Subgraphs: int(n), PairsServed: int(k)},
+		}
+		rdata, err := marshalReply(rep)
+		if err != nil {
+			t.Fatalf("marshal reply: %v", err)
+		}
+		rgot, err := unmarshalReply(rdata)
+		if err != nil {
+			t.Fatalf("unmarshal reply: %v", err)
+		}
+		if !reflect.DeepEqual(normalizeReply(rep), normalizeReply(rgot)) {
+			t.Fatalf("reply round trip changed the message:\n sent %+v\n got  %+v", rep, rgot)
+		}
+	})
+}
+
+// envelopesEqual compares envelopes modulo gob's nil/empty-slice conflation.
+func envelopesEqual(a, b envelope) bool {
+	return reflect.DeepEqual(normalizeEnvelope(a), normalizeEnvelope(b))
+}
+
+func normalizeEnvelope(e envelope) envelope {
+	if e.Partial != nil && len(e.Partial.Pairs) == 0 {
+		p := *e.Partial
+		p.Pairs = nil
+		e.Partial = &p
+	}
+	if e.Update != nil && len(e.Update.Updates) == 0 {
+		u := *e.Update
+		u.Updates = nil
+		e.Update = &u
+	}
+	return e
+}
+
+func normalizeReply(r replyEnvelope) replyEnvelope {
+	if r.Partial != nil {
+		p := *r.Partial
+		if len(p.Results) == 0 {
+			p.Results = nil
+		}
+		r.Partial = &p
+	}
+	return r
+}
+
+// FuzzEnvelopeDecode feeds arbitrary bytes to the wire decoder: it must
+// reject or accept them without panicking, and anything it accepts must
+// re-encode and decode to the same message (no lossy acceptance).
+func FuzzEnvelopeDecode(f *testing.F) {
+	for _, env := range []envelope{
+		{Kind: "partial", Partial: &PartialKSPRequest{K: 2, Pairs: []core.PairRequest{{A: 1, B: 2}}}},
+		{Kind: "partial", Partial: &PartialKSPRequest{K: 1, Epoch: 7, HasEpoch: true}},
+		{Kind: "update", Update: &WeightUpdateRequest{Updates: []graph.WeightUpdate{{Edge: 3, NewWeight: 1.5}}}},
+		{Kind: "stats", Stats: &StatsRequest{}},
+		{Kind: "shutdown", Shutdown: true},
+	} {
+		data, err := marshalEnvelope(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := unmarshalEnvelope(data)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		data2, err := marshalEnvelope(env)
+		if err != nil {
+			t.Fatalf("decoded envelope failed to re-encode: %v (%+v)", err, env)
+		}
+		env2, err := unmarshalEnvelope(data2)
+		if err != nil {
+			t.Fatalf("re-encoded envelope failed to decode: %v", err)
+		}
+		if !envelopesEqual(env, env2) {
+			t.Fatalf("lossy decode:\n first  %+v\n second %+v", env, env2)
+		}
+	})
+}

@@ -18,6 +18,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/gob"
 
 	"kspdg/internal/core"
@@ -43,6 +44,15 @@ func fromPathMsg(m PathMsg) graph.Path {
 type PartialKSPRequest struct {
 	Pairs []core.PairRequest
 	K     int
+	// Epoch pins the request to an index epoch when HasEpoch is true.
+	// Workers that can resolve the epoch (in-process workers sharing the
+	// master's index) answer from that epoch's weight snapshots, giving the
+	// querying engine snapshot isolation across the whole refine step.
+	// Workers that cannot (remote processes, or an evicted epoch) serve
+	// their latest applied weights instead, matching the eventually
+	// consistent behaviour of the paper's Storm deployment.
+	Epoch    uint64
+	HasEpoch bool
 }
 
 // PartialKSPResponse carries the partial paths a worker computed, keyed by
@@ -61,6 +71,11 @@ type WeightUpdateRequest struct {
 // WeightUpdateResponse acknowledges maintenance work.
 type WeightUpdateResponse struct {
 	PathsTouched int
+	// Err reports a failure applying the batch on the worker (standalone
+	// workers apply batches to their own partition copy).  Masters must
+	// treat a non-empty Err as a failed broadcast: the worker's weights can
+	// no longer be assumed to match the master's.
+	Err string
 }
 
 // StatsRequest asks a worker for its load counters.
@@ -94,4 +109,36 @@ type replyEnvelope struct {
 func init() {
 	gob.Register(envelope{})
 	gob.Register(replyEnvelope{})
+}
+
+// marshalEnvelope gob-encodes a request envelope to bytes (the same encoding
+// the TCP transport streams over a connection).
+func marshalEnvelope(env envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// unmarshalEnvelope decodes a request envelope from bytes.
+func unmarshalEnvelope(data []byte) (envelope, error) {
+	var env envelope
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env)
+	return env, err
+}
+
+// marshalReply and unmarshalReply are the response-side counterparts.
+func marshalReply(rep replyEnvelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rep); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshalReply(data []byte) (replyEnvelope, error) {
+	var rep replyEnvelope
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rep)
+	return rep, err
 }

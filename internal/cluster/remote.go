@@ -180,6 +180,9 @@ func (rw *RemoteWorker) ApplyUpdates(updates []graph.WeightUpdate) (WeightUpdate
 	if reply.Update == nil {
 		return WeightUpdateResponse{}, errors.New("cluster: missing update response")
 	}
+	if reply.Update.Err != "" {
+		return *reply.Update, fmt.Errorf("cluster: worker failed to apply updates: %s", reply.Update.Err)
+	}
 	return *reply.Update, nil
 }
 

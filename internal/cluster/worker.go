@@ -5,19 +5,26 @@ import (
 	"sync"
 
 	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
 	"kspdg/internal/shortest"
 )
+
+// ViewResolver resolves an index epoch to its retained view, or nil when the
+// epoch is unknown (see dtlp.Index.ViewAt).
+type ViewResolver func(epoch uint64) *dtlp.IndexView
 
 // Worker is one SubgraphBolt host: it owns a subset of the partition's
 // subgraphs (and their first-level DTLP data, which lives in the shared
 // dtlp.Index in the in-process deployment) and answers partial-KSP and
 // weight-update requests for them.
 type Worker struct {
-	id    int
-	part  *partition.Partition
-	owned map[partition.SubgraphID]bool
+	id         int
+	part       *partition.Partition
+	owned      map[partition.SubgraphID]bool
+	views      ViewResolver // nil: serve live weights only
+	applyLocal bool         // standalone worker: apply updates to its own partition copy
 
 	mu    sync.Mutex
 	stats StatsResponse
@@ -53,13 +60,24 @@ func (w *Worker) Owned() []partition.SubgraphID {
 // Owns reports whether the worker hosts subgraph id.
 func (w *Worker) Owns(id partition.SubgraphID) bool { return w.owned[id] }
 
+// SetViewResolver enables epoch-pinned request handling: requests carrying an
+// epoch are answered from that epoch's weight snapshots when the resolver can
+// still supply them.  The in-process cluster wires this to the shared index's
+// ViewAt; remote worker processes, which maintain their own weight copies,
+// leave it unset and always serve their latest state.
+func (w *Worker) SetViewResolver(r ViewResolver) { w.views = r }
+
 // HandlePartialKSP computes the partial k shortest paths for every requested
 // pair, restricted to the subgraphs this worker owns.  Pairs whose common
 // subgraphs are all hosted elsewhere produce empty results.
 func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
+	var view *dtlp.IndexView
+	if req.HasEpoch && w.views != nil {
+		view = w.views(req.Epoch)
+	}
 	resp := PartialKSPResponse{Results: make([][]PathMsg, len(req.Pairs))}
 	for i, pr := range req.Pairs {
-		paths := w.partialForPair(pr, req.K)
+		paths := w.partialForPair(view, pr, req.K)
 		msgs := make([]PathMsg, len(paths))
 		for j, p := range paths {
 			msgs[j] = toPathMsg(p)
@@ -74,8 +92,9 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 }
 
 // partialForPair mirrors core.PartialKSPForPair but only searches subgraphs
-// owned by this worker.
-func (w *Worker) partialForPair(pr core.PairRequest, k int) []graph.Path {
+// owned by this worker.  With a non-nil view the searches read the epoch's
+// frozen weights; otherwise they read the live subgraph weights.
+func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k int) []graph.Path {
 	if pr.A == pr.B {
 		return []graph.Path{{Vertices: []graph.VertexID{pr.A}}}
 	}
@@ -91,7 +110,11 @@ func (w *Worker) partialForPair(pr core.PairRequest, k int) []graph.Path {
 		if !okA || !okB {
 			continue
 		}
-		for _, lp := range shortest.Yen(sub.Local, la, lb, k, nil) {
+		var weights graph.WeightedView = sub.Local
+		if view != nil {
+			weights = view.SubgraphWeights(id)
+		}
+		for _, lp := range shortest.Yen(weights, la, lb, k, nil) {
 			gp := sub.GlobalPath(lp)
 			key := graph.PathKey(gp)
 			if seen[key] {
@@ -108,14 +131,28 @@ func (w *Worker) partialForPair(pr core.PairRequest, k int) []graph.Path {
 	return merged
 }
 
+// EnableLocalApply makes HandleWeightUpdate apply incoming batches to the
+// worker's own partition copy.  Standalone (TCP) workers need this because no
+// one else maintains their weights; in-process workers must leave it off — the
+// shared dtlp.Index applies each batch exactly once, and applying it early
+// here would zero the deltas its incremental maintenance derives.
+func (w *Worker) EnableLocalApply() { w.applyLocal = true }
+
 // HandleWeightUpdate records that updates for this worker's subgraphs
-// arrived.  In the in-process deployment the actual index maintenance is done
-// once by the shared dtlp.Index (see Cluster.ApplyUpdates); the worker only
-// accounts for the load it would carry.
+// arrived and, for standalone workers (see EnableLocalApply), pushes the new
+// weights into the worker's partition copy.  In the in-process deployment the
+// actual index maintenance is done once by the shared dtlp.Index (see
+// Cluster.ApplyUpdates); the worker only accounts for the load it would
+// carry.
 func (w *Worker) HandleWeightUpdate(req WeightUpdateRequest) WeightUpdateResponse {
 	w.mu.Lock()
 	w.stats.UpdatesReceived += len(req.Updates)
 	w.mu.Unlock()
+	if w.applyLocal {
+		if _, err := w.part.ApplyUpdates(req.Updates); err != nil {
+			return WeightUpdateResponse{Err: err.Error()}
+		}
+	}
 	return WeightUpdateResponse{PathsTouched: len(req.Updates)}
 }
 

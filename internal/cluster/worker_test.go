@@ -10,7 +10,7 @@ import (
 )
 
 func TestWorkerOwnership(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -32,7 +32,7 @@ func TestWorkerOwnership(t *testing.T) {
 }
 
 func TestWorkerPartialKSPRestrictedToOwnedSubgraphs(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestWorkerPartialKSPRestrictedToOwnedSubgraphs(t *testing.T) {
 }
 
 func TestWorkerWeightUpdateAccounting(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)

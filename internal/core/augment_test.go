@@ -9,7 +9,7 @@ import (
 )
 
 func TestAugmentedSkeletonView(t *testing.T) {
-	base := testutil.LineGraph(4) // vertices 0-1-2-3, unit weights
+	base := testutil.LineGraph(t, 4) // vertices 0-1-2-3, unit weights
 	aug := newAugmentedSkeleton(base)
 	if aug.NumVertices() != 4 || aug.NumEdges() != 3 {
 		t.Fatalf("augmented view should start identical to base")

@@ -64,6 +64,9 @@ func (o Options) maxIterations() int {
 type Result struct {
 	// Paths holds up to k shortest loopless paths in ascending distance.
 	Paths []graph.Path
+	// Epoch is the index epoch the query ran against (see dtlp.IndexView).
+	// All paths and distances are consistent with that epoch's weights.
+	Epoch uint64
 	// Iterations is the number of reference paths examined (filter steps).
 	Iterations int
 	// PairsRefined is the number of distinct adjacent boundary pairs whose
@@ -96,10 +99,24 @@ func NewEngine(index *dtlp.Index, provider PartialProvider, opts Options) *Engin
 func (e *Engine) Index() *dtlp.Index { return e.index }
 
 // Query answers q(s, t) with the given k, returning up to k shortest loopless
-// paths from s to t under the current edge weights.
+// paths from s to t under the most recently published index epoch.  It is
+// shorthand for QueryView(e.Index().CurrentView(), s, t, k) and is safe to
+// call concurrently with index maintenance.
 func (e *Engine) Query(s, t graph.VertexID, k int) (Result, error) {
+	return e.QueryView(e.index.CurrentView(), s, t, k)
+}
+
+// QueryView answers q(s, t) against a specific epoch view of the index.  The
+// whole query — reference path generation on the skeleton, endpoint
+// attachment, and the refine step (when the provider is view-aware) — reads
+// the weights frozen in the view, so concurrent ApplyUpdates calls cannot
+// tear the result.
+func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Result, error) {
 	start := time.Now()
-	res := Result{}
+	if iv == nil {
+		iv = e.index.CurrentView()
+	}
+	res := Result{Epoch: iv.Epoch()}
 	parent := e.index.Partition().Parent()
 	if k <= 0 {
 		return res, fmt.Errorf("core: k must be positive, got %d", k)
@@ -114,7 +131,7 @@ func (e *Engine) Query(s, t graph.VertexID, k int) (Result, error) {
 		return res, nil
 	}
 
-	view, sAug, tAug, toGlobal, err := e.buildAugmentedSkeleton(s, t)
+	view, sAug, tAug, toGlobal, err := e.buildAugmentedSkeleton(iv, s, t)
 	if err != nil {
 		return res, err
 	}
@@ -135,7 +152,7 @@ func (e *Engine) Query(s, t graph.VertexID, k int) (Result, error) {
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations++
 		seq := toGlobal(ref)
-		candidates, err := e.candidateKSP(seq, k, pairCache, &res)
+		candidates, err := e.candidateKSP(iv, seq, k, pairCache, &res)
 		if err != nil {
 			return res, err
 		}
@@ -169,11 +186,11 @@ func (e *Engine) Query(s, t graph.VertexID, k int) (Result, error) {
 // buildAugmentedSkeleton maps the query endpoints onto the skeleton graph,
 // attaching non-boundary endpoints per Section 5.3.  It returns the weighted
 // view to search, the augmented source/target ids, and a translator from a
-// path over augmented ids to global vertex ids.
-func (e *Engine) buildAugmentedSkeleton(s, t graph.VertexID) (graph.WeightedView, graph.VertexID, graph.VertexID, func(graph.Path) []graph.VertexID, error) {
-	skel := e.index.Skeleton()
-	snap := skel.Graph().Snapshot()
-	aug := newAugmentedSkeleton(snap)
+// path over augmented ids to global vertex ids.  All weights — the skeleton
+// MBDs and the attachment lower bounds — come from the epoch view.
+func (e *Engine) buildAugmentedSkeleton(iv *dtlp.IndexView, s, t graph.VertexID) (graph.WeightedView, graph.VertexID, graph.VertexID, func(graph.Path) []graph.VertexID, error) {
+	skel := iv.Skeleton()
+	aug := newAugmentedSkeleton(iv.SkeletonWeights())
 
 	extraGlobal := make(map[graph.VertexID]graph.VertexID) // augmented id -> global id
 
@@ -193,7 +210,7 @@ func (e *Engine) buildAugmentedSkeleton(s, t graph.VertexID) (graph.WeightedView
 		return id, nil
 	}
 
-	sAug, err := resolve(s, e.index.BoundaryLowerBounds(s))
+	sAug, err := resolve(s, iv.BoundaryLowerBounds(s))
 	if err != nil {
 		return nil, 0, 0, nil, err
 	}
@@ -203,7 +220,7 @@ func (e *Engine) buildAugmentedSkeleton(s, t graph.VertexID) (graph.WeightedView
 	} else {
 		id := aug.addVertex()
 		extraGlobal[id] = t
-		for bv, d := range e.index.BoundaryLowerBoundsTo(t) {
+		for bv, d := range iv.BoundaryLowerBoundsTo(t) {
 			if sb, ok := skel.SkelID(bv); ok && !math.IsInf(d, 1) {
 				// Edge direction boundary -> t for directed graphs; for
 				// undirected graphs addEdge installs both directions anyway.
@@ -216,7 +233,7 @@ func (e *Engine) buildAugmentedSkeleton(s, t graph.VertexID) (graph.WeightedView
 	// direct skeleton edge so purely-local answers are reachable.
 	if _, sBound := skel.SkelID(s); !sBound {
 		if _, tBound := skel.SkelID(t); !tBound {
-			if d := e.index.WithinSubgraphDistance(s, t); !math.IsInf(d, 1) {
+			if d := iv.WithinSubgraphDistance(s, t); !math.IsInf(d, 1) {
 				aug.addEdge(sAug, tAug, d)
 			}
 		}
@@ -240,8 +257,10 @@ func (e *Engine) buildAugmentedSkeleton(s, t graph.VertexID) (graph.WeightedView
 // for every adjacent pair of the reference sequence (reusing the query-local
 // cache for pairs already refined by earlier reference paths, the
 // optimisation discussed in Section 5.2) and joins them into complete
-// candidate paths from s to t.
-func (e *Engine) candidateKSP(seq []graph.VertexID, k int, cache map[PairRequest][]graph.Path, res *Result) ([]graph.Path, error) {
+// candidate paths from s to t.  View-aware providers compute the partial
+// paths against the query's epoch; plain providers fall back to the live
+// weights (see ViewProvider).
+func (e *Engine) candidateKSP(iv *dtlp.IndexView, seq []graph.VertexID, k int, cache map[PairRequest][]graph.Path, res *Result) ([]graph.Path, error) {
 	if len(seq) < 2 {
 		return nil, nil
 	}
@@ -253,7 +272,7 @@ func (e *Engine) candidateKSP(seq []graph.VertexID, k int, cache map[PairRequest
 		}
 	}
 	if len(missing) > 0 {
-		partials, err := e.provider.PartialKSP(missing, k)
+		partials, err := e.partialKSP(iv, missing, k)
 		if err != nil {
 			return nil, err
 		}
@@ -302,4 +321,13 @@ func (e *Engine) candidateKSP(seq []graph.VertexID, k int, cache map[PairRequest
 		current = current[:k]
 	}
 	return current, nil
+}
+
+// partialKSP dispatches the refine step to the provider, preferring the
+// epoch-consistent path when the provider supports it.
+func (e *Engine) partialKSP(iv *dtlp.IndexView, pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error) {
+	if vp, ok := e.provider.(ViewProvider); ok && iv != nil {
+		return vp.PartialKSPView(iv, pairs, k)
+	}
+	return e.provider.PartialKSP(pairs, k)
 }

@@ -57,7 +57,7 @@ func assertMatchesOracle(t *testing.T, g *graph.Graph, e *Engine, s, tt graph.Ve
 }
 
 func TestQueryBoundaryEndpoints(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, _, e := buildEngine(t, g, 6, 2)
 	boundary := p.BoundaryVertices()
 	if len(boundary) < 2 {
@@ -69,7 +69,7 @@ func TestQueryBoundaryEndpoints(t *testing.T) {
 }
 
 func TestQueryNonBoundaryEndpoints(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, _, e := buildEngine(t, g, 6, 2)
 	// Pick two non-boundary vertices far apart.
 	var interior []graph.VertexID
@@ -88,7 +88,7 @@ func TestQueryNonBoundaryEndpoints(t *testing.T) {
 }
 
 func TestQueryMixedEndpoints(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, _, e := buildEngine(t, g, 6, 2)
 	boundary := p.BoundaryVertices()
 	var interior []graph.VertexID
@@ -105,7 +105,7 @@ func TestQueryMixedEndpoints(t *testing.T) {
 }
 
 func TestQuerySameSubgraphInteriorEndpoints(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, _, e := buildEngine(t, g, 6, 2)
 	// Find two interior vertices that share a subgraph.
 	var s, tt graph.VertexID = graph.NoVertex, graph.NoVertex
@@ -129,7 +129,7 @@ outer:
 }
 
 func TestQueryTrivialAndErrorCases(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	_, _, e := buildEngine(t, g, 6, 1)
 	res, err := e.Query(3, 3, 2)
 	if err != nil || len(res.Paths) != 1 || res.Paths[0].Len() != 0 {
@@ -166,12 +166,12 @@ func TestQueryDisconnectedGraph(t *testing.T) {
 }
 
 func TestQueryAfterWeightUpdates(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, x, e := buildEngine(t, g, 6, 2)
 	rng := rand.New(rand.NewSource(99))
 	boundary := p.BoundaryVertices()
 	for round := 0; round < 10; round++ {
-		batch := testutil.PerturbWeights(g, rng, 0.35, 0.3, 0.1)
+		batch := testutil.PerturbWeights(t, g, rng, 0.35, 0.3, 0.1)
 		if err := x.ApplyUpdates(batch); err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +185,7 @@ func TestQueryAfterWeightUpdates(t *testing.T) {
 }
 
 func TestQueryStatsPopulated(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	_, _, e := buildEngine(t, g, 6, 2)
 	res, err := e.Query(testutil.V1, testutil.V19, 3)
 	if err != nil {
@@ -206,7 +206,7 @@ func TestQueryStatsPopulated(t *testing.T) {
 }
 
 func TestQueryWithExplicitLocalProviderParallel(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -220,7 +220,7 @@ func TestQueryWithExplicitLocalProviderParallel(t *testing.T) {
 }
 
 func TestPartialKSPForPair(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +261,7 @@ func TestPartialKSPForPair(t *testing.T) {
 }
 
 func TestLocalProviderValidation(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -343,7 +343,7 @@ func TestPropertyKSPDGMatchesOracle(t *testing.T) {
 		e := NewEngine(x, nil, Options{})
 		// Optionally perturb weights.
 		if rng.Intn(2) == 1 {
-			batch := testutil.PerturbWeights(g, rng, 0.4, 0.5, 0.05)
+			batch := testutil.PerturbWeights(t, g, rng, 0.4, 0.5, 0.05)
 			if err := x.ApplyUpdates(batch); err != nil {
 				return false
 			}

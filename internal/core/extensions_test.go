@@ -9,7 +9,7 @@ import (
 )
 
 func TestQueryViaSingleWaypoint(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	_, _, e := buildEngine(t, g, 6, 2)
 	res, err := e.QueryVia(testutil.V1, []graph.VertexID{testutil.V9}, testutil.V19, 2)
 	if err != nil {
@@ -46,7 +46,7 @@ func TestQueryViaSingleWaypoint(t *testing.T) {
 }
 
 func TestQueryViaNoWaypointsEqualsQuery(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	_, _, e := buildEngine(t, g, 6, 2)
 	via, err := e.QueryVia(testutil.V4, nil, testutil.V13, 3)
 	if err != nil {
@@ -67,7 +67,7 @@ func TestQueryViaNoWaypointsEqualsQuery(t *testing.T) {
 }
 
 func TestQueryViaErrorsAndUnreachable(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	_, _, e := buildEngine(t, g, 6, 1)
 	if _, err := e.QueryVia(0, nil, 5, 0); err == nil {
 		t.Errorf("k=0 should error")

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
 	"kspdg/internal/shortest"
@@ -29,6 +30,17 @@ type PartialProvider interface {
 	PartialKSP(pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error)
 }
 
+// ViewProvider is implemented by providers that can answer the refine step
+// against a specific index epoch.  The engine prefers this interface when
+// present, which is what gives in-flight queries snapshot isolation from
+// concurrent weight updates; providers without it (e.g. remote workers that
+// always serve their latest applied state) fall back to PartialKSP.
+type ViewProvider interface {
+	// PartialKSPView is PartialKSP with all subgraph searches running over
+	// the weights frozen in the given epoch view.
+	PartialKSPView(iv *dtlp.IndexView, pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error)
+}
+
 // LocalProvider computes partial k shortest paths directly against the local
 // partition, optionally using multiple goroutines.  It is the single-process
 // stand-in for the SubgraphBolts of the Storm deployment.
@@ -43,8 +55,31 @@ func NewLocalProvider(part *partition.Partition, parallelism int) *LocalProvider
 	return &LocalProvider{part: part, Parallelism: parallelism}
 }
 
-// PartialKSP implements PartialProvider.
+// PartialKSP implements PartialProvider against the live subgraph weights.
 func (lp *LocalProvider) PartialKSP(pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error) {
+	return lp.partialKSP(pairs, k, liveSubgraphWeights(lp.part))
+}
+
+// PartialKSPView implements ViewProvider: every subgraph search reads the
+// weights frozen in the epoch view.
+func (lp *LocalProvider) PartialKSPView(iv *dtlp.IndexView, pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error) {
+	return lp.partialKSP(pairs, k, iv.SubgraphWeights)
+}
+
+// subgraphWeightsFn resolves the weighted view a subgraph search should run
+// over: either the live local graph or an epoch snapshot of it.
+type subgraphWeightsFn func(partition.SubgraphID) *graph.Snapshot
+
+// liveSubgraphWeights reads the subgraph weights as of the moment of the
+// call.  Unlike an epoch view, consecutive calls may observe different
+// weights when updates are applied concurrently.
+func liveSubgraphWeights(part *partition.Partition) subgraphWeightsFn {
+	return func(id partition.SubgraphID) *graph.Snapshot {
+		return part.Subgraph(id).Local.Snapshot()
+	}
+}
+
+func (lp *LocalProvider) partialKSP(pairs []PairRequest, k int, weights subgraphWeightsFn) (map[PairRequest][]graph.Path, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
@@ -55,7 +90,7 @@ func (lp *LocalProvider) PartialKSP(pairs []PairRequest, k int) (map[PairRequest
 	par := lp.Parallelism
 	if par <= 1 || len(pairs) == 1 {
 		for _, pr := range pairs {
-			out[pr] = PartialKSPForPair(lp.part, pr, k)
+			out[pr] = partialKSPForPair(lp.part, pr, k, weights)
 		}
 		return out, nil
 	}
@@ -67,7 +102,7 @@ func (lp *LocalProvider) PartialKSP(pairs []PairRequest, k int) (map[PairRequest
 		go func() {
 			defer wg.Done()
 			for pr := range jobs {
-				paths := PartialKSPForPair(lp.part, pr, k)
+				paths := partialKSPForPair(lp.part, pr, k, weights)
 				mu.Lock()
 				out[pr] = paths
 				mu.Unlock()
@@ -87,6 +122,15 @@ func (lp *LocalProvider) PartialKSP(pairs []PairRequest, k int) (map[PairRequest
 // the per-subgraph results (Algorithm 4, lines 3-8).  Paths are returned in
 // global vertex ids sorted by distance.
 func PartialKSPForPair(part *partition.Partition, pr PairRequest, k int) []graph.Path {
+	return partialKSPForPair(part, pr, k, liveSubgraphWeights(part))
+}
+
+// PartialKSPForPairView is PartialKSPForPair over the weights of one epoch.
+func PartialKSPForPairView(iv *dtlp.IndexView, pr PairRequest, k int) []graph.Path {
+	return partialKSPForPair(iv.Partition(), pr, k, iv.SubgraphWeights)
+}
+
+func partialKSPForPair(part *partition.Partition, pr PairRequest, k int, weights subgraphWeightsFn) []graph.Path {
 	if pr.A == pr.B {
 		return []graph.Path{{Vertices: []graph.VertexID{pr.A}}}
 	}
@@ -99,7 +143,7 @@ func PartialKSPForPair(part *partition.Partition, pr PairRequest, k int) []graph
 		if !okA || !okB {
 			continue
 		}
-		for _, lp := range shortest.Yen(sub.Local, la, lb, k, nil) {
+		for _, lp := range shortest.Yen(weights(id), la, lb, k, nil) {
 			gp := sub.GlobalPath(lp)
 			key := graph.PathKey(gp)
 			if seen[key] {

@@ -19,15 +19,32 @@
 // paths crossing it so that a weight change only touches the affected paths
 // (Algorithm 2).  The optional MFP-tree compression of the EP-Index lives in
 // package mfptree.
+//
+// # Snapshot / epoch model
+//
+// The index supports snapshot-isolated concurrent querying through immutable
+// epoch views (IndexView).  ApplyUpdates is the single writer: it mutates the
+// subgraph weights, bounding path distances and skeleton weights under an
+// internal write lock and then atomically publishes a new IndexView — a
+// copy-on-write bundle of the skeleton weight snapshot plus one weight
+// snapshot per subgraph, sharing the snapshots of all subgraphs the batch did
+// not touch with the previous epoch.  Queries obtain a view via CurrentView
+// (or resolve a specific epoch with ViewAt) and see a single consistent set
+// of weights for their whole lifetime, no matter how many update batches are
+// applied concurrently.  Bounding paths themselves are immutable by design,
+// which is what makes copy-on-write publication cheap: only weight arrays are
+// ever copied, never index structure.
 package dtlp
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
+	"kspdg/internal/shortest"
 )
 
 // Config controls DTLP construction.
@@ -81,6 +98,15 @@ type Index struct {
 
 	mu       sync.RWMutex
 	pairSubs map[PairKey][]partition.SubgraphID // subgraphs contributing a finite LBD for the pair
+
+	// Epoch view machinery: writeMu serializes ApplyUpdates (the single
+	// writer), view holds the most recently published IndexView, and recent
+	// retains a window of past views so queries can be audited against the
+	// exact epoch they ran on.
+	writeMu sync.Mutex
+	view    atomic.Pointer[IndexView]
+	viewMu  sync.Mutex
+	recent  []*IndexView
 }
 
 // Build constructs the DTLP index for the given partition.  Subgraphs are
@@ -142,6 +168,7 @@ func Build(part *partition.Partition, cfg Config) (*Index, error) {
 		return nil, err
 	}
 	x.skeleton = skel
+	x.publishView(nil) // epoch 0: the construction-time weights
 	return x, nil
 }
 
@@ -199,6 +226,15 @@ func (x *Index) mbdAll(directed bool) map[PairKey]float64 {
 	return out
 }
 
+// weightsAt resolves the weighted view a subgraph computation runs over: the
+// live local graph (Index methods) or an epoch snapshot (IndexView methods).
+type weightsAt func(partition.SubgraphID) graph.WeightedView
+
+// liveWeights reads each subgraph's live local graph.
+func (x *Index) liveWeights(id partition.SubgraphID) graph.WeightedView {
+	return x.part.Subgraph(id).Local
+}
+
 // BoundaryLowerBounds returns, for an arbitrary (possibly non-boundary)
 // global vertex v, a lower bound on the distance within each containing
 // subgraph from v to every boundary vertex of that subgraph.  This implements
@@ -209,10 +245,13 @@ func (x *Index) mbdAll(directed bool) map[PairKey]float64 {
 // a valid (and the tightest possible) lower bound for the first/last segment
 // of any path leaving the subgraph through a boundary vertex.
 func (x *Index) BoundaryLowerBounds(v graph.VertexID) map[graph.VertexID]float64 {
+	return x.boundaryLowerBounds(v, x.liveWeights)
+}
+
+func (x *Index) boundaryLowerBounds(v graph.VertexID, at weightsAt) map[graph.VertexID]float64 {
 	out := make(map[graph.VertexID]float64)
 	for _, id := range x.part.SubgraphsOf(v) {
-		si := x.subs[id]
-		for bv, d := range si.boundaryDistancesFrom(v) {
+		for bv, d := range x.subs[id].boundaryDistancesFrom(v, at(id)) {
 			if cur, ok := out[bv]; !ok || d < cur {
 				out[bv] = d
 			}
@@ -226,13 +265,16 @@ func (x *Index) BoundaryLowerBounds(v graph.VertexID) map[graph.VertexID]float64
 // bound on the within-subgraph distance travelling from b to v.  For
 // undirected graphs it equals BoundaryLowerBounds.
 func (x *Index) BoundaryLowerBoundsTo(v graph.VertexID) map[graph.VertexID]float64 {
+	return x.boundaryLowerBoundsTo(v, x.liveWeights)
+}
+
+func (x *Index) boundaryLowerBoundsTo(v graph.VertexID, at weightsAt) map[graph.VertexID]float64 {
 	if !x.part.Parent().Directed() {
-		return x.BoundaryLowerBounds(v)
+		return x.boundaryLowerBounds(v, at)
 	}
 	out := make(map[graph.VertexID]float64)
 	for _, id := range x.part.SubgraphsOf(v) {
-		si := x.subs[id]
-		for bv, d := range si.boundaryDistancesTo(v) {
+		for bv, d := range x.subs[id].boundaryDistancesTo(v, at(id)) {
 			if cur, ok := out[bv]; !ok || d < cur {
 				out[bv] = d
 			}
@@ -246,6 +288,10 @@ func (x *Index) BoundaryLowerBoundsTo(v graph.VertexID) map[graph.VertexID]float
 // subgraph contains both vertices.  KSP-DG uses it to attach a direct edge
 // between two non-boundary query endpoints that share a subgraph.
 func (x *Index) WithinSubgraphDistance(s, t graph.VertexID) float64 {
+	return x.withinSubgraphDistance(s, t, x.liveWeights)
+}
+
+func (x *Index) withinSubgraphDistance(s, t graph.VertexID, at weightsAt) float64 {
 	best := inf()
 	for _, id := range x.part.CommonSubgraphs(s, t) {
 		sub := x.part.Subgraph(id)
@@ -254,7 +300,7 @@ func (x *Index) WithinSubgraphDistance(s, t graph.VertexID) float64 {
 		if !okS || !okT {
 			continue
 		}
-		if d := shortestDistanceLocal(sub, ls, lt); d < best {
+		if d := shortest.ShortestDistance(at(id), ls, lt, nil); d < best {
 			best = d
 		}
 	}
@@ -268,10 +314,17 @@ func (x *Index) WithinSubgraphDistance(s, t graph.VertexID) float64 {
 //
 // The parent graph itself is not modified; callers that also track the full
 // graph (the master node) apply the same batch there.
+//
+// ApplyUpdates is the index's single writer: concurrent calls are serialized
+// internally, and once a call returns a new epoch view reflecting the whole
+// batch has been published atomically (see CurrentView).  Queries running
+// against previously obtained views are unaffected.
 func (x *Index) ApplyUpdates(batch []graph.WeightUpdate) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	x.writeMu.Lock()
+	defer x.writeMu.Unlock()
 	// Capture pre-update weights to derive the deltas used for incremental
 	// bounding path distance maintenance.
 	type pendingDelta struct {
@@ -320,6 +373,9 @@ func (x *Index) ApplyUpdates(batch []graph.WeightUpdate) error {
 			}
 		}
 	}
+	// Publish the next epoch: re-snapshot only the touched subgraphs, share
+	// everything else with the previous view.
+	x.publishView(affected)
 	return nil
 }
 

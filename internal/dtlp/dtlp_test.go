@@ -14,7 +14,7 @@ import (
 
 func buildPaperIndex(t testing.TB, xi int) (*graph.Graph, *partition.Partition, *Index) {
 	t.Helper()
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatalf("partition: %v", err)
@@ -27,7 +27,7 @@ func buildPaperIndex(t testing.TB, xi int) (*graph.Graph, *partition.Partition, 
 }
 
 func TestBuildRejectsBadConfig(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -338,7 +338,7 @@ func TestVfragBoundDistanceExample(t *testing.T) {
 	// Reproduce the mechanics of Example 4: a subgraph whose weights change
 	// keeps vfrag counts fixed while unit weights shrink, producing a tighter
 	// bound distance than edge-count-based bounds.
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -484,7 +484,7 @@ func TestPropertyMaintenanceSoundness(t *testing.T) {
 			return false
 		}
 		for round := 0; round < 3; round++ {
-			batch := testutil.PerturbWeights(g, rng, 0.5, 0.6, 0.05)
+			batch := testutil.PerturbWeights(t, g, rng, 0.5, 0.6, 0.05)
 			if err := x.ApplyUpdates(batch); err != nil {
 				return false
 			}

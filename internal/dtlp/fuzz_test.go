@@ -1,0 +1,40 @@
+package dtlp
+
+import (
+	"testing"
+
+	"kspdg/internal/graph"
+)
+
+// FuzzMakePairKey checks the PairKey normalisation invariants for arbitrary
+// vertex pairs: directed keys preserve the pair as given, undirected keys are
+// canonical (A <= B), order-insensitive, and never lose an endpoint.
+func FuzzMakePairKey(f *testing.F) {
+	f.Add(int32(0), int32(0), false)
+	f.Add(int32(1), int32(2), false)
+	f.Add(int32(2), int32(1), false)
+	f.Add(int32(1), int32(2), true)
+	f.Add(int32(2), int32(1), true)
+	f.Add(int32(-1), int32(5), false)
+	f.Add(int32(1<<30), int32(-(1 << 30)), true)
+	f.Fuzz(func(t *testing.T, a, b int32, directed bool) {
+		va, vb := graph.VertexID(a), graph.VertexID(b)
+		key := MakePairKey(va, vb, directed)
+		if directed {
+			if key.A != va || key.B != vb {
+				t.Fatalf("directed key must preserve order: MakePairKey(%d,%d,true) = %+v", va, vb, key)
+			}
+			return
+		}
+		if key.A > key.B {
+			t.Fatalf("undirected key not normalised: MakePairKey(%d,%d,false) = %+v", va, vb, key)
+		}
+		if !(key.A == va && key.B == vb) && !(key.A == vb && key.B == va) {
+			t.Fatalf("key lost an endpoint: MakePairKey(%d,%d,false) = %+v", va, vb, key)
+		}
+		if swapped := MakePairKey(vb, va, false); swapped != key {
+			t.Fatalf("undirected key order-sensitive: (%d,%d) -> %+v but (%d,%d) -> %+v",
+				va, vb, key, vb, va, swapped)
+		}
+	})
+}

@@ -308,14 +308,15 @@ func (si *SubgraphIndex) sumSmallestUnits(phi float64) float64 {
 }
 
 // boundaryDistancesFrom returns the shortest distance within this subgraph
-// from global vertex v to every boundary vertex of the subgraph.  Used when
-// attaching non-boundary query endpoints to the skeleton graph.
-func (si *SubgraphIndex) boundaryDistancesFrom(v graph.VertexID) map[graph.VertexID]float64 {
+// from global vertex v to every boundary vertex of the subgraph, under the
+// given weights (the live local graph or an epoch snapshot of it).  Used
+// when attaching non-boundary query endpoints to the skeleton graph.
+func (si *SubgraphIndex) boundaryDistancesFrom(v graph.VertexID, weights graph.WeightedView) map[graph.VertexID]float64 {
 	lv, ok := si.sub.ToLocal(v)
 	if !ok {
 		return nil
 	}
-	tree := shortest.Dijkstra(si.sub.Local, lv, nil)
+	tree := shortest.Dijkstra(weights, lv, nil)
 	out := make(map[graph.VertexID]float64, len(si.sub.Boundary))
 	for _, bv := range si.sub.Boundary {
 		lb, ok := si.sub.ToLocal(bv)
@@ -330,10 +331,10 @@ func (si *SubgraphIndex) boundaryDistancesFrom(v graph.VertexID) map[graph.Verte
 }
 
 // boundaryDistancesTo returns the shortest distance within this subgraph
-// from every boundary vertex of the subgraph to global vertex v.  Used for
-// directed graphs when attaching a non-boundary destination vertex to the
-// skeleton graph.
-func (si *SubgraphIndex) boundaryDistancesTo(v graph.VertexID) map[graph.VertexID]float64 {
+// from every boundary vertex of the subgraph to global vertex v, under the
+// given weights.  Used for directed graphs when attaching a non-boundary
+// destination vertex to the skeleton graph.
+func (si *SubgraphIndex) boundaryDistancesTo(v graph.VertexID, weights graph.WeightedView) map[graph.VertexID]float64 {
 	lv, ok := si.sub.ToLocal(v)
 	if !ok {
 		return nil
@@ -344,17 +345,11 @@ func (si *SubgraphIndex) boundaryDistancesTo(v graph.VertexID) map[graph.VertexI
 		if !ok {
 			continue
 		}
-		if d := shortest.ShortestDistance(si.sub.Local, lb, lv, nil); !math.IsInf(d, 1) {
+		if d := shortest.ShortestDistance(weights, lb, lv, nil); !math.IsInf(d, 1) {
 			out[bv] = d
 		}
 	}
 	return out
-}
-
-// shortestDistanceLocal returns the shortest distance between two local
-// vertices of a subgraph under its current weights.
-func shortestDistanceLocal(sub *partition.Subgraph, s, t graph.VertexID) float64 {
-	return shortest.ShortestDistance(sub.Local, s, t, nil)
 }
 
 // approxBytes estimates the memory footprint of this subgraph's index,

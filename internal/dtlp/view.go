@@ -1,0 +1,144 @@
+package dtlp
+
+import (
+	"math"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+)
+
+// viewRetention is the number of recently published IndexViews kept reachable
+// through ViewAt.  Views older than this can no longer be resolved by epoch
+// (in-flight queries that already hold a pointer keep theirs alive regardless).
+const viewRetention = 32
+
+// IndexView is an immutable epoch view of the DTLP index: the skeleton graph
+// weights and every subgraph's local weights as of one published epoch.
+//
+// Views are copy-on-write: consecutive epochs share the weight snapshots of
+// all subgraphs an update batch did not touch, which keeps publication cost
+// proportional to the affected subgraphs rather than the whole index.  A view
+// is safe for unrestricted concurrent use; queries running against the same
+// view are guaranteed to observe a single consistent set of edge weights even
+// while newer epochs are being published.
+type IndexView struct {
+	x     *Index
+	epoch uint64
+	skel  *graph.Snapshot   // skeleton graph weights at this epoch
+	subs  []*graph.Snapshot // per-subgraph local weights, indexed by SubgraphID
+}
+
+// Epoch returns the monotonically increasing epoch number of this view.
+// Epoch 0 is the state at index construction time.
+func (v *IndexView) Epoch() uint64 { return v.epoch }
+
+// Index returns the index this view was published from.
+func (v *IndexView) Index() *Index { return v.x }
+
+// Partition returns the partition the index was built over.  The partition's
+// topology and vertex/edge mappings are immutable, so sharing it across
+// epochs is safe; only its weights evolve, and those are captured by the
+// per-subgraph snapshots of this view.
+func (v *IndexView) Partition() *partition.Partition { return v.x.part }
+
+// Skeleton returns the skeleton for id translation.  Topology and id mappings
+// are immutable; weight reads must go through SkeletonWeights instead.
+func (v *IndexView) Skeleton() *Skeleton { return v.x.skeleton }
+
+// SkeletonWeights returns the skeleton graph weights frozen at this epoch.
+func (v *IndexView) SkeletonWeights() *graph.Snapshot { return v.skel }
+
+// SubgraphWeights returns the local weights of subgraph id frozen at this
+// epoch.
+func (v *IndexView) SubgraphWeights(id partition.SubgraphID) *graph.Snapshot {
+	return v.subs[id]
+}
+
+// GlobalWeight returns the weight of global edge e at this epoch, resolved
+// through the owning subgraph's snapshot (the partition is edge-disjoint, so
+// every edge has exactly one owner).
+func (v *IndexView) GlobalWeight(e graph.EdgeID) float64 {
+	loc := v.x.part.Locate(e)
+	if loc.Subgraph == partition.NoSubgraph {
+		return math.Inf(1)
+	}
+	return v.subs[loc.Subgraph].Weight(loc.LocalEdge)
+}
+
+// epochWeights adapts this view's subgraph snapshots to the shared helper
+// signature.
+func (v *IndexView) epochWeights(id partition.SubgraphID) graph.WeightedView {
+	return v.subs[id]
+}
+
+// BoundaryLowerBounds returns, for an arbitrary (possibly non-boundary)
+// global vertex u, the shortest distance at this epoch within each containing
+// subgraph from u to every boundary vertex of that subgraph.  It is the
+// epoch-consistent counterpart of Index.BoundaryLowerBounds.
+func (v *IndexView) BoundaryLowerBounds(u graph.VertexID) map[graph.VertexID]float64 {
+	return v.x.boundaryLowerBounds(u, v.epochWeights)
+}
+
+// BoundaryLowerBoundsTo is the directed counterpart of BoundaryLowerBounds:
+// per boundary vertex b of the subgraphs containing u, the within-subgraph
+// distance at this epoch travelling from b to u.  For undirected graphs it
+// equals BoundaryLowerBounds.
+func (v *IndexView) BoundaryLowerBoundsTo(u graph.VertexID) map[graph.VertexID]float64 {
+	return v.x.boundaryLowerBoundsTo(u, v.epochWeights)
+}
+
+// WithinSubgraphDistance returns the smallest shortest-path distance from s to
+// t at this epoch measured inside any single subgraph containing both, or
+// +Inf if no subgraph contains both vertices.
+func (v *IndexView) WithinSubgraphDistance(s, t graph.VertexID) float64 {
+	return v.x.withinSubgraphDistance(s, t, v.epochWeights)
+}
+
+// publishView builds and atomically publishes the next epoch view.  Only the
+// subgraphs in affected are re-snapshotted; everything else is shared with
+// the previous view (copy-on-write).  Callers must hold x.writeMu.
+func (x *Index) publishView(affected map[partition.SubgraphID]bool) *IndexView {
+	prev := x.view.Load()
+	nv := &IndexView{
+		x:    x,
+		skel: x.skeleton.g.Snapshot(),
+		subs: make([]*graph.Snapshot, len(x.subs)),
+	}
+	if prev != nil {
+		nv.epoch = prev.epoch + 1
+		copy(nv.subs, prev.subs)
+	}
+	for id := range nv.subs {
+		sid := partition.SubgraphID(id)
+		if prev == nil || affected[sid] {
+			nv.subs[id] = x.part.Subgraph(sid).Local.Snapshot()
+		}
+	}
+	x.view.Store(nv)
+
+	x.viewMu.Lock()
+	x.recent = append(x.recent, nv)
+	if len(x.recent) > viewRetention {
+		x.recent = x.recent[len(x.recent)-viewRetention:]
+	}
+	x.viewMu.Unlock()
+	return nv
+}
+
+// CurrentView returns the most recently published epoch view.  The returned
+// view is immutable and safe to query from any number of goroutines while
+// ApplyUpdates publishes newer epochs.
+func (x *Index) CurrentView() *IndexView { return x.view.Load() }
+
+// ViewAt returns the retained view for the given epoch, or nil if that epoch
+// has been evicted from the retention window (see viewRetention).
+func (x *Index) ViewAt(epoch uint64) *IndexView {
+	x.viewMu.Lock()
+	defer x.viewMu.Unlock()
+	for i := len(x.recent) - 1; i >= 0; i-- {
+		if x.recent[i].epoch == epoch {
+			return x.recent[i]
+		}
+	}
+	return nil
+}

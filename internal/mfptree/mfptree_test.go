@@ -247,7 +247,7 @@ func TestEmptyInput(t *testing.T) {
 // Integration: compress the EP-Index produced by the DTLP index of the paper
 // graph and check the compressed forest returns the same path sets.
 func TestCompressDTLPEPIndex(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := partition.PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)

@@ -12,7 +12,7 @@ import (
 )
 
 func TestPartitionPaperGraph(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatalf("PartitionGraph: %v", err)
@@ -38,14 +38,14 @@ func TestPartitionPaperGraph(t *testing.T) {
 }
 
 func TestPartitionZTooSmall(t *testing.T) {
-	g := testutil.LineGraph(4)
+	g := testutil.LineGraph(t, 4)
 	if _, err := PartitionGraph(g, 1); err == nil {
 		t.Errorf("z=1 should be rejected")
 	}
 }
 
 func TestPartitionSingleSubgraph(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := PartitionGraph(g, g.NumVertices())
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestPartitionCoversAllEdgesOnce(t *testing.T) {
 }
 
 func TestSubgraphLocalGlobalMapping(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -108,7 +108,7 @@ func TestSubgraphLocalGlobalMapping(t *testing.T) {
 }
 
 func TestSubgraphLocalEdgeWeightsMatchParent(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +128,7 @@ func TestSubgraphLocalEdgeWeightsMatchParent(t *testing.T) {
 }
 
 func TestPartitionBuiltAfterWeightChangesUsesCurrentWeights(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	// Change a weight before partitioning; the subgraph local weight must be
 	// the current weight, while the local initial weight matches the parent's
 	// initial weight (used for vfrags).
@@ -151,7 +151,7 @@ func TestPartitionBuiltAfterWeightChangesUsesCurrentWeights(t *testing.T) {
 }
 
 func TestApplyUpdatesPropagation(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -179,7 +179,7 @@ func TestApplyUpdatesPropagation(t *testing.T) {
 }
 
 func TestCommonSubgraphs(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +217,7 @@ func TestPartitionStats(t *testing.T) {
 // Any path between vertices in different subgraphs must pass through a
 // boundary vertex (the key structural property exploited by KSP-DG).
 func TestPathsCrossSubgraphsViaBoundary(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestPathsCrossSubgraphsViaBoundary(t *testing.T) {
 // Shortest distances inside a subgraph's local graph must equal distances in
 // the parent graph restricted to the subgraph's edges.
 func TestSubgraphShortestPathsConsistent(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -268,7 +268,7 @@ func TestSubgraphShortestPathsConsistent(t *testing.T) {
 }
 
 func TestLocalPathRoundTrip(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	p, err := PartitionGraph(g, 6)
 	if err != nil {
 		t.Fatal(err)

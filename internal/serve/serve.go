@@ -1,0 +1,295 @@
+// Package serve is the concurrent, snapshot-isolated query layer on top of
+// the KSP-DG engine: the front door a production deployment would expose.
+//
+// A Server owns the master copy of the road network and its DTLP index and
+// separates the two kinds of traffic the paper's system must absorb:
+//
+//   - Queries run on a bounded worker pool.  Each query is answered against
+//     one immutable index epoch (dtlp.IndexView), so an in-flight query never
+//     observes a half-applied update batch no matter how many batches land
+//     while it runs.  Identical concurrent queries are coalesced, and results
+//     are cached per (source, target, k) until the epoch they were computed
+//     on is superseded.
+//   - Weight updates go through a single writer that applies each batch to
+//     the master graph and the index, then publishes the next epoch
+//     atomically.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the size of the query worker pool.  Zero means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unstarted queries.
+	// Submitting beyond it blocks (backpressure).  Zero means 4*Workers.
+	QueueDepth int
+	// CacheCapacity bounds the number of cached query results.  Zero means
+	// 1024; negative disables caching.
+	CacheCapacity int
+	// Engine configures the underlying KSP-DG engines.
+	Engine core.Options
+	// Broadcast, when set, is invoked with each update batch after it has
+	// been applied to the master graph and index.  Deployments use it to
+	// forward the batch to standalone workers that maintain their own weight
+	// copies; its error fails the ApplyUpdates call that triggered it.
+	Broadcast func(batch []graph.WeightUpdate) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 1024
+	}
+	return o
+}
+
+// Stats aggregates a server's scheduling counters.
+type Stats struct {
+	QueriesServed  int64 // completed queries, including cache hits
+	CacheHits      int64 // queries answered from the epoch-tagged cache
+	Coalesced      int64 // queries that joined an identical in-flight query
+	UpdateBatches  int64 // update batches applied
+	UpdatesApplied int64 // individual edge updates applied
+	Epoch          uint64
+}
+
+// Server schedules concurrent KSP queries and weight updates over one index.
+type Server struct {
+	index  *dtlp.Index
+	engine *core.Engine
+	parent *graph.Graph
+	opts   Options
+
+	tasks   chan *task
+	workers sync.WaitGroup
+	senders sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	cache    map[queryKey]cacheEntry
+	inflight map[queryKey]*call
+
+	queries   atomic.Int64
+	hits      atomic.Int64
+	coalesced atomic.Int64
+	batches   atomic.Int64
+	updates   atomic.Int64
+}
+
+type queryKey struct {
+	s, t graph.VertexID
+	k    int
+}
+
+type cacheEntry struct {
+	epoch uint64
+	res   core.Result
+}
+
+// call is one in-flight computation that concurrent identical queries share.
+type call struct {
+	key   queryKey
+	epoch uint64 // epoch current at registration; joiners must match
+	done  chan struct{}
+	res   core.Result
+	err   error
+}
+
+type task struct{ c *call }
+
+// New creates a server over the given index.  provider selects where the
+// refine step runs: nil uses a local provider with the server's worker
+// parallelism, anything else (e.g. a cluster provider) is passed through to
+// the engine.  Queries gain snapshot isolation on the refine step whenever
+// the provider implements core.ViewProvider.
+func New(index *dtlp.Index, provider core.PartialProvider, opts Options) *Server {
+	opts = opts.withDefaults()
+	engOpts := opts.Engine
+	if provider == nil && engOpts.Parallelism == 0 {
+		// Queries already run concurrently on the pool; keep each refine
+		// step serial by default so pool workers do not oversubscribe CPUs.
+		engOpts.Parallelism = 1
+	}
+	s := &Server{
+		index:    index,
+		engine:   core.NewEngine(index, provider, engOpts),
+		parent:   index.Partition().Parent(),
+		opts:     opts,
+		tasks:    make(chan *task, opts.QueueDepth),
+		cache:    make(map[queryKey]cacheEntry),
+		inflight: make(map[queryKey]*call),
+	}
+	s.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Index returns the server's DTLP index.
+func (s *Server) Index() *dtlp.Index { return s.index }
+
+// Engine returns the server's underlying engine.  Direct engine queries
+// bypass the scheduler and cache but are still snapshot-isolated.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// worker drains the task queue, answering each query against the newest
+// epoch available when the query starts executing.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for t := range s.tasks {
+		view := s.index.CurrentView()
+		res, err := s.engine.QueryView(view, t.c.key.s, t.c.key.t, t.c.key.k)
+		s.finish(t.c, res, err)
+	}
+}
+
+// finish completes a call: publishes the result to all joined waiters and
+// installs it in the epoch-tagged cache.
+func (s *Server) finish(c *call, res core.Result, err error) {
+	c.res, c.err = res, err
+	s.mu.Lock()
+	if s.inflight[c.key] == c {
+		delete(s.inflight, c.key)
+	}
+	if err == nil && s.opts.CacheCapacity > 0 {
+		s.storeCacheLocked(c.key, cacheEntry{epoch: res.Epoch, res: res})
+	}
+	s.mu.Unlock()
+	close(c.done)
+}
+
+// storeCacheLocked inserts an entry, evicting stale entries (and, if the
+// cache is still full, arbitrary ones) to respect the capacity bound.
+// Callers must hold s.mu.
+func (s *Server) storeCacheLocked(key queryKey, e cacheEntry) {
+	if len(s.cache) >= s.opts.CacheCapacity {
+		cur := s.index.CurrentView().Epoch()
+		for k, old := range s.cache {
+			if old.epoch != cur {
+				delete(s.cache, k)
+			}
+		}
+		for k := range s.cache {
+			if len(s.cache) < s.opts.CacheCapacity {
+				break
+			}
+			delete(s.cache, k)
+		}
+	}
+	s.cache[key] = e
+}
+
+// Query answers q(s, t) with the given k through the scheduler: cached
+// results for the current epoch are returned immediately, identical in-flight
+// queries are joined, and everything else waits for a pool worker.  Query
+// blocks until the result is available and is safe for unbounded concurrent
+// use; admission beyond the queue depth blocks callers (backpressure) rather
+// than growing an unbounded backlog.
+func (s *Server) Query(src, dst graph.VertexID, k int) (core.Result, error) {
+	key := queryKey{s: src, t: dst, k: k}
+
+	s.mu.Lock()
+	// The epoch is read under s.mu so the cache/in-flight decisions below
+	// are made against a single consistent notion of "current": reading it
+	// earlier could evict an entry that is in fact newer than our reading.
+	epoch := s.index.CurrentView().Epoch()
+	if s.closed {
+		s.mu.Unlock()
+		return core.Result{}, fmt.Errorf("serve: server is closed")
+	}
+	if e, ok := s.cache[key]; ok {
+		if e.epoch == epoch {
+			s.mu.Unlock()
+			s.queries.Add(1)
+			s.hits.Add(1)
+			return e.res, nil
+		}
+		delete(s.cache, key) // stale epoch: lazy invalidation
+	}
+	if c, ok := s.inflight[key]; ok && c.epoch == epoch {
+		// An identical query for the same epoch is already running (or
+		// queued); share its outcome instead of computing it twice.
+		s.mu.Unlock()
+		<-c.done
+		s.queries.Add(1)
+		s.coalesced.Add(1)
+		return c.res, c.err
+	}
+	c := &call{key: key, epoch: epoch, done: make(chan struct{})}
+	s.inflight[key] = c
+	s.senders.Add(1)
+	s.mu.Unlock()
+
+	s.tasks <- &task{c: c}
+	s.senders.Done()
+	<-c.done
+	s.queries.Add(1)
+	return c.res, c.err
+}
+
+// ApplyUpdates applies one batch of edge weight updates: first to the master
+// copy of the road network, then to the index, which publishes the next
+// epoch.  Batches from concurrent callers are serialized by the index's
+// single-writer lock; queries already in flight keep their epoch.
+func (s *Server) ApplyUpdates(batch []graph.WeightUpdate) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := s.parent.ApplyUpdates(batch); err != nil {
+		return err
+	}
+	if err := s.index.ApplyUpdates(batch); err != nil {
+		return err
+	}
+	if s.opts.Broadcast != nil {
+		if err := s.opts.Broadcast(batch); err != nil {
+			return fmt.Errorf("serve: broadcasting update batch: %w", err)
+		}
+	}
+	s.batches.Add(1)
+	s.updates.Add(int64(len(batch)))
+	return nil
+}
+
+// Stats returns the server's scheduling counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		QueriesServed:  s.queries.Load(),
+		CacheHits:      s.hits.Load(),
+		Coalesced:      s.coalesced.Load(),
+		UpdateBatches:  s.batches.Load(),
+		UpdatesApplied: s.updates.Load(),
+		Epoch:          s.index.CurrentView().Epoch(),
+	}
+}
+
+// Close drains the worker pool.  Queries submitted after Close fail;
+// queries already admitted complete normally.  Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.senders.Wait() // every admitted task is in the channel now
+	close(s.tasks)
+	s.workers.Wait()
+}

@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"kspdg/internal/cluster"
+	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/shortest"
+	"kspdg/internal/testutil"
+	"kspdg/internal/workload"
+)
+
+func buildServer(tb testing.TB, g *graph.Graph, z, xi int, opts Options) (*dtlp.Index, *Server) {
+	tb.Helper()
+	p, err := partition.PartitionGraph(g, z)
+	if err != nil {
+		tb.Fatalf("partition: %v", err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: xi})
+	if err != nil {
+		tb.Fatalf("dtlp: %v", err)
+	}
+	return x, New(x, nil, opts)
+}
+
+func TestServerMatchesEngine(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	x, s := buildServer(t, g, 6, 2, Options{Workers: 4})
+	defer s.Close()
+	engine := core.NewEngine(x, nil, core.Options{})
+	for _, q := range []struct {
+		s, t graph.VertexID
+		k    int
+	}{{testutil.V1, testutil.V19, 3}, {testutil.V2, testutil.V14, 2}, {testutil.V5, testutil.V17, 4}} {
+		got, err := s.Query(q.s, q.t, q.k)
+		if err != nil {
+			t.Fatalf("server query: %v", err)
+		}
+		want, err := engine.Query(q.s, q.t, q.k)
+		if err != nil {
+			t.Fatalf("engine query: %v", err)
+		}
+		if len(got.Paths) != len(want.Paths) {
+			t.Fatalf("server returned %d paths, engine %d", len(got.Paths), len(want.Paths))
+		}
+		for i := range want.Paths {
+			if math.Abs(got.Paths[i].Dist-want.Paths[i].Dist) > 1e-9 {
+				t.Errorf("path %d dist %g != %g", i, got.Paths[i].Dist, want.Paths[i].Dist)
+			}
+		}
+	}
+}
+
+func TestServerCacheInvalidatedByEpoch(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	_, s := buildServer(t, g, 6, 2, Options{Workers: 2})
+	defer s.Close()
+
+	r1, err := s.Query(testutil.V1, testutil.V19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Query(testutil.V1, testutil.V19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Errorf("expected 1 cache hit, got %d", st.CacheHits)
+	}
+	if r1.Epoch != r2.Epoch {
+		t.Errorf("cached result epoch mismatch: %d vs %d", r1.Epoch, r2.Epoch)
+	}
+
+	// Raise the weight of every edge on the best path; the cached entry must
+	// not survive the epoch bump.
+	var batch []graph.WeightUpdate
+	verts := r1.Paths[0].Vertices
+	for i := 0; i+1 < len(verts); i++ {
+		e, ok := g.EdgeBetween(verts[i], verts[i+1])
+		if !ok {
+			t.Fatalf("edge (%d,%d) missing", verts[i], verts[i+1])
+		}
+		batch = append(batch, graph.WeightUpdate{Edge: e, NewWeight: g.Weight(e) * 10})
+	}
+	if err := s.ApplyUpdates(batch); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := s.Query(testutil.V1, testutil.V19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Epoch == r1.Epoch {
+		t.Fatalf("query after update still served epoch %d", r1.Epoch)
+	}
+	if r3.Paths[0].Dist <= r1.Paths[0].Dist {
+		t.Errorf("after raising best-path weights, dist %g should exceed %g", r3.Paths[0].Dist, r1.Paths[0].Dist)
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Errorf("stale entry served from cache: %d hits", st.CacheHits)
+	}
+}
+
+// slowProvider delays every refine step, giving concurrent identical queries
+// a guaranteed window to find each other in flight.
+type slowProvider struct {
+	inner core.PartialProvider
+	delay time.Duration
+}
+
+func (p slowProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
+	time.Sleep(p.delay)
+	return p.inner.PartialKSP(pairs, k)
+}
+
+func TestServerCoalescesIdenticalQueries(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slow refine step keeps the first query in flight long enough that
+	// the 15 identical followers must join it rather than recompute (the
+	// cache is disabled so joining is the only sharing mechanism).
+	s := New(x, slowProvider{inner: core.NewLocalProvider(p, 0), delay: 20 * time.Millisecond},
+		Options{Workers: 1, CacheCapacity: -1})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Query(testutil.V1, testutil.V19, 3); err != nil {
+				t.Errorf("query: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.QueriesServed != 16 {
+		t.Errorf("served %d queries, want 16", st.QueriesServed)
+	}
+	if st.Coalesced == 0 {
+		t.Errorf("expected some coalesced queries, got none (stats %+v)", st)
+	}
+}
+
+// TestServerConcurrentQueriesSnapshotIsolated is the acceptance-criteria
+// concurrency test: at least 8 concurrent queriers interleave with at least 3
+// weight-update batches through the snapshot layer (run under -race in CI).
+// Every result must be internally consistent with the epoch it reports: each
+// returned path's edge weights, summed on that epoch's frozen view, must
+// reproduce the reported distance, and the path multiset must match an exact
+// Yen run on the same frozen weights.
+func TestServerConcurrentQueriesSnapshotIsolated(t *testing.T) {
+	const (
+		queriers         = 8
+		queriesPerWorker = 6
+		updateBatches    = 4
+	)
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.RandomConnected(rng, 60, 30)
+	x, s := buildServer(t, g, 12, 2, Options{Workers: queriers})
+	defer s.Close()
+
+	type outcome struct {
+		s, t graph.VertexID
+		k    int
+		res  core.Result
+	}
+	outcomes := make(chan outcome, queriers*queriesPerWorker)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(seed))
+			<-start
+			for i := 0; i < queriesPerWorker; i++ {
+				src := graph.VertexID(qrng.Intn(g.NumVertices()))
+				dst := graph.VertexID(qrng.Intn(g.NumVertices()))
+				if src == dst {
+					continue
+				}
+				k := 1 + qrng.Intn(4)
+				res, err := s.Query(src, dst, k)
+				if err != nil {
+					t.Errorf("query(%d,%d,%d): %v", src, dst, k, err)
+					continue
+				}
+				outcomes <- outcome{s: src, t: dst, k: k, res: res}
+			}
+		}(int64(100 + w))
+	}
+	// Writer goroutine: apply update batches while the queriers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		urng := rand.New(rand.NewSource(5))
+		<-start
+		for b := 0; b < updateBatches; b++ {
+			var batch []graph.WeightUpdate
+			for e := 0; e < g.NumEdges(); e++ {
+				if urng.Float64() < 0.3 {
+					w := g.Weight(graph.EdgeID(e)) * (0.6 + urng.Float64())
+					if w < 0.1 {
+						w = 0.1
+					}
+					batch = append(batch, graph.WeightUpdate{Edge: graph.EdgeID(e), NewWeight: w})
+				}
+			}
+			if err := s.ApplyUpdates(batch); err != nil {
+				t.Errorf("ApplyUpdates: %v", err)
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+	close(outcomes)
+
+	if st := s.Stats(); st.UpdateBatches < 3 {
+		t.Fatalf("only %d update batches applied", st.UpdateBatches)
+	}
+	epochs := make(map[uint64]int)
+	checked := 0
+	for o := range outcomes {
+		epochs[o.res.Epoch]++
+		view := x.ViewAt(o.res.Epoch)
+		if view == nil {
+			t.Fatalf("epoch %d evicted from retention window", o.res.Epoch)
+		}
+		opts := &shortest.Options{Weight: view.GlobalWeight}
+		// Reported distances must re-derive from the epoch's frozen weights.
+		for i, p := range o.res.Paths {
+			sum := 0.0
+			for j := 0; j+1 < len(p.Vertices); j++ {
+				e, ok := g.EdgeBetween(p.Vertices[j], p.Vertices[j+1])
+				if !ok {
+					t.Fatalf("result path uses missing edge (%d,%d)", p.Vertices[j], p.Vertices[j+1])
+				}
+				sum += view.GlobalWeight(e)
+			}
+			if math.Abs(sum-p.Dist) > 1e-9 {
+				t.Errorf("query(%d,%d,%d) path %d: dist %g but epoch-%d weights sum to %g (torn read)",
+					o.s, o.t, o.k, i, p.Dist, o.res.Epoch, sum)
+			}
+		}
+		// And the distances must match exact Yen on the same frozen weights.
+		want := shortest.Yen(g, o.s, o.t, o.k, opts)
+		if len(o.res.Paths) != len(want) {
+			t.Errorf("query(%d,%d,%d)@epoch %d: %d paths, Yen %d", o.s, o.t, o.k, o.res.Epoch, len(o.res.Paths), len(want))
+			continue
+		}
+		for i := range want {
+			if math.Abs(o.res.Paths[i].Dist-want[i].Dist) > 1e-9 {
+				t.Errorf("query(%d,%d,%d)@epoch %d path %d: dist %g, Yen %g",
+					o.s, o.t, o.k, o.res.Epoch, i, o.res.Paths[i].Dist, want[i].Dist)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no query outcomes checked")
+	}
+	if len(epochs) < 2 {
+		t.Logf("all %d queries landed on one epoch; isolation exercised but not across epochs", checked)
+	}
+}
+
+func TestServerWithClusterProvider(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(x, cluster.Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(x, cl.Provider(), Options{Workers: 4})
+	defer s.Close()
+	res, err := s.Query(testutil.V1, testutil.V19, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.BruteForceKSP(g, testutil.V1, testutil.V19, 3)
+	if len(res.Paths) != len(want) {
+		t.Fatalf("cluster-backed server returned %d paths, oracle %d", len(res.Paths), len(want))
+	}
+	for i := range want {
+		if math.Abs(res.Paths[i].Dist-want[i].Dist) > 1e-9 {
+			t.Errorf("path %d dist %g, oracle %g", i, res.Paths[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestServerRunScenario(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	_, s := buildServer(t, g, 6, 2, Options{Workers: 4})
+	defer s.Close()
+	sc := workload.GenerateMixed(g, 20, 3, 2, 0.3, 0.4, 11)
+	if sc.NumQueries() != 20 || sc.NumUpdateBatches() == 0 {
+		t.Fatalf("unexpected scenario shape: %d queries, %d batches", sc.NumQueries(), sc.NumUpdateBatches())
+	}
+	report, err := s.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := report.Errs(); len(errs) > 0 {
+		t.Fatalf("scenario queries failed: %v", errs)
+	}
+	if report.BatchesApplied != sc.NumUpdateBatches() {
+		t.Errorf("applied %d batches, scenario has %d", report.BatchesApplied, sc.NumUpdateBatches())
+	}
+	for i, qr := range report.Results {
+		for _, p := range qr.Result.Paths {
+			if p.Source() != qr.Query.Source || p.Target() != qr.Query.Target {
+				t.Errorf("result %d endpoints wrong: %v", i, p)
+			}
+		}
+	}
+}
+
+func TestServerCloseRejectsNewQueries(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	_, s := buildServer(t, g, 6, 1, Options{Workers: 2})
+	if _, err := s.Query(testutil.V1, testutil.V9, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Query(testutil.V1, testutil.V9, 1); err == nil {
+		t.Fatal("query after Close should fail")
+	}
+}

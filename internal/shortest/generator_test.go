@@ -11,7 +11,7 @@ import (
 )
 
 func TestGeneratorMatchesYen(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	want := Yen(g, testutil.V4, testutil.V13, 6, nil)
 	gen := NewGenerator(g, testutil.V4, testutil.V13, nil)
 	for i, w := range want {
@@ -29,7 +29,7 @@ func TestGeneratorMatchesYen(t *testing.T) {
 }
 
 func TestGeneratorExhaustion(t *testing.T) {
-	g := testutil.LineGraph(4)
+	g := testutil.LineGraph(t, 4)
 	gen := NewGenerator(g, 0, 3, nil)
 	if _, ok := gen.Next(); !ok {
 		t.Fatal("expected first path")
@@ -44,7 +44,7 @@ func TestGeneratorExhaustion(t *testing.T) {
 }
 
 func TestGeneratorSameSourceTarget(t *testing.T) {
-	g := testutil.LineGraph(4)
+	g := testutil.LineGraph(t, 4)
 	gen := NewGenerator(g, 2, 2, nil)
 	p, ok := gen.Next()
 	if !ok || p.Len() != 0 {

@@ -11,7 +11,7 @@ import (
 )
 
 func TestDijkstraLine(t *testing.T) {
-	g := testutil.LineGraph(10)
+	g := testutil.LineGraph(t, 10)
 	tree := Dijkstra(g, 0, nil)
 	for v := 0; v < 10; v++ {
 		if tree.Dist[v] != float64(v) {
@@ -25,7 +25,7 @@ func TestDijkstraLine(t *testing.T) {
 }
 
 func TestDijkstraMatchesBruteForce(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	cases := []struct{ s, t graph.VertexID }{
 		{testutil.V4, testutil.V13}, {testutil.V1, testutil.V19},
 		{testutil.V3, testutil.V16}, {testutil.V7, testutil.V17},
@@ -49,7 +49,7 @@ func TestDijkstraMatchesBruteForce(t *testing.T) {
 }
 
 func TestShortestPathSameVertex(t *testing.T) {
-	g := testutil.LineGraph(3)
+	g := testutil.LineGraph(t, 3)
 	p, ok := ShortestPath(g, 1, 1, nil)
 	if !ok || p.Len() != 0 || p.Dist != 0 {
 		t.Errorf("s==t path = %v, %v", p, ok)
@@ -80,7 +80,7 @@ func TestDijkstraUnreachable(t *testing.T) {
 }
 
 func TestDijkstraForbiddenVertex(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	// Forbid v9; v4 -> v13 must route around it (e.g. through v10).
 	opts := &Options{ForbiddenVertices: map[graph.VertexID]bool{testutil.V9: true}}
 	p, ok := ShortestPath(g, testutil.V4, testutil.V13, opts)
@@ -97,7 +97,7 @@ func TestDijkstraForbiddenVertex(t *testing.T) {
 }
 
 func TestDijkstraForbiddenEdge(t *testing.T) {
-	g := testutil.LineGraph(5)
+	g := testutil.LineGraph(t, 5)
 	e, _ := g.EdgeBetween(2, 3)
 	opts := &Options{ForbiddenEdges: map[graph.EdgeID]bool{e: true}}
 	if _, ok := ShortestPath(g, 0, 4, opts); ok {
@@ -106,7 +106,7 @@ func TestDijkstraForbiddenEdge(t *testing.T) {
 }
 
 func TestDijkstraCustomWeight(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	// Hop-count metric: every edge weighs 1.
 	opts := &Options{Weight: func(graph.EdgeID) float64 { return 1 }}
 	p, ok := ShortestPath(g, testutil.V1, testutil.V13, opts)
@@ -133,7 +133,7 @@ func TestDijkstraDirected(t *testing.T) {
 }
 
 func TestDijkstraRespectsSnapshotWeights(t *testing.T) {
-	g := testutil.LineGraph(4)
+	g := testutil.LineGraph(t, 4)
 	snap := g.Snapshot()
 	e, _ := g.EdgeBetween(1, 2)
 	g.UpdateWeight(e, 100)
@@ -148,7 +148,7 @@ func TestDijkstraRespectsSnapshotWeights(t *testing.T) {
 }
 
 func TestYenMatchesBruteForce(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	cases := []struct {
 		s, t graph.VertexID
 		k    int
@@ -172,7 +172,7 @@ func TestYenMatchesBruteForce(t *testing.T) {
 }
 
 func TestYenProperties(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	paths := Yen(g, testutil.V1, testutil.V19, 8, nil)
 	if len(paths) == 0 {
 		t.Fatal("expected paths")
@@ -207,7 +207,7 @@ func TestYenProperties(t *testing.T) {
 }
 
 func TestYenEdgeCases(t *testing.T) {
-	g := testutil.LineGraph(4)
+	g := testutil.LineGraph(t, 4)
 	if got := Yen(g, 0, 3, 0, nil); got != nil {
 		t.Errorf("k=0 should return nil")
 	}
@@ -253,7 +253,7 @@ func TestYenSquareGraphAllPaths(t *testing.T) {
 }
 
 func TestYenWithForbiddenVertex(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	opts := &Options{ForbiddenVertices: map[graph.VertexID]bool{testutil.V9: true}}
 	paths := Yen(g, testutil.V4, testutil.V13, 4, opts)
 	for _, p := range paths {
@@ -264,7 +264,7 @@ func TestYenWithForbiddenVertex(t *testing.T) {
 }
 
 func TestYenWithCustomWeight(t *testing.T) {
-	g := testutil.PaperGraph()
+	g := testutil.PaperGraph(t)
 	hop := &Options{Weight: func(graph.EdgeID) float64 { return 1 }}
 	paths := Yen(g, testutil.V1, testutil.V13, 3, hop)
 	for i := 1; i < len(paths); i++ {

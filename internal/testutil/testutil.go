@@ -7,6 +7,7 @@ package testutil
 
 import (
 	"math/rand"
+	"testing"
 
 	"kspdg/internal/graph"
 )
@@ -59,22 +60,24 @@ func PaperGraphEdges() []graph.Edge {
 }
 
 // PaperGraph builds the example road network as an undirected dynamic graph.
-func PaperGraph() *graph.Graph {
+func PaperGraph(tb testing.TB) *graph.Graph {
+	tb.Helper()
 	b := graph.NewBuilder(18, false)
 	for _, e := range PaperGraphEdges() {
 		if _, err := b.AddEdge(e.U, e.V, e.Weight); err != nil {
-			panic(err)
+			tb.Fatalf("testutil: building paper graph: %v", err)
 		}
 	}
 	return b.Build()
 }
 
 // LineGraph builds a path graph 0-1-...-(n-1) with unit weights.
-func LineGraph(n int) *graph.Graph {
+func LineGraph(tb testing.TB, n int) *graph.Graph {
+	tb.Helper()
 	b := graph.NewBuilder(n, false)
 	for i := 0; i < n-1; i++ {
 		if _, err := b.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 1); err != nil {
-			panic(err)
+			tb.Fatalf("testutil: building line graph: %v", err)
 		}
 	}
 	return b.Build()
@@ -173,7 +176,8 @@ func sortPaths(ps []graph.Path) {
 // PerturbWeights changes the weight of a fraction alpha of edges by a factor
 // uniform in [-tau, +tau], never letting a weight drop below minWeight.  It
 // returns the applied updates.  The mutation is applied to g.
-func PerturbWeights(g *graph.Graph, rng *rand.Rand, alpha, tau, minWeight float64) []graph.WeightUpdate {
+func PerturbWeights(tb testing.TB, g *graph.Graph, rng *rand.Rand, alpha, tau, minWeight float64) []graph.WeightUpdate {
+	tb.Helper()
 	var batch []graph.WeightUpdate
 	for e := graph.EdgeID(0); int(e) < g.NumEdges(); e++ {
 		if rng.Float64() >= alpha {
@@ -188,8 +192,39 @@ func PerturbWeights(g *graph.Graph, rng *rand.Rand, alpha, tau, minWeight float6
 	}
 	if len(batch) > 0 {
 		if err := g.ApplyUpdates(batch); err != nil {
-			panic(err)
+			tb.Fatalf("testutil: perturbing weights: %v", err)
 		}
 	}
 	return batch
+}
+
+// RandomStronglyConnected builds a strongly connected random directed graph
+// with n vertices: both directions of a random spanning tree (independent
+// weights per direction) plus approximately extra additional arcs, with
+// weights uniform in [1, 10).
+func RandomStronglyConnected(rng *rand.Rand, n, extra int) *graph.Graph {
+	b := graph.NewBuilder(n, true)
+	present := make(map[[2]graph.VertexID]bool)
+	addArc := func(u, v graph.VertexID, w float64) {
+		if u == v {
+			return
+		}
+		key := [2]graph.VertexID{u, v}
+		if present[key] {
+			return
+		}
+		present[key] = true
+		b.AddEdge(u, v, w)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := graph.VertexID(perm[i])
+		v := graph.VertexID(perm[rng.Intn(i)])
+		addArc(u, v, 1+rng.Float64()*9)
+		addArc(v, u, 1+rng.Float64()*9)
+	}
+	for i := 0; i < extra; i++ {
+		addArc(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), 1+rng.Float64()*9)
+	}
+	return b.Build()
 }
