@@ -30,6 +30,7 @@ func main() {
 		k       = flag.Int("k", 2, "default k")
 		seed    = flag.Int64("seed", 42, "random seed for workloads")
 		workers = flag.Int("workers", 4, "default simulated cluster size")
+		jsonDir = flag.String("json", "", "also write machine-readable BENCH_<name>.json results (with ns/op and allocs) into this directory")
 	)
 	flag.Parse()
 
@@ -64,17 +65,32 @@ func main() {
 	suite.Seed = *seed
 	suite.Workers = *workers
 
+	names := []string{*exp}
 	if *exp == "all" {
-		if err := suite.RunAll(os.Stdout); err != nil {
+		names = bench.Experiments()
+	}
+	for _, name := range names {
+		if *jsonDir == "" {
+			table, err := suite.Run(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
+				os.Exit(1)
+			}
+			table.Fprint(os.Stdout)
+			continue
+		}
+		table, metrics, err := suite.RunMeasured(name)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
 			os.Exit(1)
 		}
-		return
+		table.Fprint(os.Stdout)
+		path, err := bench.WriteJSON(*jsonDir, metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "kspbench: wrote %s (%.3fms/op, %d allocs)\n",
+			path, float64(metrics.NsPerOp)/1e6, metrics.Allocs)
 	}
-	table, err := suite.Run(*exp)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
-		os.Exit(1)
-	}
-	table.Fprint(os.Stdout)
 }

@@ -5,16 +5,27 @@
 // same roles the paper assigns to SubgraphBolts and QueryBolts on Storm
 // (Section 6.1).
 //
-// All processes derive the same dataset and partition deterministically from
-// the shared flags, so no graph shipping is needed.  The master replays a
-// mixed workload: random queries flow through a bounded worker pool while
-// weight-update batches land in between, each published as a new index epoch.
+// Processes either derive the dataset and partition deterministically from
+// the shared flags, or — with -data-dir and -load-index — warm-start from a
+// shared snapshot written by a previous run (or by kspgen), skipping DTLP
+// construction entirely: the master recovers the full index and replays the
+// update WAL, workers recover just the graph and partition.  With -data-dir
+// the master also logs every applied update batch to the WAL and, with
+// -snapshot-every, periodically rewrites the snapshot so restarts stay
+// cheap.  The master replays a mixed workload: random queries flow through a
+// bounded worker pool while weight-update batches land in between, each
+// published as a new index epoch.
 //
 // Start two workers and a master on one machine:
 //
 //	kspd -mode worker -dataset NY -scale tiny -worker-id 0 -num-workers 2 -listen 127.0.0.1:7001 &
 //	kspd -mode worker -dataset NY -scale tiny -worker-id 1 -num-workers 2 -listen 127.0.0.1:7002 &
 //	kspd -mode master -dataset NY -scale tiny -num-workers 2 -connect 127.0.0.1:7001,127.0.0.1:7002 -queries 50 -k 3 -update-batches 3
+//
+// Cold-start once with persistence, then warm-start from the snapshot:
+//
+//	kspd -mode master -dataset NY -scale tiny -data-dir /var/lib/kspd -save-index -queries 10
+//	kspd -mode master -data-dir /var/lib/kspd -load-index -queries 50 -update-batches 3
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
 	"kspdg/internal/serve"
+	"kspdg/internal/store"
 	"kspdg/internal/workload"
 )
 
@@ -53,43 +65,81 @@ func main() {
 		alpha      = flag.Float64("alpha", 0.2, "fraction of edges perturbed per update batch")
 		tau        = flag.Float64("tau", 0.3, "relative weight variation per update batch")
 		conc       = flag.Int("concurrency", 0, "query worker pool size (0 = GOMAXPROCS)")
+		dataDir    = flag.String("data-dir", "", "persistence directory for index snapshots and the update WAL")
+		saveIndex  = flag.Bool("save-index", false, "force a fresh snapshot in -data-dir after a warm start (cold starts with -data-dir always snapshot; master mode)")
+		loadIndex  = flag.Bool("load-index", false, "warm-start from the newest snapshot in -data-dir instead of deriving the dataset from flags")
+		snapEvery  = flag.Int("snapshot-every", 0, "rewrite the snapshot every N applied update batches (master mode, needs -data-dir)")
 	)
 	flag.Parse()
 
-	scale, err := parseScale(*scaleName)
-	if err != nil {
-		fatal(err)
+	if *loadIndex && *dataDir == "" {
+		fatal(fmt.Errorf("-load-index requires -data-dir"))
 	}
-	ds, err := workload.BuiltinDataset(*dataset, scale)
-	if err != nil {
-		fatal(err)
-	}
-	if *z <= 0 {
-		*z = ds.DefaultZ
-	}
-	part, err := partition.PartitionGraph(ds.Graph, *z)
-	if err != nil {
-		fatal(err)
+	if (*saveIndex || *snapEvery > 0) && *dataDir == "" {
+		fatal(fmt.Errorf("-save-index and -snapshot-every require -data-dir"))
 	}
 
 	switch *mode {
 	case "worker":
+		var part *partition.Partition
+		if *loadIndex {
+			start := time.Now()
+			g, p, epoch, err := store.RecoverTopology(*dataDir)
+			if err != nil {
+				fatal(err)
+			}
+			part = p
+			fmt.Printf("kspd worker %d: warm start from %s in %v (%d vertices, %d edges, %d subgraphs, epoch %d)\n",
+				*workerID, *dataDir, time.Since(start).Round(time.Millisecond),
+				g.NumVertices(), g.NumEdges(), part.NumSubgraphs(), epoch)
+		} else {
+			_, p := deriveDataset(*dataset, *scaleName, *z)
+			part = p
+		}
 		runWorker(part, *workerID, *numWorkers, *listen)
 	case "master":
-		runMaster(ds, part, masterConfig{
-			xi:      *xi,
-			connect: *connect,
-			queries: *queries,
-			k:       *k,
-			seed:    *seed,
-			batches: *batches,
-			alpha:   *alpha,
-			tau:     *tau,
-			conc:    *conc,
+		runMaster(masterConfig{
+			dataset:   *dataset,
+			scale:     *scaleName,
+			z:         *z,
+			xi:        *xi,
+			connect:   *connect,
+			queries:   *queries,
+			k:         *k,
+			seed:      *seed,
+			batches:   *batches,
+			alpha:     *alpha,
+			tau:       *tau,
+			conc:      *conc,
+			dataDir:   *dataDir,
+			saveIndex: *saveIndex,
+			loadIndex: *loadIndex,
+			snapEvery: *snapEvery,
 		})
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want worker or master)", *mode))
 	}
+}
+
+// deriveDataset builds the dataset and partition deterministically from the
+// shared flags (the cold-start path).
+func deriveDataset(dataset, scaleName string, z int) (*workload.Dataset, *partition.Partition) {
+	scale, err := parseScale(scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := workload.BuiltinDataset(dataset, scale)
+	if err != nil {
+		fatal(err)
+	}
+	if z <= 0 {
+		z = ds.DefaultZ
+	}
+	part, err := partition.PartitionGraph(ds.Graph, z)
+	if err != nil {
+		fatal(err)
+	}
+	return ds, part
 }
 
 func parseScale(name string) (workload.Scale, error) {
@@ -132,30 +182,83 @@ func runWorker(part *partition.Partition, workerID, numWorkers int, listen strin
 }
 
 type masterConfig struct {
-	xi      int
-	connect string
-	queries int
-	k       int
-	seed    int64
-	batches int
-	alpha   float64
-	tau     float64
-	conc    int
+	dataset, scale string
+	z              int
+	xi             int
+	connect        string
+	queries        int
+	k              int
+	seed           int64
+	batches        int
+	alpha          float64
+	tau            float64
+	conc           int
+	dataDir        string
+	saveIndex      bool
+	loadIndex      bool
+	snapEvery      int
 }
 
-// runMaster builds the DTLP index, connects to the workers, and replays a
-// mixed query/update workload through the concurrent snapshot-isolated serve
-// layer, reporting timing and scheduling statistics.
-func runMaster(ds *workload.Dataset, part *partition.Partition, cfg masterConfig) {
-	fmt.Printf("kspd master: dataset %s, %d vertices, %d edges, %d subgraphs\n",
-		ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), part.NumSubgraphs())
-	start := time.Now()
-	index, err := dtlp.Build(part, dtlp.Config{Xi: cfg.xi})
-	if err != nil {
-		fatal(err)
+// runMaster obtains the graph, partition and DTLP index — warm-started from
+// a snapshot or built cold from the dataset flags — connects to the workers,
+// and replays a mixed query/update workload through the concurrent
+// snapshot-isolated serve layer, reporting timing and scheduling statistics.
+func runMaster(cfg masterConfig) {
+	var st *store.Store
+	if cfg.dataDir != "" {
+		var err error
+		st, err = store.Open(cfg.dataDir, store.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
 	}
-	fmt.Printf("kspd master: DTLP built in %v (skeleton: %d vertices, %d edges)\n",
-		time.Since(start).Round(time.Millisecond), index.Skeleton().NumVertices(), index.Skeleton().NumEdges())
+
+	var (
+		name  string
+		g     *graph.Graph
+		part  *partition.Partition
+		index *dtlp.Index
+	)
+	if cfg.loadIndex {
+		start := time.Now()
+		builds := dtlp.SubgraphBuildCount()
+		rec, err := st.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		name = "snapshot:" + cfg.dataDir
+		g, part, index = rec.Graph, rec.Partition, rec.Index
+		fmt.Printf("kspd master: warm start from %s in %v: snapshot epoch %d + %d replayed batches -> epoch %d (%d subgraph builds)\n",
+			cfg.dataDir, time.Since(start).Round(time.Millisecond),
+			rec.SnapshotEpoch, rec.ReplayedBatches, rec.Epoch, dtlp.SubgraphBuildCount()-builds)
+		fmt.Printf("kspd master: dataset %s, %d vertices, %d edges, %d subgraphs\n",
+			name, g.NumVertices(), g.NumEdges(), part.NumSubgraphs())
+	} else {
+		ds, p := deriveDataset(cfg.dataset, cfg.scale, cfg.z)
+		name, g, part = ds.Name, ds.Graph, p
+		fmt.Printf("kspd master: dataset %s, %d vertices, %d edges, %d subgraphs\n",
+			name, g.NumVertices(), g.NumEdges(), part.NumSubgraphs())
+		start := time.Now()
+		var err error
+		index, err = dtlp.Build(part, dtlp.Config{Xi: cfg.xi})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kspd master: DTLP built in %v (skeleton: %d vertices, %d edges)\n",
+			time.Since(start).Round(time.Millisecond), index.Skeleton().NumVertices(), index.Skeleton().NumEdges())
+	}
+	// A cold-built index attached to a store always bootstraps a snapshot:
+	// WAL records without a base snapshot are unrecoverable, and they would
+	// poison the next cold start in the same directory.  -save-index
+	// additionally forces a fresh (compacting) snapshot after a warm start.
+	if st != nil && (cfg.saveIndex || !cfg.loadIndex) {
+		epoch, err := st.SaveSnapshot(index)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kspd master: snapshot written to %s at epoch %d\n", cfg.dataDir, epoch)
+	}
 
 	var provider core.PartialProvider
 	var broadcast func([]graph.WeightUpdate) error
@@ -186,10 +289,14 @@ func runMaster(ds *workload.Dataset, part *partition.Partition, cfg masterConfig
 	} else {
 		fmt.Println("kspd master: no -connect given, running the refine step locally")
 	}
-	srv := serve.New(index, provider, serve.Options{Workers: cfg.conc, Broadcast: broadcast})
+	srvOpts := serve.Options{Workers: cfg.conc, Broadcast: broadcast, SnapshotEvery: cfg.snapEvery}
+	if st != nil {
+		srvOpts.Store = st
+	}
+	srv := serve.New(index, provider, srvOpts)
 	defer srv.Close()
 
-	sc := workload.GenerateMixed(ds.Graph, cfg.queries, cfg.batches, cfg.k, cfg.alpha, cfg.tau, cfg.seed)
+	sc := workload.GenerateMixed(g, cfg.queries, cfg.batches, cfg.k, cfg.alpha, cfg.tau, cfg.seed)
 	report, err := srv.RunScenario(sc)
 	if err != nil {
 		fatal(err)
@@ -206,12 +313,12 @@ func runMaster(ds *workload.Dataset, part *partition.Partition, cfg masterConfig
 				qr.Result.Epoch, qr.Result.Iterations, qr.Result.Elapsed.Round(time.Microsecond))
 		}
 	}
-	st := srv.Stats()
+	stats := srv.Stats()
 	fmt.Printf("kspd master: %d queries (k=%d) + %d update batches in %v, avg %.2f iterations/query\n",
 		len(report.Results), cfg.k, report.BatchesApplied, report.Elapsed.Round(time.Millisecond),
 		float64(totalIter)/float64(max(len(report.Results), 1)))
-	fmt.Printf("kspd master: epoch %d, %d cache hits, %d coalesced, %d edge updates applied\n",
-		st.Epoch, st.CacheHits, st.Coalesced, st.UpdatesApplied)
+	fmt.Printf("kspd master: epoch %d, %d cache hits, %d coalesced, %d edge updates applied, %d periodic snapshots\n",
+		stats.Epoch, stats.CacheHits, stats.Coalesced, stats.UpdatesApplied, stats.Snapshots)
 }
 
 func bestDist(res core.Result) float64 {

@@ -1,18 +1,27 @@
 // Command kspgen generates a synthetic scale-model road network and writes
 // it in DIMACS ".gr" format, so it can be inspected, shared, or re-loaded by
 // the other tools (and so a real DIMACS file can be swapped in seamlessly).
+// With -snapshot-dir it additionally partitions the network, builds the DTLP
+// index, and writes an internal/store snapshot, so a whole worker fleet can
+// warm-start (`kspd -load-index`) from one prebuilt index instead of each
+// process re-deriving the dataset from flags.
 //
 // Usage:
 //
 //	kspgen -dataset NY -scale small -out ny.gr
 //	kspgen -width 120 -height 90 -seed 7 -out custom.gr
+//	kspgen -dataset NY -scale tiny -snapshot-dir /var/lib/kspd -xi 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"kspdg/internal/dtlp"
+	"kspdg/internal/partition"
+	"kspdg/internal/store"
 	"kspdg/internal/workload"
 )
 
@@ -24,7 +33,10 @@ func main() {
 		height  = flag.Int("height", 40, "custom grid height")
 		seed    = flag.Int64("seed", 1, "custom generator seed")
 		directd = flag.Bool("directed", false, "generate a directed network")
-		out     = flag.String("out", "", "output file (default stdout)")
+		out     = flag.String("out", "", "output file (default stdout; with -snapshot-dir, empty skips the DIMACS dump)")
+		snapDir = flag.String("snapshot-dir", "", "also build the DTLP index and write an internal/store snapshot into this directory")
+		z       = flag.Int("z", 0, "subgraph size for -snapshot-dir (0 = dataset default)")
+		xi      = flag.Int("xi", 3, "bounding paths per boundary pair for -snapshot-dir")
 	)
 	flag.Parse()
 
@@ -55,19 +67,54 @@ func main() {
 		os.Exit(1)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *out != "" || *snapDir == "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kspgen: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := workload.WriteDIMACS(w, ds.Graph); err != nil {
+			fmt.Fprintf(os.Stderr, "kspgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "kspgen: wrote %s (%d vertices, %d edges)\n", ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges())
+	}
+
+	if *snapDir != "" {
+		if *z <= 0 {
+			*z = ds.DefaultZ
+		}
+		start := time.Now()
+		part, err := partition.PartitionGraph(ds.Graph, *z)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kspgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		index, err := dtlp.Build(part, dtlp.Config{Xi: *xi})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kspgen: %v\n", err)
+			os.Exit(1)
+		}
+		st, err := store.Open(*snapDir, store.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kspgen: %v\n", err)
+			os.Exit(1)
+		}
+		epoch, err := st.SaveSnapshot(index)
+		if err == nil {
+			err = st.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kspgen: %v\n", err)
+			os.Exit(1)
+		}
+		stats := index.Stats()
+		fmt.Fprintf(os.Stderr, "kspgen: snapshot of %s at epoch %d in %s (%d subgraphs, %d bounding paths, built in %v)\n",
+			ds.Name, epoch, *snapDir, stats.NumSubgraphs, stats.NumBoundingPaths, time.Since(start).Round(time.Millisecond))
 	}
-	if err := workload.WriteDIMACS(w, ds.Graph); err != nil {
-		fmt.Fprintf(os.Stderr, "kspgen: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "kspgen: wrote %s (%d vertices, %d edges)\n", ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges())
 }

@@ -191,18 +191,6 @@ func (s *Suite) Run(name string) (*Table, error) {
 	return nil, fmt.Errorf("bench: unknown experiment %q (available: %s)", name, strings.Join(Experiments(), ", "))
 }
 
-// RunAll executes every experiment and writes the tables to w.
-func (s *Suite) RunAll(w io.Writer) error {
-	for _, e := range registry {
-		t, err := s.Run(e.name)
-		if err != nil {
-			return err
-		}
-		t.Fprint(w)
-	}
-	return nil
-}
-
 // ----- shared helpers -----
 
 // setup holds the per-dataset objects most experiments need.

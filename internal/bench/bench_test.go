@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -79,10 +82,15 @@ func TestTableFormatting(t *testing.T) {
 }
 
 // Representative cheap experiments from each group run end to end and
-// produce non-empty tables.
+// produce non-empty tables.  In -short mode (the -race CI lane) only a
+// cheap cross-section runs; the full list stays in the non-race lane.
 func TestRepresentativeExperiments(t *testing.T) {
 	s := quickSuite()
-	for _, name := range []string{"table1", "table3", "fig15", "fig21", "fig24", "fig32", "fig35", "fig40", "fig41", "fig43", "loadbalance", "ablation-vfrag", "ablation-mfptree", "ablation-paircache"} {
+	names := []string{"table1", "table3", "fig15", "fig21", "fig24", "fig32", "fig35", "fig40", "fig41", "fig43", "loadbalance", "ablation-vfrag", "ablation-mfptree", "ablation-paircache"}
+	if testing.Short() {
+		names = []string{"table1", "table3", "fig15", "fig35", "fig41"}
+	}
+	for _, name := range names {
 		tbl, err := s.Run(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -138,4 +146,37 @@ func parseMs(t *testing.T, s string) float64 {
 		t.Fatalf("cannot parse duration %q: %v", s, err)
 	}
 	return v
+}
+
+func TestRunMeasuredWritesJSON(t *testing.T) {
+	s := quickSuite()
+	tbl, m, err := s.RunMeasured("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "table3" || m.ElapsedNs <= 0 || m.NsPerOp <= 0 {
+		t.Fatalf("metrics not populated: %+v", m)
+	}
+	if len(m.Rows) != len(tbl.Rows) || len(m.Columns) != len(tbl.Columns) {
+		t.Fatalf("metrics table shape differs from the printed table")
+	}
+	dir := t.TempDir()
+	path, err := WriteJSON(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_table3.json" {
+		t.Fatalf("unexpected file name %s", path)
+	}
+	var back Metrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if back.Name != m.Name || back.NsPerOp != m.NsPerOp || len(back.Rows) != len(m.Rows) {
+		t.Fatalf("round-tripped metrics differ: %+v vs %+v", back, m)
+	}
 }

@@ -67,6 +67,12 @@ type Result struct {
 	// Epoch is the index epoch the query ran against (see dtlp.IndexView).
 	// All paths and distances are consistent with that epoch's weights.
 	Epoch uint64
+	// Converged reports whether the search terminated through the Theorem 3
+	// bound (or by exhausting all reference paths), which is what guarantees
+	// the result is exact.  A false value means the MaxIterations safety cap
+	// fired first and the paths — while valid — may be silently truncated:
+	// callers that need exactness must check it.
+	Converged bool
 	// Iterations is the number of reference paths examined (filter steps).
 	Iterations int
 	// PairsRefined is the number of distinct adjacent boundary pairs whose
@@ -127,6 +133,7 @@ func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Resu
 	}
 	if s == t {
 		res.Paths = []graph.Path{{Vertices: []graph.VertexID{s}}}
+		res.Converged = true
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
@@ -144,7 +151,8 @@ func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Resu
 	ref, ok := gen.Next()
 	if !ok {
 		// No reference path: s and t are disconnected (also under the
-		// skeleton abstraction).  Return an empty result.
+		// skeleton abstraction).  Return an empty (and exact) result.
+		res.Converged = true
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
@@ -171,9 +179,15 @@ func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Resu
 
 		next, okNext := gen.Next()
 		if !okNext {
+			// Every reference path was examined: the search space is
+			// exhausted, so the result is exact.
+			res.Converged = true
 			break
 		}
 		if len(list) >= k && list[k-1].Dist <= next.Dist+1e-9 {
+			// Theorem 3 termination: the k-th result is at least as short as
+			// the next reference path's lower bound.
+			res.Converged = true
 			break
 		}
 		ref = next

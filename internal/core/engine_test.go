@@ -378,3 +378,45 @@ func TestPropertyKSPDGMatchesOracle(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestResultConverged pins the Converged contract: a query that terminates
+// through the Theorem 3 bound (or by exhausting the generator) reports
+// Converged, and the same query rerun with an iteration cap below its
+// natural iteration count reports a truncated, non-converged result instead
+// of silently passing it off as exact.
+func TestResultConverged(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	_, x, e := buildEngine(t, g, 6, 2)
+
+	res, err := e.Query(testutil.V1, testutil.V19, 4)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("uncapped query should converge (%d iterations)", res.Iterations)
+	}
+	if res.Iterations < 2 {
+		t.Skipf("query converged in %d iteration(s); cannot exercise the cap", res.Iterations)
+	}
+
+	capped := NewEngine(x, nil, Options{MaxIterations: res.Iterations - 1})
+	cres, err := capped.Query(testutil.V1, testutil.V19, 4)
+	if err != nil {
+		t.Fatalf("capped Query: %v", err)
+	}
+	if cres.Converged {
+		t.Fatalf("query capped at %d iterations must not report convergence", res.Iterations-1)
+	}
+	if cres.Iterations != res.Iterations-1 {
+		t.Errorf("capped query ran %d iterations, want %d", cres.Iterations, res.Iterations-1)
+	}
+
+	// Trivial cases are exact by construction.
+	same, err := e.Query(testutil.V5, testutil.V5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.Converged {
+		t.Error("s == t query should report convergence")
+	}
+}

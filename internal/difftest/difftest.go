@@ -145,7 +145,17 @@ func Check(tb testing.TB, p Params) {
 				tb.Fatalf("%s: Yen query(%d,%d,%d): %v", label, s, t, p.K, err)
 			}
 			gl, wl := lengths(got.Paths), lengths(want)
-			if !sameLengths(gl, wl) {
+			switch {
+			case sameLengths(gl, wl) && !got.Converged:
+				// Result.Converged makes iteration-cap outliers visible: the
+				// answer matched exact Yen, but only because the cap happened
+				// to fire after the search had already found it.
+				tb.Logf("%s: iteration-cap outlier: query(%d,%d,%d) exact after %d iterations without the Theorem 3 bound",
+					label, s, t, p.K, got.Iterations)
+			case !sameLengths(gl, wl) && !got.Converged:
+				tb.Errorf("%s: query(%d,%d,%d) truncated by the iteration cap: KSP-DG lengths %v != Yen lengths %v",
+					label, s, t, p.K, gl, wl)
+			case !sameLengths(gl, wl):
 				tb.Errorf("%s: query(%d,%d,%d): KSP-DG lengths %v != Yen lengths %v",
 					label, s, t, p.K, gl, wl)
 			}
@@ -278,8 +288,18 @@ func CheckConcurrent(tb testing.TB, cp ConcurrentParams) {
 		}
 		want := shortest.Yen(g, o.s, o.t, o.k, &shortest.Options{Weight: view.GlobalWeight})
 		gl, wl := lengths(o.res.Paths), lengths(want)
-		if !sameLengths(gl, wl) {
-			tb.Errorf("query(%d,%d,%d)@epoch %d: KSP-DG lengths %v != Yen-at-epoch lengths %v",
+		switch {
+		case sameLengths(gl, wl) && !o.res.Converged:
+			// The iteration cap fired but the answer still matches exact Yen:
+			// a convergence outlier, made visible instead of passing silently
+			// as if the Theorem 3 bound had been reached.
+			tb.Logf("iteration-cap outlier: query(%d,%d,%d)@epoch %d returned exact results without converging (%d iterations)",
+				o.s, o.t, o.k, o.res.Epoch, o.res.Iterations)
+		case !sameLengths(gl, wl) && !o.res.Converged:
+			tb.Errorf("query(%d,%d,%d)@epoch %d truncated by the iteration cap: KSP-DG lengths %v != Yen-at-epoch lengths %v",
+				o.s, o.t, o.k, o.res.Epoch, gl, wl)
+		case !sameLengths(gl, wl):
+			tb.Errorf("query(%d,%d,%d)@epoch %d: KSP-DG lengths %v != Yen-at-epoch lengths %v (snapshot isolation violated)",
 				o.s, o.t, o.k, o.res.Epoch, gl, wl)
 		}
 		audited++

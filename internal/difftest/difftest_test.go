@@ -9,6 +9,11 @@ import (
 // criteria: directed/undirected × k ∈ {1,4,8} × ξ ∈ {1,2,4} × 3 seeds = 54
 // randomized graph/parameter combinations, each checked before and after two
 // randomized weight-update batches.
+//
+// In -short mode (the -race CI lane on slow hardware) the undirected k=4
+// column is skipped: it is where the engine's iteration-cap outliers live,
+// making those nine cells an order of magnitude slower than the rest of the
+// grid.  The full grid runs in the non-race lane.
 func TestDifferentialGrid(t *testing.T) {
 	combos := 0
 	for _, directed := range []bool{false, true} {
@@ -19,6 +24,9 @@ func TestDifferentialGrid(t *testing.T) {
 					p := Params{Directed: directed, K: k, Xi: xi, Seed: seed*100 + int64(k)*10 + int64(xi)}
 					name := fmt.Sprintf("directed=%v/k=%d/xi=%d/seed=%d", directed, k, xi, seed)
 					t.Run(name, func(t *testing.T) {
+						if testing.Short() && !p.Directed && p.K == 4 {
+							t.Skip("slow iteration-cap cells are gated behind the full (non-short) lane")
+						}
 						Check(t, p)
 					})
 				}

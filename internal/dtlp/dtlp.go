@@ -102,11 +102,14 @@ type Index struct {
 	// Epoch view machinery: writeMu serializes ApplyUpdates (the single
 	// writer), view holds the most recently published IndexView, and recent
 	// retains a window of past views so queries can be audited against the
-	// exact epoch they ran on.
-	writeMu sync.Mutex
-	view    atomic.Pointer[IndexView]
-	viewMu  sync.Mutex
-	recent  []*IndexView
+	// exact epoch they ran on.  epochBase is the epoch of the first published
+	// view: 0 for a freshly built index, the snapshot epoch for a recovered
+	// one (see Importer.Finish), so epochs continue across restarts.
+	epochBase uint64
+	writeMu   sync.Mutex
+	view      atomic.Pointer[IndexView]
+	viewMu    sync.Mutex
+	recent    []*IndexView
 }
 
 // Build constructs the DTLP index for the given partition.  Subgraphs are
@@ -320,8 +323,16 @@ func (x *Index) withinSubgraphDistance(s, t graph.VertexID, at weightsAt) float6
 // batch has been published atomically (see CurrentView).  Queries running
 // against previously obtained views are unaffected.
 func (x *Index) ApplyUpdates(batch []graph.WeightUpdate) error {
+	_, err := x.ApplyUpdatesEpoch(batch)
+	return err
+}
+
+// ApplyUpdatesEpoch is ApplyUpdates returning the epoch published for the
+// batch (or the current epoch for an empty batch).  The persistence layer
+// uses it to tag WAL records with the exact epoch their batch produced.
+func (x *Index) ApplyUpdatesEpoch(batch []graph.WeightUpdate) (uint64, error) {
 	if len(batch) == 0 {
-		return nil
+		return x.CurrentView().Epoch(), nil
 	}
 	x.writeMu.Lock()
 	defer x.writeMu.Unlock()
@@ -336,18 +347,18 @@ func (x *Index) ApplyUpdates(batch []graph.WeightUpdate) error {
 	numEdges := x.part.Parent().NumEdges()
 	for _, u := range batch {
 		if u.Edge < 0 || int(u.Edge) >= numEdges {
-			return fmt.Errorf("dtlp: update for edge %d outside [0,%d)", u.Edge, numEdges)
+			return 0, fmt.Errorf("dtlp: update for edge %d outside [0,%d)", u.Edge, numEdges)
 		}
 		loc := x.part.Locate(u.Edge)
 		if loc.Subgraph == partition.NoSubgraph {
-			return fmt.Errorf("dtlp: update for edge %d not covered by partition", u.Edge)
+			return 0, fmt.Errorf("dtlp: update for edge %d not covered by partition", u.Edge)
 		}
 		old := x.part.Subgraph(loc.Subgraph).Local.Weight(loc.LocalEdge)
 		deltas = append(deltas, pendingDelta{sub: loc.Subgraph, local: loc.LocalEdge, delta: u.NewWeight - old})
 	}
 	// Push new weights into the subgraph local graphs.
 	if _, err := x.part.ApplyUpdates(batch); err != nil {
-		return err
+		return 0, err
 	}
 	// Update bounding path distances through the EP-Index and collect the
 	// affected subgraphs.
@@ -369,14 +380,14 @@ func (x *Index) ApplyUpdates(batch []graph.WeightUpdate) error {
 			gk := si.globalPairKey(localPair, directed)
 			mbd := x.MBD(gk.A, gk.B)
 			if err := x.skeleton.SetWeight(gk, mbd); err != nil {
-				return err
+				return 0, err
 			}
 		}
 	}
 	// Publish the next epoch: re-snapshot only the touched subgraphs, share
 	// everything else with the previous view.
-	x.publishView(affected)
-	return nil
+	nv := x.publishView(affected)
+	return nv.epoch, nil
 }
 
 // Stats summarises index size for the construction-cost experiments

@@ -1,0 +1,243 @@
+package dtlp
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+)
+
+// subgraphBuilds counts buildSubgraphIndex invocations process-wide.  The
+// warm-start path (Importer) never enumerates bounding paths, so recovery
+// tests assert this counter stays flat across a snapshot load.
+var subgraphBuilds atomic.Int64
+
+// SubgraphBuildCount returns the number of subgraph index constructions
+// (bounding path enumerations) performed by this process.  Import/recovery
+// must not increase it; Build increases it once per subgraph.
+func SubgraphBuildCount() int64 { return subgraphBuilds.Load() }
+
+// PathRecord is the serializable form of one bounding path: everything the
+// Importer needs to reinstall the path without re-enumerating candidates.
+// Vertex and edge ids are subgraph-local.  Vfrags is immutable by
+// construction; Dist is the path's actual distance at export time, carried
+// verbatim so a recovered index reproduces the exporting index bit for bit
+// (recomputing it from weights could differ in the last ulp from the
+// incrementally maintained value).
+type PathRecord struct {
+	Pair     PairKey
+	Vertices []graph.VertexID
+	Edges    []graph.EdgeID
+	Vfrags   float64
+	Dist     float64
+}
+
+// ExportedState is a consistent description of an index passed to the
+// callback of ExportState.  It is only valid for the duration of the
+// callback; the slices inside streamed PathRecords are owned by the index
+// and must not be retained or modified.
+type ExportedState struct {
+	// Epoch is the most recently published epoch; Dist values and View
+	// weights are exactly the state of that epoch.
+	Epoch uint64
+	// View is the index view published at Epoch.
+	View *IndexView
+	// Paths streams every bounding path in deterministic order: subgraphs in
+	// id order, pairs sorted by (A, B), paths in construction order.
+	Paths func(visit func(sub partition.SubgraphID, rec PathRecord) error) error
+}
+
+// ExportState locks out the writer and runs fn with a consistent exportable
+// state of the index: the current epoch, its weight view, and a deterministic
+// stream of all bounding paths.  It is the producer side of the snapshot
+// subsystem (internal/store).
+func (x *Index) ExportState(fn func(st ExportedState) error) error {
+	x.writeMu.Lock()
+	defer x.writeMu.Unlock()
+	view := x.CurrentView()
+	st := ExportedState{
+		Epoch: view.Epoch(),
+		View:  view,
+		Paths: func(visit func(sub partition.SubgraphID, rec PathRecord) error) error {
+			for id, si := range x.subs {
+				keys := make([]PairKey, 0, len(si.pairs))
+				for k := range si.pairs {
+					keys = append(keys, k)
+				}
+				sortPairKeys(keys)
+				for _, k := range keys {
+					for _, bp := range si.pairs[k].paths {
+						rec := PathRecord{
+							Pair:     k,
+							Vertices: bp.Vertices,
+							Edges:    bp.Edges,
+							Vfrags:   bp.Vfrags,
+							Dist:     bp.Dist,
+						}
+						if err := visit(partition.SubgraphID(id), rec); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+	return fn(st)
+}
+
+// Importer reassembles an Index from previously exported path records
+// without enumerating bounding paths — the expensive step of Build.  Records
+// are streamed in via Add (in any order) and Finish derives everything that
+// is a pure function of them: bound distances, LBDs, the pair->subgraph map,
+// and the skeleton graph with its MBD weights.
+//
+// The partition's local weights must already reflect the weight snapshot the
+// records were exported with (the store loads weights before paths).
+type Importer struct {
+	part     *partition.Partition
+	cfg      Config
+	subs     []*SubgraphIndex
+	nextID   []int
+	finished bool
+}
+
+// NewImporter prepares an import over the given partition.  cfg must carry
+// the same Xi the exporting index was built with (it bounds per-pair path
+// counts during validation).
+func NewImporter(part *partition.Partition, cfg Config) (*Importer, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	imp := &Importer{
+		part:   part,
+		cfg:    cfg,
+		subs:   make([]*SubgraphIndex, part.NumSubgraphs()),
+		nextID: make([]int, part.NumSubgraphs()),
+	}
+	for i := range imp.subs {
+		imp.subs[i] = &SubgraphIndex{
+			sub:        part.Subgraph(partition.SubgraphID(i)),
+			cfg:        cfg,
+			pairs:      make(map[PairKey]*pairEntry),
+			epIndex:    make(map[graph.EdgeID][]*BoundingPath),
+			unitsDirty: true,
+		}
+	}
+	return imp, nil
+}
+
+// Add installs one bounding path record into the owning subgraph index.  It
+// validates the record against the partition topology so that corrupted
+// snapshots surface as errors, never as silently wrong indexes.
+func (imp *Importer) Add(id partition.SubgraphID, rec PathRecord) error {
+	if imp.finished {
+		return fmt.Errorf("dtlp: import already finished")
+	}
+	if int(id) < 0 || int(id) >= len(imp.subs) {
+		return fmt.Errorf("dtlp: import record for subgraph %d outside [0,%d)", id, len(imp.subs))
+	}
+	si := imp.subs[id]
+	local := si.sub.Local
+	directed := local.Directed()
+	nv, ne := local.NumVertices(), local.NumEdges()
+	if len(rec.Vertices) < 2 || len(rec.Edges) != len(rec.Vertices)-1 {
+		return fmt.Errorf("dtlp: import path with %d vertices / %d edges", len(rec.Vertices), len(rec.Edges))
+	}
+	for _, v := range rec.Vertices {
+		if int(v) < 0 || int(v) >= nv {
+			return fmt.Errorf("dtlp: import path vertex %d outside [0,%d)", v, nv)
+		}
+	}
+	for i, e := range rec.Edges {
+		if int(e) < 0 || int(e) >= ne {
+			return fmt.Errorf("dtlp: import path edge %d outside [0,%d)", e, ne)
+		}
+		ends := local.EdgeEndpoints(e)
+		u, v := rec.Vertices[i], rec.Vertices[i+1]
+		if !(ends.U == u && ends.V == v) && (directed || !(ends.U == v && ends.V == u)) {
+			return fmt.Errorf("dtlp: import path edge %d does not connect vertices %d-%d", e, u, v)
+		}
+	}
+	if MakePairKey(rec.Pair.A, rec.Pair.B, directed) != rec.Pair {
+		return fmt.Errorf("dtlp: import pair (%d,%d) not normalised", rec.Pair.A, rec.Pair.B)
+	}
+	if rec.Vertices[0] != rec.Pair.A || rec.Vertices[len(rec.Vertices)-1] != rec.Pair.B {
+		return fmt.Errorf("dtlp: import pair (%d,%d) does not match path endpoints", rec.Pair.A, rec.Pair.B)
+	}
+	if math.IsNaN(rec.Vfrags) || math.IsInf(rec.Vfrags, 0) || rec.Vfrags <= 0 {
+		return fmt.Errorf("dtlp: import path with invalid vfrag count %g", rec.Vfrags)
+	}
+	if math.IsNaN(rec.Dist) || math.IsInf(rec.Dist, 0) || rec.Dist < 0 {
+		return fmt.Errorf("dtlp: import path with invalid distance %g", rec.Dist)
+	}
+	entry, ok := si.pairs[rec.Pair]
+	if !ok {
+		entry = &pairEntry{key: rec.Pair, lbd: infValue}
+		si.pairs[rec.Pair] = entry
+	}
+	// Construction keeps every enumerated path among the first ξ distinct
+	// vfrag lengths, so MaxEnumerate (not ξ) bounds the per-pair path count.
+	if len(entry.paths) >= imp.cfg.MaxEnumerate {
+		return fmt.Errorf("dtlp: import pair (%d,%d) has more than %d paths", rec.Pair.A, rec.Pair.B, imp.cfg.MaxEnumerate)
+	}
+	bp := &BoundingPath{
+		ID:       imp.nextID[id],
+		Pair:     rec.Pair,
+		Vertices: append([]graph.VertexID(nil), rec.Vertices...),
+		Edges:    append([]graph.EdgeID(nil), rec.Edges...),
+		Vfrags:   rec.Vfrags,
+		Dist:     rec.Dist,
+	}
+	imp.nextID[id]++
+	for _, e := range bp.Edges {
+		si.epIndex[e] = append(si.epIndex[e], bp)
+		si.epEntries++
+	}
+	entry.paths = append(entry.paths, bp)
+	si.numPaths++
+	return nil
+}
+
+// Finish derives the remaining index state (bounds, LBDs, skeleton) and
+// publishes the initial view at the given epoch, so a recovered index
+// continues the epoch sequence of the process that exported it.  The
+// Importer must not be used afterwards.
+func (imp *Importer) Finish(epoch uint64) (*Index, error) {
+	if imp.finished {
+		return nil, fmt.Errorf("dtlp: import already finished")
+	}
+	imp.finished = true
+	x := &Index{
+		cfg:      imp.cfg,
+		part:     imp.part,
+		subs:     imp.subs,
+		pairSubs: make(map[PairKey][]partition.SubgraphID),
+	}
+	for _, si := range x.subs {
+		si.refreshBounds()
+	}
+	directed := imp.part.Parent().Directed()
+	for _, si := range x.subs {
+		keys := make([]PairKey, 0, len(si.pairs))
+		for k := range si.pairs {
+			keys = append(keys, k)
+		}
+		sortPairKeys(keys)
+		for _, key := range keys {
+			gk := si.globalPairKey(key, directed)
+			x.pairSubs[gk] = append(x.pairSubs[gk], si.sub.ID)
+		}
+	}
+	skel, err := buildSkeleton(imp.part, x.mbdAll(directed), directed)
+	if err != nil {
+		return nil, err
+	}
+	x.skeleton = skel
+	x.epochBase = epoch
+	x.publishView(nil)
+	return x, nil
+}

@@ -75,6 +75,7 @@ type unitEntry struct {
 // boundary vertices it computes up to ξ bounding paths under the vfrag
 // metric, registers them in the EP-Index and derives the pair's LBD.
 func buildSubgraphIndex(sub *partition.Subgraph, cfg Config) (*SubgraphIndex, error) {
+	subgraphBuilds.Add(1)
 	si := &SubgraphIndex{
 		sub:     sub,
 		cfg:     cfg,

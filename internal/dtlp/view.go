@@ -107,6 +107,8 @@ func (x *Index) publishView(affected map[partition.SubgraphID]bool) *IndexView {
 	if prev != nil {
 		nv.epoch = prev.epoch + 1
 		copy(nv.subs, prev.subs)
+	} else {
+		nv.epoch = x.epochBase
 	}
 	for id := range nv.subs {
 		sid := partition.SubgraphID(id)

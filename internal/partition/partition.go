@@ -127,17 +127,6 @@ func PartitionGraph(g *graph.Graph, z int) (*Partition, error) {
 		return nil, fmt.Errorf("partition: z = %d, need at least 2", z)
 	}
 	n := g.NumVertices()
-	p := &Partition{
-		Z:          z,
-		parent:     g,
-		edgeLoc:    make([]EdgeLocation, g.NumEdges()),
-		vertexSubs: make(map[graph.VertexID][]SubgraphID),
-		isBoundary: make([]bool, n),
-	}
-	for i := range p.edgeLoc {
-		p.edgeLoc[i] = EdgeLocation{Subgraph: NoSubgraph, LocalEdge: graph.NoEdge}
-	}
-
 	edgeAssigned := make([]bool, g.NumEdges())
 	// builders[i] accumulates the edges of subgraph i before materialisation.
 	type pending struct {
@@ -204,24 +193,83 @@ func PartitionGraph(g *graph.Graph, z int) (*Partition, error) {
 		flush()
 	}
 
-	// Materialise subgraphs.
+	subVerts := make([][]graph.VertexID, len(pendings))
+	subEdges := make([][]graph.EdgeID, len(pendings))
 	for i, pend := range pendings {
+		subVerts[i] = pend.vertices
+		subEdges[i] = pend.edges
+	}
+	return assemble(g, z, subVerts, subEdges)
+}
+
+// Assemble reconstructs a Partition from an explicit subgraph assignment:
+// subVerts[i] and subEdges[i] list the global vertex and edge ids of subgraph
+// i.  It materialises the same structures PartitionGraph produces from its
+// breadth-first sweep and validates every structural invariant, so a
+// serialized assignment (internal/store snapshots) round-trips exactly even
+// if the partitioning heuristic changes between versions.  Local subgraph
+// weights are brought up to the parent's current weights.
+func Assemble(parent *graph.Graph, z int, subVerts [][]graph.VertexID, subEdges [][]graph.EdgeID) (*Partition, error) {
+	if z < 2 {
+		return nil, fmt.Errorf("partition: z = %d, need at least 2", z)
+	}
+	if len(subVerts) != len(subEdges) {
+		return nil, fmt.Errorf("partition: %d vertex lists but %d edge lists", len(subVerts), len(subEdges))
+	}
+	p, err := assemble(parent, z, subVerts, subEdges)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: assembled partition invalid: %w", err)
+	}
+	return p, nil
+}
+
+// assemble materialises subgraphs from per-subgraph vertex/edge id lists and
+// derives the boundary bookkeeping.  It is shared by PartitionGraph (whose
+// sweep guarantees the invariants) and Assemble (which validates them).
+func assemble(g *graph.Graph, z int, subVerts [][]graph.VertexID, subEdges [][]graph.EdgeID) (*Partition, error) {
+	n := g.NumVertices()
+	p := &Partition{
+		Z:          z,
+		parent:     g,
+		edgeLoc:    make([]EdgeLocation, g.NumEdges()),
+		vertexSubs: make(map[graph.VertexID][]SubgraphID),
+		isBoundary: make([]bool, n),
+	}
+	for i := range p.edgeLoc {
+		p.edgeLoc[i] = EdgeLocation{Subgraph: NoSubgraph, LocalEdge: graph.NoEdge}
+	}
+	for i := range subVerts {
 		id := SubgraphID(i)
 		sg := &Subgraph{
 			ID:          id,
-			Globals:     append([]graph.VertexID(nil), pend.vertices...),
-			GlobalEdges: append([]graph.EdgeID(nil), pend.edges...),
-			toLocal:     make(map[graph.VertexID]graph.VertexID, len(pend.vertices)),
+			Globals:     append([]graph.VertexID(nil), subVerts[i]...),
+			GlobalEdges: append([]graph.EdgeID(nil), subEdges[i]...),
+			toLocal:     make(map[graph.VertexID]graph.VertexID, len(subVerts[i])),
 		}
 		for li, gv := range sg.Globals {
+			if int(gv) < 0 || int(gv) >= n {
+				return nil, fmt.Errorf("partition: subgraph %d vertex %d outside [0,%d)", id, gv, n)
+			}
+			if _, dup := sg.toLocal[gv]; dup {
+				return nil, fmt.Errorf("partition: subgraph %d lists vertex %d twice", id, gv)
+			}
 			sg.toLocal[gv] = graph.VertexID(li)
 			p.vertexSubs[gv] = append(p.vertexSubs[gv], id)
 		}
 		b := graph.NewBuilder(len(sg.Globals), g.Directed())
 		for le, ge := range sg.GlobalEdges {
+			if int(ge) < 0 || int(ge) >= g.NumEdges() {
+				return nil, fmt.Errorf("partition: subgraph %d edge %d outside [0,%d)", id, ge, g.NumEdges())
+			}
 			ends := g.EdgeEndpoints(ge)
-			lu := sg.toLocal[ends.U]
-			lv := sg.toLocal[ends.V]
+			lu, okU := sg.toLocal[ends.U]
+			lv, okV := sg.toLocal[ends.V]
+			if !okU || !okV {
+				return nil, fmt.Errorf("partition: subgraph %d owns edge %d but misses an endpoint", id, ge)
+			}
 			if _, err := b.AddEdge(lu, lv, g.InitialWeight(ge)); err != nil {
 				return nil, fmt.Errorf("partition: building subgraph %d: %w", id, err)
 			}

@@ -16,6 +16,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,6 +26,17 @@ import (
 	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 )
+
+// Persister receives durability callbacks from the server's writer path.
+// *store.Store implements it; serve depends only on this interface so the
+// persistence subsystem stays optional.
+type Persister interface {
+	// AppendBatch logs one applied batch under the epoch it produced.
+	AppendBatch(epoch uint64, batch []graph.WeightUpdate) error
+	// SaveSnapshot persists the index at its current epoch and returns that
+	// epoch.
+	SaveSnapshot(index *dtlp.Index) (uint64, error)
+}
 
 // Options configures a Server.
 type Options struct {
@@ -43,6 +55,15 @@ type Options struct {
 	// forward the batch to standalone workers that maintain their own weight
 	// copies; its error fails the ApplyUpdates call that triggered it.
 	Broadcast func(batch []graph.WeightUpdate) error
+	// Store, when set, makes every applied batch durable: ApplyUpdates
+	// appends the batch to the write-ahead log under its exact epoch before
+	// returning, and a WAL append failure fails the call (the batch is
+	// already applied in memory, but the caller learns durability was lost).
+	Store Persister
+	// SnapshotEvery, when positive together with Store, writes a fresh index
+	// snapshot after every SnapshotEvery applied batches, rotating the WAL
+	// and bounding recovery replay cost.
+	SnapshotEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +86,7 @@ type Stats struct {
 	Coalesced      int64 // queries that joined an identical in-flight query
 	UpdateBatches  int64 // update batches applied
 	UpdatesApplied int64 // individual edge updates applied
+	Snapshots      int64 // periodic snapshots written through Options.Store
 	Epoch          uint64
 }
 
@@ -84,11 +106,18 @@ type Server struct {
 	cache    map[queryKey]cacheEntry
 	inflight map[queryKey]*call
 
+	// writeMu serializes the whole writer path (graph + index + WAL +
+	// broadcast) so WAL records land in exactly the epoch order the index
+	// published and periodic snapshots observe a quiescent writer.
+	writeMu       sync.Mutex
+	sinceSnapshot int
+
 	queries   atomic.Int64
 	hits      atomic.Int64
 	coalesced atomic.Int64
 	batches   atomic.Int64
 	updates   atomic.Int64
+	snapshots atomic.Int64
 }
 
 type queryKey struct {
@@ -245,25 +274,54 @@ func (s *Server) Query(src, dst graph.VertexID, k int) (core.Result, error) {
 
 // ApplyUpdates applies one batch of edge weight updates: first to the master
 // copy of the road network, then to the index, which publishes the next
-// epoch.  Batches from concurrent callers are serialized by the index's
-// single-writer lock; queries already in flight keep their epoch.
+// epoch.  Batches from concurrent callers are serialized; queries already in
+// flight keep their epoch.  When a Store is configured the batch is appended
+// to the write-ahead log under the epoch it produced before ApplyUpdates
+// returns, and every Options.SnapshotEvery batches a fresh snapshot is
+// written (rotating the WAL).
 func (s *Server) ApplyUpdates(batch []graph.WeightUpdate) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if err := s.parent.ApplyUpdates(batch); err != nil {
 		return err
 	}
-	if err := s.index.ApplyUpdates(batch); err != nil {
+	epoch, err := s.index.ApplyUpdatesEpoch(batch)
+	if err != nil {
 		return err
+	}
+	// The WAL append and the worker broadcast are independent obligations:
+	// a durability failure must not leave the (already updated) master and
+	// the standalone workers with diverged weights, so the broadcast runs
+	// regardless and the errors are joined.
+	var errs []error
+	if s.opts.Store != nil {
+		if err := s.opts.Store.AppendBatch(epoch, batch); err != nil {
+			errs = append(errs, fmt.Errorf("serve: logging update batch for epoch %d: %w", epoch, err))
+		}
 	}
 	if s.opts.Broadcast != nil {
 		if err := s.opts.Broadcast(batch); err != nil {
-			return fmt.Errorf("serve: broadcasting update batch: %w", err)
+			errs = append(errs, fmt.Errorf("serve: broadcasting update batch: %w", err))
 		}
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
 	}
 	s.batches.Add(1)
 	s.updates.Add(int64(len(batch)))
+	if s.opts.Store != nil && s.opts.SnapshotEvery > 0 {
+		s.sinceSnapshot++
+		if s.sinceSnapshot >= s.opts.SnapshotEvery {
+			if _, err := s.opts.Store.SaveSnapshot(s.index); err != nil {
+				return fmt.Errorf("serve: periodic snapshot at epoch %d: %w", epoch, err)
+			}
+			s.sinceSnapshot = 0
+			s.snapshots.Add(1)
+		}
+	}
 	return nil
 }
 
@@ -275,6 +333,7 @@ func (s *Server) Stats() Stats {
 		Coalesced:      s.coalesced.Load(),
 		UpdateBatches:  s.batches.Load(),
 		UpdatesApplied: s.updates.Load(),
+		Snapshots:      s.snapshots.Load(),
 		Epoch:          s.index.CurrentView().Epoch(),
 	}
 }

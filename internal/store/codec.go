@@ -1,0 +1,552 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+)
+
+// Snapshot binary layout (FormatVersion 1), all integers little-endian:
+//
+//	magic "KSPDSNP1" | u32 version
+//	u64 epoch | u32 xi | u32 maxEnumerate | u64 z
+//	graph:     u8 directed | u64 numV | u64 numE
+//	           numE × (i32 U | i32 V | f64 initW | f64 curW)
+//	partition: u64 numSubs
+//	           per sub: u64 nv, nv × i32 vertex | u64 ne, ne × i32 edge
+//	paths:     records, each u8 tag:
+//	           1 | u32 sub | i32 pairA | i32 pairB
+//	             | u32 nVerts, nVerts × i32 | u32 nEdges, nEdges × i32
+//	             | f64 vfrags | f64 dist
+//	           0 terminates the stream
+//	trailer:   u32 CRC-32C of everything above
+//
+// The encoder streams straight to the writer (no in-memory image), so
+// snapshotting a large graph does not double peak memory.  Floats are stored
+// as IEEE-754 bits, so weights and path distances round-trip exactly.
+
+const (
+	snapMagic = "KSPDSNP1"
+	walMagic  = "KSPDWAL1"
+
+	// FormatVersion is the current snapshot and WAL format version.  See the
+	// package comment in store.go for the version policy.
+	FormatVersion = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter tees writes into a CRC-32C accumulator.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+	buf [8]byte
+}
+
+func newCRCWriter(w io.Writer) *crcWriter {
+	return &crcWriter{w: bufio.NewWriterSize(w, 1<<16), crc: crc32.New(crcTable)}
+}
+
+func (cw *crcWriter) writeBytes(p []byte) error {
+	if _, err := cw.w.Write(p); err != nil {
+		return err
+	}
+	cw.crc.Write(p)
+	return nil
+}
+
+func (cw *crcWriter) u8(v uint8) error { cw.buf[0] = v; return cw.writeBytes(cw.buf[:1]) }
+func (cw *crcWriter) u32(v uint32) error {
+	binary.LittleEndian.PutUint32(cw.buf[:4], v)
+	return cw.writeBytes(cw.buf[:4])
+}
+func (cw *crcWriter) u64(v uint64) error {
+	binary.LittleEndian.PutUint64(cw.buf[:8], v)
+	return cw.writeBytes(cw.buf[:8])
+}
+func (cw *crcWriter) i32(v int32) error   { return cw.u32(uint32(v)) }
+func (cw *crcWriter) f64(v float64) error { return cw.u64(math.Float64bits(v)) }
+
+// finish writes the CRC trailer (not itself checksummed) and flushes.
+func (cw *crcWriter) finish() error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], cw.crc.Sum32())
+	if _, err := cw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// crcReader mirrors crcWriter: every read feeds the CRC accumulator, and
+// size bounds count fields so corrupted inputs cannot force huge allocations.
+type crcReader struct {
+	r    *bufio.Reader
+	crc  hash.Hash32
+	size int64 // total input size, used as a sanity bound on counts
+	buf  [8]byte
+}
+
+func newCRCReader(r io.Reader, size int64) *crcReader {
+	return &crcReader{r: bufio.NewReaderSize(r, 1<<16), crc: crc32.New(crcTable), size: size}
+}
+
+func (cr *crcReader) readBytes(p []byte) error {
+	if _, err := io.ReadFull(cr.r, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("store: truncated input: %w", err)
+	}
+	cr.crc.Write(p)
+	return nil
+}
+
+func (cr *crcReader) u8() (uint8, error) {
+	if err := cr.readBytes(cr.buf[:1]); err != nil {
+		return 0, err
+	}
+	return cr.buf[0], nil
+}
+
+func (cr *crcReader) u32() (uint32, error) {
+	if err := cr.readBytes(cr.buf[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(cr.buf[:4]), nil
+}
+
+func (cr *crcReader) u64() (uint64, error) {
+	if err := cr.readBytes(cr.buf[:8]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(cr.buf[:8]), nil
+}
+
+func (cr *crcReader) i32() (int32, error) {
+	v, err := cr.u32()
+	return int32(v), err
+}
+
+func (cr *crcReader) f64() (float64, error) {
+	v, err := cr.u64()
+	return math.Float64frombits(v), err
+}
+
+// count reads a u64 count field and rejects values that cannot possibly fit
+// in the input (each element needs at least one byte), bounding allocations
+// on corrupted snapshots.
+func (cr *crcReader) count(what string) (int, error) {
+	v, err := cr.u64()
+	if err != nil {
+		return 0, err
+	}
+	if cr.size >= 0 && v > uint64(cr.size) {
+		return 0, fmt.Errorf("store: %s count %d exceeds input size %d", what, v, cr.size)
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("store: %s count %d too large", what, v)
+	}
+	return int(v), nil
+}
+
+// count32 is count for u32-encoded fields.
+func (cr *crcReader) count32(what string) (int, error) {
+	v, err := cr.u32()
+	if err != nil {
+		return 0, err
+	}
+	if cr.size >= 0 && uint64(v) > uint64(cr.size) {
+		return 0, fmt.Errorf("store: %s count %d exceeds input size %d", what, v, cr.size)
+	}
+	return int(v), nil
+}
+
+// verify reads the CRC trailer and compares it against the accumulated sum.
+func (cr *crcReader) verify() error {
+	want := cr.crc.Sum32()
+	var buf [4]byte
+	if _, err := io.ReadFull(cr.r, buf[:]); err != nil {
+		return fmt.Errorf("store: truncated checksum trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(buf[:]); got != want {
+		return fmt.Errorf("store: snapshot checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return nil
+}
+
+// encodeSnapshot streams a consistent snapshot of the index to w and returns
+// the epoch it captured.  It must not race with update application outside
+// dtlp's writer lock (ExportState holds it for the whole encode).
+func encodeSnapshot(w io.Writer, x *dtlp.Index) (uint64, error) {
+	cw := newCRCWriter(w)
+	var epoch uint64
+	err := x.ExportState(func(st dtlp.ExportedState) error {
+		epoch = st.Epoch
+		part := x.Partition()
+		parent := part.Parent()
+		cfg := x.Config()
+
+		if err := cw.writeBytes([]byte(snapMagic)); err != nil {
+			return err
+		}
+		if err := cw.u32(FormatVersion); err != nil {
+			return err
+		}
+		if err := cw.u64(st.Epoch); err != nil {
+			return err
+		}
+		if err := cw.u32(uint32(cfg.Xi)); err != nil {
+			return err
+		}
+		if err := cw.u32(uint32(cfg.MaxEnumerate)); err != nil {
+			return err
+		}
+		if err := cw.u64(uint64(part.Z)); err != nil {
+			return err
+		}
+
+		// Graph topology, initial weights (vfrag counts), and the one weight
+		// snapshot: the weights frozen at st.Epoch.
+		directed := uint8(0)
+		if parent.Directed() {
+			directed = 1
+		}
+		if err := cw.u8(directed); err != nil {
+			return err
+		}
+		if err := cw.u64(uint64(parent.NumVertices())); err != nil {
+			return err
+		}
+		numE := parent.NumEdges()
+		if err := cw.u64(uint64(numE)); err != nil {
+			return err
+		}
+		for e := 0; e < numE; e++ {
+			ends := parent.EdgeEndpoints(graph.EdgeID(e))
+			if err := cw.i32(int32(ends.U)); err != nil {
+				return err
+			}
+			if err := cw.i32(int32(ends.V)); err != nil {
+				return err
+			}
+			if err := cw.f64(parent.InitialWeight(graph.EdgeID(e))); err != nil {
+				return err
+			}
+			if err := cw.f64(st.View.GlobalWeight(graph.EdgeID(e))); err != nil {
+				return err
+			}
+		}
+
+		// Partition assignment.
+		if err := cw.u64(uint64(part.NumSubgraphs())); err != nil {
+			return err
+		}
+		for i := 0; i < part.NumSubgraphs(); i++ {
+			sg := part.Subgraph(partition.SubgraphID(i))
+			if err := cw.u64(uint64(len(sg.Globals))); err != nil {
+				return err
+			}
+			for _, v := range sg.Globals {
+				if err := cw.i32(int32(v)); err != nil {
+					return err
+				}
+			}
+			if err := cw.u64(uint64(len(sg.GlobalEdges))); err != nil {
+				return err
+			}
+			for _, e := range sg.GlobalEdges {
+				if err := cw.i32(int32(e)); err != nil {
+					return err
+				}
+			}
+		}
+
+		// The DTLP skeleton structure: every bounding path.
+		err := st.Paths(func(sub partition.SubgraphID, rec dtlp.PathRecord) error {
+			if err := cw.u8(1); err != nil {
+				return err
+			}
+			if err := cw.u32(uint32(sub)); err != nil {
+				return err
+			}
+			if err := cw.i32(int32(rec.Pair.A)); err != nil {
+				return err
+			}
+			if err := cw.i32(int32(rec.Pair.B)); err != nil {
+				return err
+			}
+			if err := cw.u32(uint32(len(rec.Vertices))); err != nil {
+				return err
+			}
+			for _, v := range rec.Vertices {
+				if err := cw.i32(int32(v)); err != nil {
+					return err
+				}
+			}
+			if err := cw.u32(uint32(len(rec.Edges))); err != nil {
+				return err
+			}
+			for _, e := range rec.Edges {
+				if err := cw.i32(int32(e)); err != nil {
+					return err
+				}
+			}
+			if err := cw.f64(rec.Vfrags); err != nil {
+				return err
+			}
+			return cw.f64(rec.Dist)
+		})
+		if err != nil {
+			return err
+		}
+		return cw.u8(0) // end of path stream
+	})
+	if err != nil {
+		return 0, err
+	}
+	return epoch, cw.finish()
+}
+
+// snapshotContents is the decoded state of a snapshot file.  Index is nil
+// when decoding was asked for topology only.
+type snapshotContents struct {
+	epoch     uint64
+	graph     *graph.Graph
+	partition *partition.Partition
+	index     *dtlp.Index
+}
+
+// decodeSnapshot reads and validates a snapshot.  size is the input length
+// in bytes (used to bound allocations; pass -1 if unknown).  When
+// topologyOnly is set the path records are validated and discarded and no
+// index is assembled.  Nothing is returned unless the checksum verifies.
+func decodeSnapshot(r io.Reader, size int64, topologyOnly bool) (*snapshotContents, error) {
+	cr := newCRCReader(r, size)
+	magic := make([]byte, len(snapMagic))
+	if err := cr.readBytes(magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != snapMagic {
+		return nil, fmt.Errorf("store: not a snapshot file (magic %q)", magic)
+	}
+	version, err := cr.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot format version %d (supported: %d)", version, FormatVersion)
+	}
+	epoch, err := cr.u64()
+	if err != nil {
+		return nil, err
+	}
+	xi, err := cr.u32()
+	if err != nil {
+		return nil, err
+	}
+	maxEnum, err := cr.u32()
+	if err != nil {
+		return nil, err
+	}
+	if xi == 0 || xi > math.MaxInt32 || maxEnum > math.MaxInt32 {
+		return nil, fmt.Errorf("store: invalid index config (xi=%d, maxEnumerate=%d)", xi, maxEnum)
+	}
+	z, err := cr.count("partition z")
+	if err != nil {
+		return nil, err
+	}
+
+	// Graph.
+	directedB, err := cr.u8()
+	if err != nil {
+		return nil, err
+	}
+	if directedB > 1 {
+		return nil, fmt.Errorf("store: invalid directed flag %d", directedB)
+	}
+	directed := directedB == 1
+	numV, err := cr.count("vertex")
+	if err != nil {
+		return nil, err
+	}
+	numE, err := cr.count("edge")
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(numV, directed)
+	curW := make([]float64, 0, min(numE, 1<<16))
+	for e := 0; e < numE; e++ {
+		u, err := cr.i32()
+		if err != nil {
+			return nil, err
+		}
+		v, err := cr.i32()
+		if err != nil {
+			return nil, err
+		}
+		w0, err := cr.f64()
+		if err != nil {
+			return nil, err
+		}
+		w, err := cr.f64()
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(w0) || math.IsInf(w0, 0) || math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("store: edge %d has invalid weights (%g, %g)", e, w0, w)
+		}
+		if _, err := b.AddEdge(graph.VertexID(u), graph.VertexID(v), w0); err != nil {
+			return nil, fmt.Errorf("store: snapshot graph: %w", err)
+		}
+		curW = append(curW, w)
+	}
+	g := b.Build()
+	var updates []graph.WeightUpdate
+	for e, w := range curW {
+		if g.InitialWeight(graph.EdgeID(e)) != w {
+			updates = append(updates, graph.WeightUpdate{Edge: graph.EdgeID(e), NewWeight: w})
+		}
+	}
+	if len(updates) > 0 {
+		if err := g.ApplyUpdates(updates); err != nil {
+			return nil, fmt.Errorf("store: snapshot weights: %w", err)
+		}
+	}
+
+	// Partition.
+	numSubs, err := cr.count("subgraph")
+	if err != nil {
+		return nil, err
+	}
+	subVerts := make([][]graph.VertexID, 0, min(numSubs, 1<<16))
+	subEdges := make([][]graph.EdgeID, 0, min(numSubs, 1<<16))
+	for i := 0; i < numSubs; i++ {
+		nv, err := cr.count("subgraph vertex")
+		if err != nil {
+			return nil, err
+		}
+		verts := make([]graph.VertexID, 0, min(nv, 1<<16))
+		for j := 0; j < nv; j++ {
+			v, err := cr.i32()
+			if err != nil {
+				return nil, err
+			}
+			verts = append(verts, graph.VertexID(v))
+		}
+		ne, err := cr.count("subgraph edge")
+		if err != nil {
+			return nil, err
+		}
+		edges := make([]graph.EdgeID, 0, min(ne, 1<<16))
+		for j := 0; j < ne; j++ {
+			e, err := cr.i32()
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, graph.EdgeID(e))
+		}
+		subVerts = append(subVerts, verts)
+		subEdges = append(subEdges, edges)
+	}
+	part, err := partition.Assemble(g, z, subVerts, subEdges)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot partition: %w", err)
+	}
+
+	// Bounding path records.
+	var imp *dtlp.Importer
+	if !topologyOnly {
+		imp, err = dtlp.NewImporter(part, dtlp.Config{Xi: int(xi), MaxEnumerate: int(maxEnum)})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		tag, err := cr.u8()
+		if err != nil {
+			return nil, err
+		}
+		if tag == 0 {
+			break
+		}
+		if tag != 1 {
+			return nil, fmt.Errorf("store: invalid path record tag %d", tag)
+		}
+		sub, err := cr.u32()
+		if err != nil {
+			return nil, err
+		}
+		pa, err := cr.i32()
+		if err != nil {
+			return nil, err
+		}
+		pb, err := cr.i32()
+		if err != nil {
+			return nil, err
+		}
+		nVerts, err := cr.count32("path vertex")
+		if err != nil {
+			return nil, err
+		}
+		verts := make([]graph.VertexID, 0, min(nVerts, 1<<12))
+		for j := 0; j < nVerts; j++ {
+			v, err := cr.i32()
+			if err != nil {
+				return nil, err
+			}
+			verts = append(verts, graph.VertexID(v))
+		}
+		nEdges, err := cr.count32("path edge")
+		if err != nil {
+			return nil, err
+		}
+		edges := make([]graph.EdgeID, 0, min(nEdges, 1<<12))
+		for j := 0; j < nEdges; j++ {
+			e, err := cr.i32()
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, graph.EdgeID(e))
+		}
+		vfrags, err := cr.f64()
+		if err != nil {
+			return nil, err
+		}
+		dist, err := cr.f64()
+		if err != nil {
+			return nil, err
+		}
+		if imp != nil {
+			rec := dtlp.PathRecord{
+				Pair:     dtlp.PairKey{A: graph.VertexID(pa), B: graph.VertexID(pb)},
+				Vertices: verts,
+				Edges:    edges,
+				Vfrags:   vfrags,
+				Dist:     dist,
+			}
+			if err := imp.Add(partition.SubgraphID(sub), rec); err != nil {
+				return nil, fmt.Errorf("store: snapshot path record: %w", err)
+			}
+		}
+	}
+	if err := cr.verify(); err != nil {
+		return nil, err
+	}
+	sc := &snapshotContents{epoch: epoch, graph: g, partition: part}
+	if imp != nil {
+		x, err := imp.Finish(epoch)
+		if err != nil {
+			return nil, fmt.Errorf("store: assembling index: %w", err)
+		}
+		sc.index = x
+	}
+	return sc, nil
+}

@@ -1,0 +1,225 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"kspdg/internal/graph"
+)
+
+// WAL binary layout (FormatVersion 1), all integers little-endian:
+//
+//	header:  magic "KSPDWAL1" | u32 version | u64 startEpoch
+//	record:  u64 epoch | u32 count | count × (i32 edge | f64 weight)
+//	         | u32 CRC-32C of the record bytes above
+//
+// A segment named wal-<startEpoch>.log holds the update batches that
+// produced epochs startEpoch+1, startEpoch+2, ...  Records are flushed to
+// the OS on every append (surviving process crashes); fsync is batched per
+// Options.SyncEvery (bounding data loss on power failure).  Readers stop at
+// the first record that fails its CRC or is truncated: a torn tail from a
+// crash mid-append is expected and cleanly ignored.
+
+// maxWALBatch bounds the per-record update count accepted by the reader, so
+// corrupted length fields cannot force huge allocations.
+const maxWALBatch = 1 << 24
+
+// walRecord is one decoded WAL entry: the batch that produced Epoch.
+type walRecord struct {
+	Epoch uint64
+	Batch []graph.WeightUpdate
+}
+
+// walWriter appends records to one WAL segment file.
+type walWriter struct {
+	f          *os.File
+	startEpoch uint64
+	last       uint64 // epoch of the last appended (or recovered) record
+	off        int64  // length of the valid record prefix written so far
+	pending    int    // appends since the last fsync
+	broken     bool   // a failed append could not be rolled back
+}
+
+// createWAL creates a new segment for batches after startEpoch, fsyncing the
+// header immediately so an empty segment is recoverable.  O_APPEND matters:
+// it keeps the rollback in append correct (after a truncate, the next write
+// lands at the new end of file, never leaving a zero-filled hole).
+func createWAL(path string, startEpoch uint64) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [20]byte
+	copy(hdr[:8], walMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], startEpoch)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, startEpoch: startEpoch, last: startEpoch, off: int64(len(hdr))}, nil
+}
+
+// openWALForAppend reopens an existing segment, truncating any torn tail so
+// new records continue the valid prefix.
+func openWALForAppend(path string) (*walWriter, uint64, error) {
+	recs, startEpoch, validLen, err := readWAL(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := os.Truncate(path, validLen); err != nil {
+		return nil, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	last := startEpoch
+	if len(recs) > 0 {
+		last = recs[len(recs)-1].Epoch
+	}
+	return &walWriter{f: f, startEpoch: startEpoch, last: last, off: validLen}, last, nil
+}
+
+// append writes one record and flushes it to the OS.  syncEvery batches
+// fsyncs: 1 syncs every record, n > 1 every n records (the rest ride along).
+// A failed write is rolled back by truncating the file to the last valid
+// record, so later appends stay recoverable; if even the rollback fails the
+// writer is poisoned and every subsequent append errors (silently appending
+// after torn bytes would make recovery drop the new records).
+func (w *walWriter) append(epoch uint64, batch []graph.WeightUpdate, syncEvery int) error {
+	if w.broken {
+		return fmt.Errorf("store: WAL writer unusable after an unrecoverable append failure")
+	}
+	// Epochs must be contiguous: if an earlier append failed (its batch is
+	// applied in memory but not logged), accepting later epochs would record
+	// a permanent gap that recovery rejects wholesale — refusing here keeps
+	// the failure visible until a snapshot resynchronises the log.
+	if epoch != w.last+1 {
+		return fmt.Errorf("store: WAL expects epoch %d next, got %d (a snapshot is needed to resynchronise after a lost append)", w.last+1, epoch)
+	}
+	buf := make([]byte, 0, 12+len(batch)*12+4)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:8], epoch)
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(batch)))
+	buf = append(buf, tmp[:4]...)
+	for _, u := range batch {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(u.Edge))
+		buf = append(buf, tmp[:4]...)
+		binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(u.NewWeight))
+		buf = append(buf, tmp[:8]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.Checksum(buf, crcTable))
+	buf = append(buf, tmp[:4]...)
+	if _, err := w.f.Write(buf); err != nil {
+		if terr := w.f.Truncate(w.off); terr != nil {
+			w.broken = true
+		}
+		return err
+	}
+	w.off += int64(len(buf))
+	w.last = epoch
+	w.pending++
+	if syncEvery <= 1 || w.pending >= syncEvery {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.pending = 0
+	}
+	return nil
+}
+
+// close fsyncs outstanding records and closes the segment.
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// readWAL decodes a segment file.  It returns the records of the valid
+// prefix, the segment's start epoch, and the byte length of that prefix
+// (callers truncate to it before appending).  A torn or corrupt tail is not
+// an error; a bad header is.
+func readWAL(path string) (recs []walRecord, startEpoch uint64, validLen int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	size := int64(-1)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	recs, startEpoch, validLen, err = decodeWAL(f, size)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("store: reading WAL %s: %w", path, err)
+	}
+	return recs, startEpoch, validLen, nil
+}
+
+// decodeWAL is the reader core, split out so the fuzz target can feed it
+// arbitrary bytes.  size bounds record counts (pass -1 if unknown) so a
+// corrupted length field cannot force a huge allocation.
+func decodeWAL(r io.Reader, size int64) (recs []walRecord, startEpoch uint64, validLen int64, err error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("truncated header: %w", err)
+	}
+	if string(hdr[:8]) != walMagic {
+		return nil, 0, 0, fmt.Errorf("not a WAL file (magic %q)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != FormatVersion {
+		return nil, 0, 0, fmt.Errorf("unsupported WAL format version %d (supported: %d)", v, FormatVersion)
+	}
+	startEpoch = binary.LittleEndian.Uint64(hdr[12:20])
+	validLen = int64(len(hdr))
+	for {
+		var fixed [12]byte
+		if _, err := io.ReadFull(r, fixed[:]); err != nil {
+			return recs, startEpoch, validLen, nil // clean or torn end
+		}
+		epoch := binary.LittleEndian.Uint64(fixed[:8])
+		count := binary.LittleEndian.Uint32(fixed[8:12])
+		if count > maxWALBatch || (size >= 0 && int64(count) > size/12) {
+			return recs, startEpoch, validLen, nil // corrupt length: treat as torn tail
+		}
+		payload := make([]byte, int(count)*12)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return recs, startEpoch, validLen, nil
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+			return recs, startEpoch, validLen, nil
+		}
+		crc := crc32.Checksum(fixed[:], crcTable)
+		crc = crc32.Update(crc, crcTable, payload)
+		if binary.LittleEndian.Uint32(crcBuf[:]) != crc {
+			return recs, startEpoch, validLen, nil
+		}
+		batch := make([]graph.WeightUpdate, count)
+		for i := range batch {
+			off := i * 12
+			batch[i] = graph.WeightUpdate{
+				Edge:      graph.EdgeID(int32(binary.LittleEndian.Uint32(payload[off : off+4]))),
+				NewWeight: math.Float64frombits(binary.LittleEndian.Uint64(payload[off+4 : off+12])),
+			}
+		}
+		recs = append(recs, walRecord{Epoch: epoch, Batch: batch})
+		validLen += int64(len(fixed)) + int64(len(payload)) + int64(len(crcBuf))
+	}
+}
