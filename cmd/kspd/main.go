@@ -5,6 +5,14 @@
 // same roles the paper assigns to SubgraphBolts and QueryBolts on Storm
 // (Section 6.1).
 //
+// The master↔worker request path is an asynchronous batching pipeline:
+// requests are tagged with IDs and multiplexed over a small connection pool
+// per worker (-pool), and partial-KSP pair requests from different concurrent
+// queries coalesce into shared batches (-batch-pairs / -batch-age) with
+// cross-query deduplication.  -transport selects the legacy serialized
+// transport, the multiplexed pipelined one, or the full batched pipeline
+// (default).
+//
 // Processes either derive the dataset and partition deterministically from
 // the shared flags, or — with -data-dir and -load-index — warm-start from a
 // shared snapshot written by a previous run (or by kspgen), skipping DTLP
@@ -42,6 +50,7 @@ import (
 	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
+	"kspdg/internal/rpcbatch"
 	"kspdg/internal/serve"
 	"kspdg/internal/store"
 	"kspdg/internal/workload"
@@ -65,6 +74,10 @@ func main() {
 		alpha      = flag.Float64("alpha", 0.2, "fraction of edges perturbed per update batch")
 		tau        = flag.Float64("tau", 0.3, "relative weight variation per update batch")
 		conc       = flag.Int("concurrency", 0, "query worker pool size (0 = GOMAXPROCS)")
+		transport  = flag.String("transport", "batched", "master-worker transport: serialized (legacy lock-step), pipelined (multiplexed, per-query fan-out), or batched (multiplexed + cross-query pair batching)")
+		pool       = flag.Int("pool", 2, "TCP connections per worker (pipelined and batched transports)")
+		batchPairs = flag.Int("batch-pairs", 0, "flush a coalesced partial-KSP batch at this many pairs (batched transport, 0 = default 64)")
+		batchAge   = flag.Duration("batch-age", 0, "flush a coalesced batch when its oldest pair waited this long (batched transport, 0 = default 200µs)")
 		dataDir    = flag.String("data-dir", "", "persistence directory for index snapshots and the update WAL")
 		saveIndex  = flag.Bool("save-index", false, "force a fresh snapshot in -data-dir after a warm start (cold starts with -data-dir always snapshot; master mode)")
 		loadIndex  = flag.Bool("load-index", false, "warm-start from the newest snapshot in -data-dir instead of deriving the dataset from flags")
@@ -111,6 +124,9 @@ func main() {
 			alpha:     *alpha,
 			tau:       *tau,
 			conc:      *conc,
+			transport: *transport,
+			pool:      *pool,
+			batch:     rpcbatch.Options{MaxPairs: *batchPairs, MaxDelay: *batchAge},
 			dataDir:   *dataDir,
 			saveIndex: *saveIndex,
 			loadIndex: *loadIndex,
@@ -193,6 +209,9 @@ type masterConfig struct {
 	alpha          float64
 	tau            float64
 	conc           int
+	transport      string
+	pool           int
+	batch          rpcbatch.Options
 	dataDir        string
 	saveIndex      bool
 	loadIndex      bool
@@ -263,13 +282,17 @@ func runMaster(cfg masterConfig) {
 	var provider core.PartialProvider
 	var broadcast func([]graph.WeightUpdate) error
 	if cfg.connect != "" {
+		copts := cluster.ClientOptions{PoolSize: cfg.pool}
+		if cfg.transport == "serialized" {
+			copts = cluster.ClientOptions{Serialize: true}
+		}
 		var remotes []*cluster.RemoteWorker
 		for _, addr := range strings.Split(cfg.connect, ",") {
 			addr = strings.TrimSpace(addr)
 			if addr == "" {
 				continue
 			}
-			rw, err := cluster.Dial(addr)
+			rw, err := cluster.DialPool(addr, copts)
 			if err != nil {
 				fatal(err)
 			}
@@ -277,7 +300,20 @@ func runMaster(cfg masterConfig) {
 			remotes = append(remotes, rw)
 			fmt.Printf("kspd master: connected to worker %s\n", addr)
 		}
-		provider = cluster.NewRemoteProvider(remotes)
+		if len(remotes) == 0 {
+			fatal(fmt.Errorf("-connect %q contains no worker addresses", cfg.connect))
+		}
+		switch cfg.transport {
+		case "serialized", "pipelined":
+			provider = cluster.NewRemoteProvider(remotes)
+		case "batched":
+			bp := cluster.NewBatchedRemoteProvider(remotes, cfg.batch)
+			defer bp.Close()
+			provider = bp
+		default:
+			fatal(fmt.Errorf("unknown -transport %q (want serialized, pipelined, or batched)", cfg.transport))
+		}
+		fmt.Printf("kspd master: %s transport, pool %d per worker\n", cfg.transport, remotes[0].PoolSize())
 		broadcast = func(batch []graph.WeightUpdate) error {
 			for _, rw := range remotes {
 				if _, err := rw.ApplyUpdates(batch); err != nil {
@@ -319,6 +355,10 @@ func runMaster(cfg masterConfig) {
 		float64(totalIter)/float64(max(len(report.Results), 1)))
 	fmt.Printf("kspd master: epoch %d, %d cache hits, %d coalesced, %d edge updates applied, %d periodic snapshots\n",
 		stats.Epoch, stats.CacheHits, stats.Coalesced, stats.UpdatesApplied, stats.Snapshots)
+	if stats.RPCBatches > 0 {
+		fmt.Printf("kspd master: %d rpc batches, %d pairs coalesced across queries, %d dedup hits\n",
+			stats.RPCBatches, stats.PairsCoalesced, stats.DedupHits)
+	}
 }
 
 func bestDist(res core.Result) float64 {

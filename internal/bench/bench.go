@@ -151,6 +151,7 @@ var registry = []experiment{
 	{"fig45", "Scalability comparison vs number of servers (NY, Figure 45)", (*Suite).Fig45},
 	{"fig46", "Relative speedups vs number of servers (Figure 46)", (*Suite).Fig46},
 	{"loadbalance", "Per-worker load spread (Section 6.6)", (*Suite).LoadBalance},
+	{"rpc", "Serialized vs pipelined vs batched master-worker transport", (*Suite).RPCTransports},
 	{"ablation-vfrag", "Ablation: vfrag bound vs edge-count bound (DESIGN.md #1)", (*Suite).AblationVfrag},
 	{"ablation-mfptree", "Ablation: EP-Index vs MFP-tree compression (DESIGN.md #3)", (*Suite).AblationMFPTree},
 	{"ablation-paircache", "Ablation: partial-path reuse across reference paths (DESIGN.md #4)", (*Suite).AblationPairCache},

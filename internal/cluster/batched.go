@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/rpcbatch"
+)
+
+// mergePairPaths merges the partial paths collected for one pair (possibly
+// from several workers with replicated subgraph boundaries) into the k
+// shortest distinct paths.
+func mergePairPaths(paths []graph.Path, k int) []graph.Path {
+	sort.Slice(paths, func(i, j int) bool { return graph.ComparePaths(paths[i], paths[j]) < 0 })
+	var dedup []graph.Path
+	seen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		key := graph.PathKey(p)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		dedup = append(dedup, p)
+		if len(dedup) == k {
+			break
+		}
+	}
+	return dedup
+}
+
+// responseToMap converts a wire response back into per-pair path lists.
+func responseToMap(pairs []core.PairRequest, resp PartialKSPResponse) map[core.PairRequest][]graph.Path {
+	out := make(map[core.PairRequest][]graph.Path, len(pairs))
+	for i, pr := range pairs {
+		if i >= len(resp.Results) {
+			continue
+		}
+		paths := make([]graph.Path, 0, len(resp.Results[i]))
+		for _, msg := range resp.Results[i] {
+			paths = append(paths, fromPathMsg(msg))
+		}
+		out[pr] = paths
+	}
+	return out
+}
+
+// batchedProvider is the asynchronous batching refine-step provider: pairs
+// are routed to per-worker rpcbatch queues where they coalesce with pairs
+// from other concurrent queries (same k and epoch) before travelling as one
+// PartialKSPRequest, and the scattered replies are merged per pair.  It
+// implements core.PartialProvider, core.ViewProvider and
+// core.AsyncPartialProvider, so engines overlap the next filter step with the
+// in-flight refine.
+type batchedProvider struct {
+	batchers []*rpcbatch.Batcher
+	// route returns the worker indices that must be asked about a pair.
+	route func(pr core.PairRequest) []int
+}
+
+// newBatchedProvider builds a provider over one batcher per worker sender.
+func newBatchedProvider(senders []rpcbatch.Sender, route func(core.PairRequest) []int, opts rpcbatch.Options) *batchedProvider {
+	bp := &batchedProvider{route: route}
+	for _, send := range senders {
+		bp.batchers = append(bp.batchers, rpcbatch.New(send, opts))
+	}
+	return bp
+}
+
+// PartialKSP implements core.PartialProvider against the workers' live
+// weights.
+func (bp *batchedProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
+	reply := <-bp.async(pairs, k, 0, false)
+	return reply.Paths, reply.Err
+}
+
+// PartialKSPView implements core.ViewProvider: requests are pinned to the
+// query's epoch, and only coalesce with other requests for the same epoch.
+func (bp *batchedProvider) PartialKSPView(iv *dtlp.IndexView, pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
+	reply := <-bp.async(pairs, k, iv.Epoch(), true)
+	return reply.Paths, reply.Err
+}
+
+// PartialKSPAsync implements core.AsyncPartialProvider.
+func (bp *batchedProvider) PartialKSPAsync(iv *dtlp.IndexView, pairs []core.PairRequest, k int) <-chan core.AsyncPartialReply {
+	if iv == nil {
+		return bp.async(pairs, k, 0, false)
+	}
+	return bp.async(pairs, k, iv.Epoch(), true)
+}
+
+func (bp *batchedProvider) async(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) <-chan core.AsyncPartialReply {
+	out := make(chan core.AsyncPartialReply, 1)
+	result := make(map[core.PairRequest][]graph.Path, len(pairs))
+	perWorker := make(map[int][]core.PairRequest)
+	for _, pr := range pairs {
+		result[pr] = nil
+		for _, w := range bp.route(pr) {
+			perWorker[w] = append(perWorker[w], pr)
+		}
+	}
+	if len(perWorker) == 0 {
+		out <- core.AsyncPartialReply{Paths: result}
+		return out
+	}
+	type pendingReply struct {
+		pairs []core.PairRequest
+		ch    <-chan rpcbatch.Result
+	}
+	var replies []pendingReply
+	for w, prs := range perWorker {
+		replies = append(replies, pendingReply{pairs: prs, ch: bp.batchers[w].DoAsync(prs, k, epoch, hasEpoch)})
+	}
+	go func() {
+		collected := make(map[core.PairRequest][]graph.Path, len(pairs))
+		var firstErr error
+		for _, pend := range replies {
+			res := <-pend.ch
+			if res.Err != nil {
+				if firstErr == nil {
+					firstErr = res.Err
+				}
+				continue
+			}
+			for _, pr := range pend.pairs {
+				collected[pr] = append(collected[pr], res.Paths[pr]...)
+			}
+		}
+		if firstErr != nil {
+			out <- core.AsyncPartialReply{Err: firstErr}
+			return
+		}
+		for pr, paths := range collected {
+			if len(paths) > 0 {
+				result[pr] = mergePairPaths(paths, k)
+			}
+		}
+		out <- core.AsyncPartialReply{Paths: result}
+	}()
+	return out
+}
+
+// BatchStats aggregates the traffic counters of the per-worker batchers.
+func (bp *batchedProvider) BatchStats() rpcbatch.Stats {
+	var st rpcbatch.Stats
+	for _, b := range bp.batchers {
+		st.Add(b.Stats())
+	}
+	return st
+}
+
+// Close flushes and stops the per-worker batchers.
+func (bp *batchedProvider) Close() {
+	var wg sync.WaitGroup
+	for _, b := range bp.batchers {
+		wg.Add(1)
+		go func(b *rpcbatch.Batcher) {
+			defer wg.Done()
+			b.Close()
+		}(b)
+	}
+	wg.Wait()
+}
+
+// BatchedRemoteProvider is the batched transport over TCP workers: one
+// rpcbatch queue per RemoteWorker, with every pair broadcast to all workers
+// (each answers for the subgraphs it owns, mirroring RemoteProvider).  On top
+// of the multiplexed connections this turns the request path into a full
+// asynchronous pipeline: concurrent queries' pairs coalesce into shared
+// batches, identical pairs are deduplicated, and many batches are in flight
+// per worker at once.
+type BatchedRemoteProvider struct {
+	*batchedProvider
+}
+
+// NewBatchedRemoteProvider builds the batched provider over the given worker
+// connections.
+//
+// The epoch-pinned pair memo is disabled unless opts.CacheCapacity is set to
+// an explicit positive value: memoizing an answer under an epoch is only
+// sound when the workers actually resolve epoch pins (Worker.SetViewResolver
+// against the master's index).  Standalone worker processes maintain their
+// own live weights and serve those for any pin, so a memo would freeze a
+// transiently stale answer for the epoch's whole lifetime instead of the
+// transient window the eventually consistent transport already has.  Opt in
+// only for deployments whose workers share the master's retained views.
+func NewBatchedRemoteProvider(workers []*RemoteWorker, opts rpcbatch.Options) *BatchedRemoteProvider {
+	if opts.CacheCapacity == 0 {
+		opts.CacheCapacity = -1
+	}
+	senders := make([]rpcbatch.Sender, len(workers))
+	for i, rw := range workers {
+		rw := rw
+		senders[i] = func(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
+			resp, err := rw.PartialKSP(PartialKSPRequest{Pairs: pairs, K: k, Epoch: epoch, HasEpoch: hasEpoch})
+			if err != nil {
+				return nil, false, err
+			}
+			return responseToMap(pairs, resp), resp.ServedEpoch, nil
+		}
+	}
+	all := make([]int, len(workers))
+	for i := range all {
+		all[i] = i
+	}
+	route := func(core.PairRequest) []int { return all }
+	return &BatchedRemoteProvider{batchedProvider: newBatchedProvider(senders, route, opts)}
+}

@@ -12,6 +12,7 @@ import (
 	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
+	"kspdg/internal/rpcbatch"
 	"kspdg/internal/workload"
 )
 
@@ -27,6 +28,9 @@ type Config struct {
 	// bytes that would cross the network.  It adds CPU cost, so benchmarks
 	// that only need timing leave it off.
 	MeasureBytes bool
+	// Batch tunes the cross-query coalescing of partial-KSP requests (see
+	// rpcbatch.Options).  Zero values use the rpcbatch defaults.
+	Batch rpcbatch.Options
 }
 
 // Stats aggregates the communication and load counters of a cluster run.
@@ -36,6 +40,10 @@ type Stats struct {
 	BytesSent       int64
 	QueriesHandled  int64
 	UpdatesRouted   int64
+	RPCBatches      int64 // coalesced partial-KSP batches shipped to workers
+	PairsCoalesced  int64 // pairs that shared a batch with another query's pairs
+	DedupHits       int64 // pairs answered by an identical pending pair
+	PairCacheHits   int64 // pairs answered from the epoch-pinned pair memo
 	WorkerRequests  []int // per-worker partial-KSP requests served
 	WorkerPairs     []int // per-worker pairs served
 	WorkerSubgraphs []int // per-worker owned subgraphs
@@ -50,8 +58,9 @@ type Cluster struct {
 	index *dtlp.Index
 	part  *partition.Partition
 
-	workers []*Worker
-	assign  map[partition.SubgraphID]int
+	workers  []*Worker
+	assign   map[partition.SubgraphID]int
+	provider *batchedProvider
 
 	messages atomic.Int64
 	bytes    atomic.Int64
@@ -113,7 +122,42 @@ func New(index *dtlp.Index, cfg Config) (*Cluster, error) {
 		worker.SetViewResolver(index.ViewAt)
 		c.workers = append(c.workers, worker)
 	}
+	// One outbound batching queue per worker, shared by every engine built on
+	// this cluster: pair requests from different concurrent queries (same
+	// epoch) coalesce into one PartialKSPRequest per flush.
+	senders := make([]rpcbatch.Sender, cfg.NumWorkers)
+	for w := 0; w < cfg.NumWorkers; w++ {
+		senders[w] = c.workerSender(w)
+	}
+	c.provider = newBatchedProvider(senders, c.routePair, cfg.Batch)
 	return c, nil
+}
+
+// workerSender adapts one in-process worker to the rpcbatch transport, with
+// the same message accounting the TCP deployment would incur.
+func (c *Cluster) workerSender(w int) rpcbatch.Sender {
+	return func(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
+		req := PartialKSPRequest{Pairs: pairs, K: k, Epoch: epoch, HasEpoch: hasEpoch}
+		c.account(req)
+		resp := c.workers[w].HandlePartialKSP(req)
+		c.account(resp)
+		return responseToMap(pairs, resp), resp.ServedEpoch, nil
+	}
+}
+
+// routePair returns the workers owning at least one subgraph containing both
+// endpoints of the pair.
+func (c *Cluster) routePair(pr core.PairRequest) []int {
+	var ws []int
+	seen := make(map[int]bool)
+	for _, id := range c.part.CommonSubgraphs(pr.A, pr.B) {
+		w := c.assign[id]
+		if !seen[w] {
+			seen[w] = true
+			ws = append(ws, w)
+		}
+	}
+	return ws
 }
 
 // NumWorkers returns the number of workers.
@@ -128,10 +172,14 @@ func (c *Cluster) Index() *dtlp.Index { return c.index }
 // AssignedWorker returns the worker hosting subgraph id.
 func (c *Cluster) AssignedWorker(id partition.SubgraphID) int { return c.assign[id] }
 
-// Provider returns a core.PartialProvider that fans partial-KSP requests out
-// to the workers owning the relevant subgraphs and merges their replies, i.e.
-// the distributed refine step.
-func (c *Cluster) Provider() core.PartialProvider { return &distProvider{c: c} }
+// Provider returns the cluster's refine-step provider: an asynchronous
+// batching pipeline with one outbound queue per worker, where pair requests
+// from different concurrent queries coalesce (and dedupe) before being
+// shipped to the workers owning the relevant subgraphs.  The provider is
+// shared across all engines built on this cluster — that sharing is what
+// makes cross-query batching possible.  It implements core.PartialProvider,
+// core.ViewProvider and core.AsyncPartialProvider.
+func (c *Cluster) Provider() core.PartialProvider { return c.provider }
 
 // Engine builds a KSP-DG engine whose refine step runs on this cluster.
 func (c *Cluster) Engine(opts core.Options) *core.Engine {
@@ -199,12 +247,17 @@ func (c *Cluster) ProcessBatch(queries []workload.Query, k int, opts core.Option
 
 // Stats returns the aggregated communication and load statistics.
 func (c *Cluster) Stats() Stats {
+	bst := c.provider.BatchStats()
 	st := Stats{
 		Workers:        len(c.workers),
 		MessagesSent:   c.messages.Load(),
 		BytesSent:      c.bytes.Load(),
 		QueriesHandled: c.queries.Load(),
 		UpdatesRouted:  c.updates.Load(),
+		RPCBatches:     bst.Batches,
+		PairsCoalesced: bst.Coalesced,
+		DedupHits:      bst.DedupHits,
+		PairCacheHits:  bst.CacheHits,
 	}
 	for _, w := range c.workers {
 		ws := w.HandleStats(StatsRequest{})
@@ -228,95 +281,7 @@ func (c *Cluster) account(msg interface{}) {
 	}
 }
 
-// distProvider implements core.PartialProvider by fanning requests out to the
-// workers that own subgraphs containing each pair.
-type distProvider struct {
-	c *Cluster
-}
-
-// PartialKSP implements core.PartialProvider against the workers' live
-// weights.
-func (dp *distProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
-	return dp.partialKSP(pairs, k, PartialKSPRequest{})
-}
-
-// PartialKSPView implements core.ViewProvider: requests are pinned to the
-// query's epoch so every worker answers from the same frozen weights.
-func (dp *distProvider) PartialKSPView(iv *dtlp.IndexView, pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
-	return dp.partialKSP(pairs, k, PartialKSPRequest{Epoch: iv.Epoch(), HasEpoch: true})
-}
-
-func (dp *distProvider) partialKSP(pairs []core.PairRequest, k int, template PartialKSPRequest) (map[core.PairRequest][]graph.Path, error) {
-	c := dp.c
-	out := make(map[core.PairRequest][]graph.Path, len(pairs))
-	if len(pairs) == 0 {
-		return out, nil
-	}
-	// Group the pairs by the workers that own at least one subgraph
-	// containing both endpoints.
-	perWorker := make(map[int][]core.PairRequest)
-	for _, pr := range pairs {
-		seen := make(map[int]bool)
-		for _, id := range c.part.CommonSubgraphs(pr.A, pr.B) {
-			w := c.assign[id]
-			if !seen[w] {
-				seen[w] = true
-				perWorker[w] = append(perWorker[w], pr)
-			}
-		}
-	}
-	type reply struct {
-		pairs []core.PairRequest
-		resp  PartialKSPResponse
-	}
-	replies := make(chan reply, len(perWorker))
-	var wg sync.WaitGroup
-	for w, prs := range perWorker {
-		wg.Add(1)
-		go func(w int, prs []core.PairRequest) {
-			defer wg.Done()
-			req := template
-			req.Pairs, req.K = prs, k
-			c.account(req)
-			resp := c.workers[w].HandlePartialKSP(req)
-			c.account(resp)
-			replies <- reply{pairs: prs, resp: resp}
-		}(w, prs)
-	}
-	wg.Wait()
-	close(replies)
-
-	// Merge the per-worker partial paths, keeping the k shortest per pair.
-	merged := make(map[core.PairRequest][]graph.Path)
-	for r := range replies {
-		for i, pr := range r.pairs {
-			for _, msg := range r.resp.Results[i] {
-				merged[pr] = append(merged[pr], fromPathMsg(msg))
-			}
-		}
-	}
-	for pr, paths := range merged {
-		sort.Slice(paths, func(i, j int) bool { return graph.ComparePaths(paths[i], paths[j]) < 0 })
-		// Drop duplicates produced by replicated subgraph boundaries.
-		var dedup []graph.Path
-		seen := make(map[string]bool)
-		for _, p := range paths {
-			key := graph.PathKey(p)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			dedup = append(dedup, p)
-			if len(dedup) == k {
-				break
-			}
-		}
-		out[pr] = dedup
-	}
-	for _, pr := range pairs {
-		if _, ok := out[pr]; !ok {
-			out[pr] = nil
-		}
-	}
-	return out, nil
-}
+// Close flushes and stops the cluster's outbound batching queues.  Queries
+// issued after Close fail; it is only needed when the cluster's lifetime is
+// shorter than the process (tests, benchmarks).
+func (c *Cluster) Close() { c.provider.Close() }

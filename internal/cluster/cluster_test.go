@@ -268,48 +268,31 @@ func TestRemoteWorkerRoundTrip(t *testing.T) {
 
 func TestRemoteProviderQueryMatchesOracle(t *testing.T) {
 	g := testutil.PaperGraph(t)
-	p, err := partition.PartitionGraph(g, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Split the subgraphs over two TCP worker servers.
-	var owned [2][]partition.SubgraphID
-	for i := 0; i < p.NumSubgraphs(); i++ {
-		owned[i%2] = append(owned[i%2], partition.SubgraphID(i))
-	}
-	var servers []*Server
-	var remotes []*RemoteWorker
-	for i := 0; i < 2; i++ {
-		srv, err := Serve("127.0.0.1:0", NewWorker(i, p, owned[i]))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer srv.Close()
-		servers = append(servers, srv)
-		rw, err := Dial(srv.Addr())
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer rw.Close()
-		remotes = append(remotes, rw)
-	}
-	_ = servers
-	engine := core.NewEngine(x, NewRemoteProvider(remotes), core.Options{})
-	res, err := engine.Query(testutil.V1, testutil.V19, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := testutil.BruteForceKSP(g, testutil.V1, testutil.V19, 3)
-	if len(res.Paths) != len(want) {
-		t.Fatalf("remote query returned %d paths, want %d", len(res.Paths), len(want))
-	}
-	for i := range want {
-		if math.Abs(res.Paths[i].Dist-want[i].Dist) > 1e-9 {
-			t.Errorf("remote path %d dist %g, want %g", i, res.Paths[i].Dist, want[i].Dist)
-		}
+	for _, tc := range []struct {
+		name string
+		opts ClientOptions
+	}{
+		{"pool1", ClientOptions{}},
+		{"pool3", ClientOptions{PoolSize: 3}},
+		{"serialized", ClientOptions{Serialize: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x, remotes, cleanup := remoteOracleDeployment(t, tc.opts)
+			defer cleanup()
+			engine := core.NewEngine(x, NewRemoteProvider(remotes), core.Options{})
+			res, err := engine.Query(testutil.V1, testutil.V19, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := testutil.BruteForceKSP(g, testutil.V1, testutil.V19, 3)
+			if len(res.Paths) != len(want) {
+				t.Fatalf("remote query returned %d paths, want %d", len(res.Paths), len(want))
+			}
+			for i := range want {
+				if math.Abs(res.Paths[i].Dist-want[i].Dist) > 1e-9 {
+					t.Errorf("remote path %d dist %g, want %g", i, res.Paths[i].Dist, want[i].Dist)
+				}
+			}
+		})
 	}
 }

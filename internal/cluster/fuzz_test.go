@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -105,6 +108,67 @@ func normalizeReply(r replyEnvelope) replyEnvelope {
 		r.Partial = &p
 	}
 	return r
+}
+
+// FuzzFramedEnvelope attacks the request-ID framing from the reply side: the
+// client's demultiplexing reader is fed adversarial reply streams — valid
+// replies with reordered IDs, duplicate IDs, IDs that were never registered,
+// truncated frames, and raw garbage.  The invariants: the reader never
+// panics, always terminates, delivers each registered call at most one reply,
+// and after the connection-teardown failAll every registered call has exactly
+// one outcome (so no caller can hang).
+func FuzzFramedEnvelope(f *testing.F) {
+	mkStream := func(ids ...uint64) []byte {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		for _, id := range ids {
+			_ = enc.Encode(replyEnvelope{ID: id, Partial: &PartialKSPResponse{
+				Results: [][]PathMsg{{{Vertices: []graph.VertexID{1, 2}, Dist: 1.5}}},
+			}})
+		}
+		return buf.Bytes()
+	}
+	f.Add(mkStream(1, 2, 3), uint8(3), uint16(0))
+	f.Add(mkStream(3, 2, 1), uint8(3), uint16(7))  // reordered, truncated tail
+	f.Add(mkStream(2, 2, 1), uint8(2), uint16(0))  // duplicate ID
+	f.Add(mkStream(9, 0, 12), uint8(4), uint16(3)) // unknown and zero IDs
+	f.Add([]byte{0x00, 0x01, 0xff, 0xfe}, uint8(2), uint16(0))
+	f.Fuzz(func(t *testing.T, stream []byte, nReg uint8, cut uint16) {
+		if len(stream) > 0 {
+			stream = stream[:len(stream)-int(cut)%(len(stream)+1)]
+		}
+		pending := newPendingCalls()
+		n := int(nReg % 32)
+		chans := make(map[uint64]chan callResult, n)
+		for id := 1; id <= n; id++ {
+			ch, err := pending.register(uint64(id))
+			if err != nil {
+				t.Fatalf("register %d: %v", id, err)
+			}
+			chans[uint64(id)] = ch
+		}
+		// The reader must consume the stream without panicking and return
+		// the terminating decode error.
+		if err := readReplies(gob.NewDecoder(bytes.NewReader(stream)), pending); err == nil {
+			t.Fatalf("readReplies terminated without an error on a finite stream")
+		}
+		pending.failAll(errors.New("connection lost"))
+		for id, ch := range chans {
+			select {
+			case res := <-ch:
+				if res.err == nil && res.rep.ID != id {
+					t.Fatalf("call %d received reply with ID %d", id, res.rep.ID)
+				}
+			default:
+				t.Fatalf("call %d has no outcome after teardown", id)
+			}
+			select {
+			case <-ch:
+				t.Fatalf("call %d delivered more than once", id)
+			default:
+			}
+		}
+	})
 }
 
 // FuzzEnvelopeDecode feeds arbitrary bytes to the wire decoder: it must

@@ -60,6 +60,14 @@ type PartialKSPRequest struct {
 type PartialKSPResponse struct {
 	// Results[i] holds the paths for request pair i (possibly empty).
 	Results [][]PathMsg
+	// ServedEpoch reports that the request's epoch pin was honoured: every
+	// path was computed from the frozen weights of the requested epoch.
+	// False when the worker cannot resolve epochs (standalone processes),
+	// when the epoch was evicted from the retention window, or when the
+	// request carried no pin.  Consumers must not treat an unpinned answer
+	// as immutable (see rpcbatch's epoch memo); legacy workers never set
+	// the field, which decodes as false — the safe default.
+	ServedEpoch bool
 }
 
 // WeightUpdateRequest delivers edge weight updates to the worker owning the
@@ -91,8 +99,16 @@ type StatsResponse struct {
 }
 
 // envelope is the tagged union used on the TCP wire.
+//
+// ID is the request tag of the multiplexed transport.  A zero ID marks a
+// legacy lock-step request: the server answers it inline and in order, which
+// keeps the pre-multiplexing framing decodable by both sides (gob tolerates
+// the added field, and old clients never set it).  A nonzero ID lets the
+// server process the request concurrently and reply out of order; the client
+// demultiplexes replies by matching IDs.
 type envelope struct {
 	Kind     string
+	ID       uint64
 	Partial  *PartialKSPRequest
 	Update   *WeightUpdateRequest
 	Stats    *StatsRequest
@@ -100,6 +116,8 @@ type envelope struct {
 }
 
 type replyEnvelope struct {
+	// ID echoes the request's ID (zero for legacy lock-step requests).
+	ID      uint64
 	Err     string
 	Partial *PartialKSPResponse
 	Update  *WeightUpdateResponse

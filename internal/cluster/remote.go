@@ -5,16 +5,27 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"kspdg/internal/core"
 	"kspdg/internal/graph"
 )
 
+// maxInflightPerConn bounds the number of concurrently executing requests a
+// server runs per connection.  When the bound is hit the connection's read
+// loop blocks, which backpressures the client through the kernel buffers
+// instead of growing an unbounded goroutine pile.
+const maxInflightPerConn = 64
+
 // Server exposes a Worker over TCP with gob-encoded messages.  It is the
 // network deployment of a SubgraphBolt host: cmd/kspd wraps it in a worker
 // process, and a master process reaches it through RemoteWorker.
+//
+// Requests tagged with a nonzero ID (the multiplexed transport) are executed
+// concurrently and answered out of order; untagged requests keep the legacy
+// lock-step behaviour of one inline reply per request, in order.
 type Server struct {
 	worker   *Worker
 	listener net.Listener
@@ -42,15 +53,34 @@ func Serve(addr string, worker *Worker) (*Server, error) {
 // Addr returns the address the server listens on.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops accepting connections and closes existing ones.
+// Close stops accepting connections, closes existing ones, and waits until
+// every connection handler — including request goroutines spawned for
+// in-flight multiplexed requests — has returned.  Requests already executing
+// finish their computation; their replies fail to send on the closed
+// connection and are dropped.  Close is idempotent and safe to call
+// concurrently with new connections being accepted: the listener is closed
+// before the per-connection teardown, and a connection that slipped past
+// Accept is detected by the registration check and closed unserved.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = s.listener.Close()
+		s.wg.Wait()
+		return nil
+	}
 	s.closed = true
+	s.mu.Unlock()
+	// Close the listener first so no further connections are accepted, then
+	// close the registered connections.  A connection accepted before the
+	// listener closed but not yet registered is closed by acceptLoop itself
+	// when registration observes the closed flag.
+	err := s.listener.Close()
+	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
-	err := s.listener.Close()
 	s.wg.Wait()
 	return err
 }
@@ -62,6 +92,11 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		// Registration and the closed-check are one critical section, and the
+		// handler is accounted in s.wg before the section ends: Close either
+		// sees the connection in s.conns (and closes it) or this loop sees
+		// s.closed (and closes it here).  There is no window in which a fresh
+		// connection can outlive Close unsupervised.
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -69,15 +104,19 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.handleConn(conn)
 	}
 }
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
+	// requests tracks the goroutines spawned for multiplexed requests so the
+	// connection teardown (and therefore Close) waits for them.
+	var requests sync.WaitGroup
 	defer func() {
+		requests.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -85,72 +124,407 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	// writeMu serialises reply writes: multiplexed replies come from
+	// concurrent request goroutines but the gob stream permits one writer.
+	var writeMu sync.Mutex
+	write := func(reply replyEnvelope) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return enc.Encode(reply)
+	}
+	slots := make(chan struct{}, maxInflightPerConn)
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
-		var reply replyEnvelope
-		switch {
-		case env.Shutdown:
-			_ = enc.Encode(replyEnvelope{})
-			return
-		case env.Partial != nil:
-			resp := s.worker.HandlePartialKSP(*env.Partial)
-			reply.Partial = &resp
-		case env.Update != nil:
-			resp := s.worker.HandleWeightUpdate(*env.Update)
-			reply.Update = &resp
-		case env.Stats != nil:
-			resp := s.worker.HandleStats(*env.Stats)
-			reply.Stats = &resp
-		default:
-			reply.Err = "cluster: empty envelope"
-		}
-		if err := enc.Encode(reply); err != nil {
+		if env.Shutdown {
+			_ = write(replyEnvelope{ID: env.ID})
 			return
 		}
+		if env.ID == 0 {
+			// Legacy lock-step framing: answer inline, in order.
+			if err := write(s.dispatch(env)); err != nil {
+				return
+			}
+			continue
+		}
+		slots <- struct{}{}
+		requests.Add(1)
+		go func(env envelope) {
+			defer requests.Done()
+			reply := s.dispatch(env)
+			reply.ID = env.ID
+			_ = write(reply)
+			<-slots
+		}(env)
 	}
 }
 
-// RemoteWorker is a client connection to a worker Server.  It is safe for
-// concurrent use; requests are serialised over a single connection.
-type RemoteWorker struct {
+// dispatch executes one request envelope against the worker.
+func (s *Server) dispatch(env envelope) replyEnvelope {
+	var reply replyEnvelope
+	switch {
+	case env.Partial != nil:
+		resp := s.worker.HandlePartialKSP(*env.Partial)
+		reply.Partial = &resp
+	case env.Update != nil:
+		resp := s.worker.HandleWeightUpdate(*env.Update)
+		reply.Update = &resp
+	case env.Stats != nil:
+		resp := s.worker.HandleStats(*env.Stats)
+		reply.Stats = &resp
+	default:
+		reply.Err = "cluster: empty envelope"
+	}
+	return reply
+}
+
+// ClientOptions configures a RemoteWorker client.
+type ClientOptions struct {
+	// PoolSize is the number of TCP connections requests are spread over.
+	// Zero means 1.  Even with one connection the client is pipelined: many
+	// requests can be in flight concurrently, demultiplexed by request ID.
+	PoolSize int
+	// Serialize reverts to the legacy lock-step transport: one connection,
+	// one request at a time, no request IDs, no reconnection.  It exists as
+	// the baseline of the transport benchmarks.
+	Serialize bool
+	// MaxAttempts is the number of tries per request across reconnects.
+	// Zero means 4.
+	MaxAttempts int
+	// BackoffBase and BackoffMax bound the capped exponential delay between
+	// attempts after a connection failure.  Zeros mean 2ms and 250ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 1
+	}
+	if o.Serialize {
+		o.PoolSize = 1
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 2 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 250 * time.Millisecond
+	}
+	return o
+}
+
+// callResult is a demultiplexed reply (or the transport error that killed
+// the connection it was pending on).
+type callResult struct {
+	rep replyEnvelope
+	err error
+}
+
+// pendingCalls tracks the in-flight request IDs of one connection and routes
+// incoming replies to their waiters.  Unknown and duplicate IDs are dropped:
+// a reply is delivered at most once, and only to the call that registered it.
+type pendingCalls struct {
+	mu    sync.Mutex
+	calls map[uint64]chan callResult
+	dead  error
+}
+
+func newPendingCalls() *pendingCalls {
+	return &pendingCalls{calls: make(map[uint64]chan callResult)}
+}
+
+// register creates a waiter slot for id.  It fails if the connection already
+// died (the reader exited before the call could be registered).
+func (p *pendingCalls) register(id uint64) (chan callResult, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead != nil {
+		return nil, p.dead
+	}
+	ch := make(chan callResult, 1)
+	p.calls[id] = ch
+	return ch, nil
+}
+
+// deliver routes one reply to its registered waiter.  It reports whether the
+// reply was consumed; unmatched (unknown or already-answered) IDs are safely
+// discarded.
+func (p *pendingCalls) deliver(rep replyEnvelope) bool {
+	p.mu.Lock()
+	ch, ok := p.calls[rep.ID]
+	if ok {
+		delete(p.calls, rep.ID)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	ch <- callResult{rep: rep}
+	return true
+}
+
+// drop forgets a registered id (used when the request failed to send).
+func (p *pendingCalls) drop(id uint64) {
+	p.mu.Lock()
+	delete(p.calls, id)
+	p.mu.Unlock()
+}
+
+// failAll terminates every pending call with err and poisons the table so
+// later registrations fail fast.
+func (p *pendingCalls) failAll(err error) {
+	p.mu.Lock()
+	if p.dead == nil {
+		p.dead = err
+	}
+	calls := p.calls
+	p.calls = make(map[uint64]chan callResult)
+	p.mu.Unlock()
+	for _, ch := range calls {
+		ch <- callResult{err: err}
+	}
+}
+
+// readReplies decodes reply envelopes from dec and routes each to its pending
+// call until the stream ends, returning the terminating decode error.  It is
+// the demultiplexing half of the framing; FuzzFramedEnvelope drives it with
+// adversarial streams.
+func readReplies(dec *gob.Decoder, pending *pendingCalls) error {
+	for {
+		var rep replyEnvelope
+		if err := dec.Decode(&rep); err != nil {
+			return err
+		}
+		pending.deliver(rep)
+	}
+}
+
+// clientConn is one pooled connection of a RemoteWorker: a shared gob encoder
+// guarded by a mutex, and a reader goroutine demultiplexing replies by ID.
+// When the connection breaks, pending calls fail (their callers retry through
+// the RemoteWorker backoff loop) and the next send re-dials.
+type clientConn struct {
 	addr string
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu      sync.Mutex
+	closed  bool
+	conn    net.Conn
+	enc     *gob.Encoder
+	pending *pendingCalls
 }
 
-// Dial connects to a worker server.
-func Dial(addr string) (*RemoteWorker, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+// ensureLocked dials the connection if needed.  Callers hold cc.mu.
+func (cc *clientConn) ensureLocked() error {
+	if cc.closed {
+		// A roundTrip racing RemoteWorker.Close must not re-dial: the fresh
+		// connection and its reader goroutine would outlive the client.
+		return errClientClosed
 	}
-	return &RemoteWorker{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	if cc.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", cc.addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial %s: %w", cc.addr, err)
+	}
+	cc.conn = conn
+	cc.enc = gob.NewEncoder(conn)
+	cc.pending = newPendingCalls()
+	pending := cc.pending
+	dec := gob.NewDecoder(conn)
+	go func() {
+		err := readReplies(dec, pending)
+		pending.failAll(fmt.Errorf("cluster: connection to %s lost: %w", cc.addr, err))
+		cc.teardown(conn)
+	}()
+	return nil
 }
 
-// Close closes the connection.
+// send encodes one request and returns the channel its reply will arrive on.
+func (cc *clientConn) send(env envelope) (chan callResult, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if err := cc.ensureLocked(); err != nil {
+		return nil, err
+	}
+	ch, err := cc.pending.register(env.ID)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.enc.Encode(env); err != nil {
+		cc.pending.drop(env.ID)
+		cc.conn.Close()
+		cc.conn = nil
+		return nil, fmt.Errorf("cluster: send to %s: %w", cc.addr, err)
+	}
+	return ch, nil
+}
+
+// teardown discards the connection if it is still the current one.
+func (cc *clientConn) teardown(conn net.Conn) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.conn == conn {
+		cc.conn.Close()
+		cc.conn = nil
+	}
+}
+
+// close closes the connection permanently and fails its pending calls.
+func (cc *clientConn) close(err error) {
+	cc.mu.Lock()
+	cc.closed = true
+	conn, pending := cc.conn, cc.pending
+	cc.conn = nil
+	cc.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	if pending != nil {
+		pending.failAll(err)
+	}
+}
+
+// errClientClosed fails requests issued after RemoteWorker.Close.
+var errClientClosed = errors.New("cluster: client closed")
+
+// RemoteWorker is a client to a worker Server.  It is safe for unbounded
+// concurrent use: requests are tagged with IDs, spread over a pool of
+// connections, and demultiplexed by reader goroutines, so many requests are
+// in flight concurrently instead of lock-step request/response.  A dropped
+// connection is re-dialed with capped exponential backoff and the affected
+// requests are retried (all worker requests are idempotent: partial-KSP is a
+// read and weight updates carry absolute weights, though a retried update
+// whose original reply was lost is counted twice in the worker's load
+// stats).
+type RemoteWorker struct {
+	addr string
+	opts ClientOptions
+
+	ids    atomic.Uint64 // request ID source (IDs are nonzero)
+	next   atomic.Uint64 // round-robin cursor over the pool
+	closed atomic.Bool
+	conns  []*clientConn
+
+	// serial mode state (ClientOptions.Serialize)
+	serialMu sync.Mutex
+	serial   net.Conn
+	senc     *gob.Encoder
+	sdec     *gob.Decoder
+}
+
+// Dial connects to a worker server with default options (one pipelined
+// multiplexed connection).
+func Dial(addr string) (*RemoteWorker, error) {
+	return DialPool(addr, ClientOptions{})
+}
+
+// DialPool connects to a worker server with an explicit transport
+// configuration.  All PoolSize connections are established eagerly so
+// unreachable workers fail fast; later drops reconnect lazily with backoff.
+func DialPool(addr string, opts ClientOptions) (*RemoteWorker, error) {
+	opts = opts.withDefaults()
+	rw := &RemoteWorker{addr: addr, opts: opts}
+	if opts.Serialize {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		rw.serial = conn
+		rw.senc = gob.NewEncoder(conn)
+		rw.sdec = gob.NewDecoder(conn)
+		return rw, nil
+	}
+	for i := 0; i < opts.PoolSize; i++ {
+		cc := &clientConn{addr: addr}
+		cc.mu.Lock()
+		err := cc.ensureLocked()
+		cc.mu.Unlock()
+		if err != nil {
+			for _, prev := range rw.conns {
+				prev.close(errClientClosed)
+			}
+			return nil, err
+		}
+		rw.conns = append(rw.conns, cc)
+	}
+	return rw, nil
+}
+
+// Close closes every pooled connection; pending requests fail.
 func (rw *RemoteWorker) Close() error {
-	rw.mu.Lock()
-	defer rw.mu.Unlock()
-	return rw.conn.Close()
+	rw.closed.Store(true)
+	if rw.opts.Serialize {
+		rw.serialMu.Lock()
+		defer rw.serialMu.Unlock()
+		return rw.serial.Close()
+	}
+	for _, cc := range rw.conns {
+		cc.close(errClientClosed)
+	}
+	return nil
 }
 
 // Addr returns the remote address.
 func (rw *RemoteWorker) Addr() string { return rw.addr }
 
+// PoolSize returns the number of pooled connections.
+func (rw *RemoteWorker) PoolSize() int { return rw.opts.PoolSize }
+
+// roundTrip issues one request and waits for its reply, retrying with capped
+// backoff across reconnects on transport failures.  Application-level errors
+// (reply.Err) are returned without retry.
 func (rw *RemoteWorker) roundTrip(env envelope) (replyEnvelope, error) {
-	rw.mu.Lock()
-	defer rw.mu.Unlock()
-	if err := rw.enc.Encode(env); err != nil {
+	if rw.opts.Serialize {
+		return rw.serialRoundTrip(env)
+	}
+	delay := rw.opts.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < rw.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > rw.opts.BackoffMax {
+				delay = rw.opts.BackoffMax
+			}
+		}
+		if rw.closed.Load() {
+			return replyEnvelope{}, errClientClosed
+		}
+		cc := rw.conns[rw.next.Add(1)%uint64(len(rw.conns))]
+		env.ID = rw.ids.Add(1)
+		ch, err := cc.send(env)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		res := <-ch
+		if res.err != nil {
+			lastErr = res.err
+			continue
+		}
+		if res.rep.Err != "" {
+			return replyEnvelope{}, errors.New(res.rep.Err)
+		}
+		return res.rep, nil
+	}
+	return replyEnvelope{}, fmt.Errorf("cluster: %s unreachable after %d attempts: %w", rw.addr, rw.opts.MaxAttempts, lastErr)
+}
+
+// serialRoundTrip is the legacy lock-step transport (see ClientOptions).
+func (rw *RemoteWorker) serialRoundTrip(env envelope) (replyEnvelope, error) {
+	rw.serialMu.Lock()
+	defer rw.serialMu.Unlock()
+	if err := rw.senc.Encode(env); err != nil {
 		return replyEnvelope{}, err
 	}
 	var reply replyEnvelope
-	if err := rw.dec.Decode(&reply); err != nil {
+	if err := rw.sdec.Decode(&reply); err != nil {
 		return replyEnvelope{}, err
 	}
 	if reply.Err != "" {
@@ -208,7 +582,9 @@ func (rw *RemoteWorker) Shutdown() error {
 // over TCP.  Every worker is assumed to be able to serve any pair whose
 // subgraphs it owns; pairs are broadcast to all workers and the replies
 // merged, mirroring how the Storm deployment broadcasts the reference path to
-// all SubgraphBolts (Section 6.1, Step 2).
+// all SubgraphBolts (Section 6.1, Step 2).  Each query fans its pairs out
+// alone; see NewBatchedRemoteProvider for the transport that additionally
+// coalesces pairs across concurrent queries.
 type RemoteProvider struct {
 	workers []*RemoteWorker
 }
@@ -254,21 +630,7 @@ func (rp *RemoteProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.
 		}
 	}
 	for pr, paths := range merged {
-		sort.Slice(paths, func(i, j int) bool { return graph.ComparePaths(paths[i], paths[j]) < 0 })
-		var dedup []graph.Path
-		seen := make(map[string]bool)
-		for _, p := range paths {
-			key := graph.PathKey(p)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			dedup = append(dedup, p)
-			if len(dedup) == k {
-				break
-			}
-		}
-		out[pr] = dedup
+		out[pr] = mergePairPaths(paths, k)
 	}
 	for _, pr := range pairs {
 		if _, ok := out[pr]; !ok {

@@ -75,7 +75,13 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 	if req.HasEpoch && w.views != nil {
 		view = w.views(req.Epoch)
 	}
-	resp := PartialKSPResponse{Results: make([][]PathMsg, len(req.Pairs))}
+	resp := PartialKSPResponse{
+		Results: make([][]PathMsg, len(req.Pairs)),
+		// A nil view means the pin was absent or could not be honoured
+		// (unknown or evicted epoch): the answer reads live weights and must
+		// not be treated as frozen at the requested epoch.
+		ServedEpoch: view != nil,
+	}
 	for i, pr := range req.Pairs {
 		paths := w.partialForPair(view, pr, req.K)
 		msgs := make([]PathMsg, len(paths))

@@ -156,14 +156,48 @@ func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Resu
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
+	asyncProvider, _ := e.provider.(AsyncPartialProvider)
 	maxIter := e.opts.maxIterations()
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations++
 		seq := toGlobal(ref)
-		candidates, err := e.candidateKSP(iv, seq, k, pairCache, &res)
-		if err != nil {
-			return res, err
+		missing := e.missingPairs(seq, pairCache)
+
+		// Refine: with an asynchronous provider the request is issued first
+		// and the next iteration's filter step (reference-path generation on
+		// the skeleton) runs while it is in flight; synchronous providers
+		// fetch inline, preserving the lock-step behaviour.
+		var pending <-chan AsyncPartialReply
+		if len(missing) > 0 {
+			if asyncProvider != nil {
+				pending = asyncProvider.PartialKSPAsync(iv, missing, k)
+			} else {
+				partials, err := e.partialKSP(iv, missing, k)
+				if err != nil {
+					return res, err
+				}
+				for _, pr := range missing {
+					pairCache[pr] = partials[pr]
+				}
+			}
+			res.PairsRefined += len(missing)
 		}
+
+		// Filter of iteration i+1, overlapped with the in-flight refine of
+		// iteration i whenever the provider is asynchronous.
+		next, okNext := gen.Next()
+
+		if pending != nil {
+			reply := <-pending
+			if reply.Err != nil {
+				return res, reply.Err
+			}
+			for _, pr := range missing {
+				pairCache[pr] = reply.Paths[pr]
+			}
+		}
+
+		candidates := e.joinCandidates(seq, k, pairCache, &res)
 		for _, c := range candidates {
 			key := graph.PathKey(c)
 			if resultSet[key] {
@@ -177,7 +211,6 @@ func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Resu
 			list = list[:k]
 		}
 
-		next, okNext := gen.Next()
 		if !okNext {
 			// Every reference path was examined: the search space is
 			// exhausted, so the result is exact.
@@ -267,35 +300,32 @@ func (e *Engine) buildAugmentedSkeleton(iv *dtlp.IndexView, s, t graph.VertexID)
 	return aug, sAug, tAug, toGlobal, nil
 }
 
-// candidateKSP implements Algorithm 4: it fetches partial k shortest paths
-// for every adjacent pair of the reference sequence (reusing the query-local
-// cache for pairs already refined by earlier reference paths, the
-// optimisation discussed in Section 5.2) and joins them into complete
-// candidate paths from s to t.  View-aware providers compute the partial
-// paths against the query's epoch; plain providers fall back to the live
-// weights (see ViewProvider).
-func (e *Engine) candidateKSP(iv *dtlp.IndexView, seq []graph.VertexID, k int, cache map[PairRequest][]graph.Path, res *Result) ([]graph.Path, error) {
-	if len(seq) < 2 {
-		return nil, nil
-	}
+// missingPairs returns the adjacent pairs of the reference sequence whose
+// partial k shortest paths are not already in the query-local cache (the
+// Section 5.2 reuse optimisation; DisablePairCache forces a full refetch).
+func (e *Engine) missingPairs(seq []graph.VertexID, cache map[PairRequest][]graph.Path) []PairRequest {
 	var missing []PairRequest
+	seen := make(map[PairRequest]bool)
 	for i := 0; i+1 < len(seq); i++ {
 		pr := PairRequest{A: seq[i], B: seq[i+1]}
+		if seen[pr] {
+			continue
+		}
 		if _, ok := cache[pr]; !ok || e.opts.DisablePairCache {
+			seen[pr] = true
 			missing = append(missing, pr)
 		}
 	}
-	if len(missing) > 0 {
-		partials, err := e.partialKSP(iv, missing, k)
-		if err != nil {
-			return nil, err
-		}
-		for _, pr := range missing {
-			cache[pr] = partials[pr]
-		}
-		res.PairsRefined += len(missing)
-	}
+	return missing
+}
 
+// joinCandidates implements the join half of Algorithm 4: with every adjacent
+// pair's partial paths already in the cache, it joins them segment by segment
+// into complete candidate paths from s to t.
+func (e *Engine) joinCandidates(seq []graph.VertexID, k int, cache map[PairRequest][]graph.Path, res *Result) []graph.Path {
+	if len(seq) < 2 {
+		return nil
+	}
 	beam := e.opts.beam(k)
 	// Join segment by segment, keeping the `beam` shortest simple partial
 	// combinations (Algorithm 4 keeps k; a slightly wider beam compensates
@@ -303,13 +333,13 @@ func (e *Engine) candidateKSP(iv *dtlp.IndexView, seq []graph.VertexID, k int, c
 	current := []graph.Path{}
 	first := cache[PairRequest{A: seq[0], B: seq[1]}]
 	if len(first) == 0 {
-		return nil, nil
+		return nil
 	}
 	current = append(current, first...)
 	for i := 1; i+1 < len(seq); i++ {
 		segs := cache[PairRequest{A: seq[i], B: seq[i+1]}]
 		if len(segs) == 0 {
-			return nil, nil
+			return nil
 		}
 		var next []graph.Path
 		for _, prefix := range current {
@@ -322,7 +352,7 @@ func (e *Engine) candidateKSP(iv *dtlp.IndexView, seq []graph.VertexID, k int, c
 			}
 		}
 		if len(next) == 0 {
-			return nil, nil
+			return nil
 		}
 		sort.Slice(next, func(a, b int) bool { return graph.ComparePaths(next[a], next[b]) < 0 })
 		if len(next) > beam {
@@ -334,7 +364,7 @@ func (e *Engine) candidateKSP(iv *dtlp.IndexView, seq []graph.VertexID, k int, c
 	if len(current) > k {
 		current = current[:k]
 	}
-	return current, nil
+	return current
 }
 
 // partialKSP dispatches the refine step to the provider, preferring the

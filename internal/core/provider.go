@@ -41,6 +41,26 @@ type ViewProvider interface {
 	PartialKSPView(iv *dtlp.IndexView, pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error)
 }
 
+// AsyncPartialReply carries the outcome of an asynchronous refine request:
+// the partial paths for every requested pair, or the error that failed the
+// batch they travelled in.
+type AsyncPartialReply struct {
+	Paths map[PairRequest][]graph.Path
+	Err   error
+}
+
+// AsyncPartialProvider is implemented by providers that can issue the refine
+// step without blocking the caller: PartialKSPAsync returns immediately with
+// a channel that later receives the reply.  The engine prefers this interface
+// when present and uses the gap to run the next iteration's filter step
+// (reference-path generation on the skeleton) while the refine is in flight —
+// with a batching transport the request may additionally coalesce with pairs
+// from other concurrent queries while it waits.  A nil view requests the live
+// weights, mirroring PartialKSP.
+type AsyncPartialProvider interface {
+	PartialKSPAsync(iv *dtlp.IndexView, pairs []PairRequest, k int) <-chan AsyncPartialReply
+}
+
 // LocalProvider computes partial k shortest paths directly against the local
 // partition, optionally using multiple goroutines.  It is the single-process
 // stand-in for the SubgraphBolts of the Storm deployment.

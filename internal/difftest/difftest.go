@@ -54,6 +54,10 @@ type Params struct {
 	UpdateRounds int
 	// Seed makes the cell deterministic.
 	Seed int64
+	// Provider, when set, builds the engine's refine-step provider over the
+	// built index — e.g. the batched cluster transport — together with a
+	// cleanup function.  Nil runs the refine step on the local provider.
+	Provider func(tb testing.TB, x *dtlp.Index) (core.PartialProvider, func())
 }
 
 func (p Params) withDefaults() Params {
@@ -126,7 +130,13 @@ func Check(tb testing.TB, p Params) {
 	if err != nil {
 		tb.Fatalf("dtlp build: %v", err)
 	}
-	engine := core.NewEngine(x, nil, core.Options{})
+	var provider core.PartialProvider
+	if p.Provider != nil {
+		var cleanup func()
+		provider, cleanup = p.Provider(tb, x)
+		defer cleanup()
+	}
+	engine := core.NewEngine(x, provider, core.Options{})
 	yen := baseline.NewYen(g)
 
 	round := func(label string) {
@@ -192,6 +202,12 @@ type ConcurrentParams struct {
 	K, Xi, N, Extra, Z int
 	Directed           bool
 	Seed               int64
+	// Provider mirrors Params.Provider: it selects the refine transport the
+	// serve layer fans out on (nil = local).  With a batching transport this
+	// makes the audit cover cross-query coalescing: concurrent queries
+	// pinned to different epochs share the per-worker queues, and every
+	// result must still match Yen on the exact epoch it reports.
+	Provider func(tb testing.TB, x *dtlp.Index) (core.PartialProvider, func())
 }
 
 // CheckConcurrent floods a serve.Server with concurrent queries while weight
@@ -220,7 +236,13 @@ func CheckConcurrent(tb testing.TB, cp ConcurrentParams) {
 	if err != nil {
 		tb.Fatalf("dtlp build: %v", err)
 	}
-	srv := serve.New(x, nil, serve.Options{Workers: cp.Queriers})
+	var provider core.PartialProvider
+	if cp.Provider != nil {
+		var cleanup func()
+		provider, cleanup = cp.Provider(tb, x)
+		defer cleanup()
+	}
+	srv := serve.New(x, provider, serve.Options{Workers: cp.Queriers})
 	defer srv.Close()
 
 	type outcome struct {

@@ -177,13 +177,15 @@ func ComparePaths(a, b Path) int {
 // PathKey returns a compact string key identifying the vertex sequence of p,
 // suitable for use in maps when deduplicating candidate paths.
 func PathKey(p Path) string {
-	var b strings.Builder
-	b.Grow(len(p.Vertices) * 4)
+	// The key only needs equality semantics (it is a map key on every hot
+	// dedup path, including inside Yen), so the vertex ids are packed in raw
+	// little-endian bytes instead of being formatted as text.
+	b := make([]byte, len(p.Vertices)*4)
 	for i, v := range p.Vertices {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%d", v)
+		b[i*4] = byte(v)
+		b[i*4+1] = byte(v >> 8)
+		b[i*4+2] = byte(v >> 16)
+		b[i*4+3] = byte(v >> 24)
 	}
-	return b.String()
+	return string(b)
 }

@@ -1,0 +1,397 @@
+// Package rpcbatch coalesces partial-KSP pair requests from different
+// concurrent queries into shared batches, one outbound queue per worker.
+//
+// The paper's query cost is dominated by the refine step's partial-KSP
+// requests to subgraph hosts.  When many queries run concurrently (the serve
+// layer's worker pool), shipping every query's pairs alone wastes the wire
+// twice:
+// every query pays a full RPC per refine iteration, and queries whose
+// reference paths overlap recompute identical (s,t) pairs on the workers.  A
+// Batcher sits between the engines and one worker's transport and:
+//
+//   - buffers incoming pair requests, flushing a batch when it reaches
+//     Options.MaxPairs or when the oldest buffered pair has waited
+//     Options.MaxDelay (size/age trigger, like a NIC's interrupt coalescing);
+//   - never mixes incompatible requests: batches are keyed by (k, epoch), so
+//     a flushed batch is answerable by one worker call and epoch-pinned
+//     queries keep snapshot isolation even when different epochs are in
+//     flight concurrently;
+//   - dedupes identical (s, t, k, epoch) pairs across queries: later
+//     requesters attach to the pending pair — buffered or already on the
+//     wire — and share its reply instead of re-sending it.
+//
+// The batcher is transport-agnostic: the in-process cluster and the TCP
+// RemoteWorker both plug in through the Sender callback.
+package rpcbatch
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kspdg/internal/core"
+	"kspdg/internal/graph"
+)
+
+// Sender ships one coalesced batch to a worker and returns the partial paths
+// per pair, plus whether the worker honoured the epoch pin (pinned answers
+// were computed from the requested epoch's frozen weights and are therefore
+// immutable; only they may enter the memo).  All pairs of a call share k and
+// the epoch pin.  Senders are invoked from flush goroutines and must be safe
+// for concurrent use.
+type Sender func(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (paths map[core.PairRequest][]graph.Path, pinned bool, err error)
+
+// Options tunes the flush triggers.
+type Options struct {
+	// MaxPairs flushes a batch as soon as it holds this many distinct pairs.
+	// Zero means 64.
+	MaxPairs int
+	// MaxDelay flushes a batch when its oldest pair has been buffered this
+	// long.  The age trigger only governs contended periods: when a single
+	// caller is active the batch flushes immediately (there is no one to
+	// coalesce with, so lingering would be pure added latency).  Zero means
+	// 200µs.
+	MaxDelay time.Duration
+	// CacheCapacity bounds the memo of answered epoch-pinned pairs.  A pair
+	// result pinned to an epoch is immutable — the epoch's weights are frozen
+	// — so it can be replayed to any later query at the same epoch, extending
+	// the cross-query dedup from concurrently-pending pairs to the whole
+	// lifetime of an epoch.  Requests without an epoch pin (live weights)
+	// are never cached.  Zero means 4096; negative disables.
+	CacheCapacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPairs <= 0 {
+		o.MaxPairs = 64
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 200 * time.Microsecond
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 4096
+	}
+	return o
+}
+
+// Stats counts the batcher's traffic.
+type Stats struct {
+	// Batches is the number of flushes (worker calls) issued.
+	Batches int64
+	// PairsSent is the number of distinct pairs shipped across all batches.
+	PairsSent int64
+	// Enqueued is the number of pair requests callers submitted.
+	Enqueued int64
+	// DedupHits counts submitted pairs that attached to an identical pending
+	// pair (buffered or in flight) instead of being shipped again.
+	DedupHits int64
+	// CacheHits counts submitted pairs answered from the epoch-pinned memo.
+	CacheHits int64
+	// Coalesced counts shipped pairs that travelled in a batch fed by more
+	// than one caller — the cross-query sharing the batcher exists for.
+	Coalesced int64
+}
+
+// Add accumulates other into s (for aggregating per-worker batchers).
+func (s *Stats) Add(other Stats) {
+	s.Batches += other.Batches
+	s.PairsSent += other.PairsSent
+	s.Enqueued += other.Enqueued
+	s.DedupHits += other.DedupHits
+	s.CacheHits += other.CacheHits
+	s.Coalesced += other.Coalesced
+}
+
+// Result is the outcome of one Do/DoAsync call: the partial paths for every
+// requested pair, or the first transport error that hit one of its batches.
+type Result struct {
+	Paths map[core.PairRequest][]graph.Path
+	Err   error
+}
+
+// ErrClosed fails requests submitted after Close.
+var ErrClosed = errors.New("rpcbatch: batcher closed")
+
+// batchKey identifies requests that may share a batch.
+type batchKey struct {
+	k        int
+	epoch    uint64
+	hasEpoch bool
+}
+
+// flightKey identifies one dedupable pending pair.
+type flightKey struct {
+	pair core.PairRequest
+	batchKey
+}
+
+// waiter is one Do/DoAsync call awaiting its pairs.
+type waiter struct {
+	missing int
+	paths   map[core.PairRequest][]graph.Path
+	err     error
+	done    chan Result
+}
+
+// resolvePairLocked records one pair outcome for a waiter, delivering the
+// combined result (and retiring the waiter from the active count) once the
+// last pair lands.  Callers hold b.mu.
+func (b *Batcher) resolvePairLocked(w *waiter, pr core.PairRequest, paths []graph.Path, err error) {
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+	} else {
+		w.paths[pr] = paths
+	}
+	w.missing--
+	if w.missing == 0 {
+		b.active--
+		w.done <- Result{Paths: w.paths, Err: w.err} // buffered; never blocks
+	}
+}
+
+// entry is one pending pair and the waiters sharing its reply.
+type entry struct {
+	waiters []*waiter
+}
+
+// bucket is one forming batch: the distinct pairs buffered for one batchKey
+// since the last flush, with the age timer that bounds their wait.
+type bucket struct {
+	key     batchKey
+	order   []core.PairRequest
+	entries map[core.PairRequest]*entry
+	callers int
+	timer   *time.Timer
+}
+
+// Batcher is one worker's outbound pair-request queue.
+type Batcher struct {
+	send Sender
+	opts Options
+
+	mu       sync.Mutex
+	closed   bool
+	active   int // callers submitted but not yet fully answered
+	buckets  map[batchKey]*bucket
+	inflight map[flightKey]*entry
+	cache    map[flightKey][]graph.Path
+	flushes  sync.WaitGroup
+
+	batches   atomic.Int64
+	pairsSent atomic.Int64
+	enqueued  atomic.Int64
+	dedup     atomic.Int64
+	cacheHits atomic.Int64
+	coalesced atomic.Int64
+}
+
+// New creates a batcher shipping batches through send.
+func New(send Sender, opts Options) *Batcher {
+	b := &Batcher{
+		send:     send,
+		opts:     opts.withDefaults(),
+		buckets:  make(map[batchKey]*bucket),
+		inflight: make(map[flightKey]*entry),
+	}
+	if b.opts.CacheCapacity > 0 {
+		b.cache = make(map[flightKey][]graph.Path)
+	}
+	return b
+}
+
+// DoAsync submits the pairs and returns a channel that receives the combined
+// result once every pair has been answered.  The call returns immediately;
+// the pairs ride whatever batches their (k, epoch) class flushes into.
+func (b *Batcher) DoAsync(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) <-chan Result {
+	done := make(chan Result, 1)
+	if len(pairs) == 0 {
+		done <- Result{Paths: make(map[core.PairRequest][]graph.Path)}
+		return done
+	}
+	w := &waiter{paths: make(map[core.PairRequest][]graph.Path, len(pairs)), done: done}
+	bk := batchKey{k: k, epoch: epoch, hasEpoch: hasEpoch}
+	distinct := pairs[:0:0]
+	seen := make(map[core.PairRequest]bool, len(pairs))
+	for _, pr := range pairs {
+		if !seen[pr] {
+			seen[pr] = true
+			distinct = append(distinct, pr)
+		}
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		done <- Result{Err: ErrClosed}
+		return done
+	}
+	// missing is preset before any pair resolves so a cache hit on an early
+	// pair cannot deliver the waiter while later pairs are still unfiled;
+	// the caller is active until its last pair resolves.
+	w.missing = len(distinct)
+	b.active++
+	contributed := false
+	for _, pr := range distinct {
+		b.enqueued.Add(1)
+		fk := flightKey{pair: pr, batchKey: bk}
+		if hasEpoch && b.cache != nil {
+			if paths, ok := b.cache[fk]; ok {
+				// Epoch-pinned answer already known: replay it.
+				b.cacheHits.Add(1)
+				b.resolvePairLocked(w, pr, paths, nil)
+				continue
+			}
+		}
+		if e, ok := b.inflight[fk]; ok {
+			// Identical pair already on the wire: share its reply.
+			e.waiters = append(e.waiters, w)
+			b.dedup.Add(1)
+			continue
+		}
+		bu := b.buckets[bk]
+		if bu == nil {
+			bu = &bucket{key: bk, entries: make(map[core.PairRequest]*entry)}
+			b.buckets[bk] = bu
+			bu.timer = time.AfterFunc(b.opts.MaxDelay, func() { b.flushAged(bk, bu) })
+		}
+		if !contributed {
+			bu.callers++
+			contributed = true
+		}
+		if e, ok := bu.entries[pr]; ok {
+			// Identical pair already buffered: share its slot.
+			e.waiters = append(e.waiters, w)
+			b.dedup.Add(1)
+			continue
+		}
+		bu.entries[pr] = &entry{waiters: []*waiter{w}}
+		bu.order = append(bu.order, pr)
+		if len(bu.order) >= b.opts.MaxPairs {
+			b.flushLocked(bu)
+			contributed = false // pairs beyond MaxPairs start a new bucket
+		}
+	}
+	// A lone caller has no one to coalesce with: lingering for the age
+	// trigger would trade pure latency for nothing, so its bucket ships
+	// immediately.  With other callers active the bucket waits (bounded by
+	// MaxDelay) for their pairs.
+	if bu := b.buckets[bk]; bu != nil && b.active <= 1 {
+		b.flushLocked(bu)
+	}
+	b.mu.Unlock()
+	return done
+}
+
+// Do is DoAsync followed by a blocking wait.
+func (b *Batcher) Do(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, error) {
+	res := <-b.DoAsync(pairs, k, epoch, hasEpoch)
+	return res.Paths, res.Err
+}
+
+// flushAged is the timer callback: flush the bucket if it is still forming.
+func (b *Batcher) flushAged(bk batchKey, bu *bucket) {
+	b.mu.Lock()
+	if b.buckets[bk] == bu {
+		b.flushLocked(bu)
+	}
+	b.mu.Unlock()
+}
+
+// flushLocked moves a forming bucket onto the wire: its entries become
+// in-flight (still dedupable) and a goroutine ships the batch and scatters
+// the replies back to every attached waiter.  Callers hold b.mu.
+func (b *Batcher) flushLocked(bu *bucket) {
+	delete(b.buckets, bu.key)
+	bu.timer.Stop()
+	for _, pr := range bu.order {
+		b.inflight[flightKey{pair: pr, batchKey: bu.key}] = bu.entries[pr]
+	}
+	b.batches.Add(1)
+	b.pairsSent.Add(int64(len(bu.order)))
+	if bu.callers > 1 {
+		b.coalesced.Add(int64(len(bu.order)))
+	}
+	b.flushes.Add(1)
+	go func() {
+		defer b.flushes.Done()
+		paths, pinned, err := b.send(bu.order, bu.key.k, bu.key.epoch, bu.key.hasEpoch)
+		b.mu.Lock()
+		for _, pr := range bu.order {
+			fk := flightKey{pair: pr, batchKey: bu.key}
+			// Only answers the worker actually froze at the requested epoch
+			// are immutable; unpinned fallbacks (evicted epochs, standalone
+			// workers) must not be memoized as if they were.
+			if err == nil && pinned && bu.key.hasEpoch && b.cache != nil {
+				b.cacheStoreLocked(fk, paths[pr])
+			}
+			e := b.inflight[fk]
+			delete(b.inflight, fk)
+			for _, w := range e.waiters {
+				if err != nil {
+					b.resolvePairLocked(w, pr, nil, err)
+				} else {
+					b.resolvePairLocked(w, pr, paths[pr], nil)
+				}
+			}
+		}
+		b.mu.Unlock()
+	}()
+}
+
+// cacheStoreLocked memoizes one answered epoch-pinned pair, evicting pairs
+// from other (superseded or not-yet-reached) epochs first when the capacity
+// bound is hit, then falling back to clearing the memo.  Callers hold b.mu.
+func (b *Batcher) cacheStoreLocked(fk flightKey, paths []graph.Path) {
+	if len(b.cache) >= b.opts.CacheCapacity {
+		for old := range b.cache {
+			if old.epoch != fk.epoch {
+				delete(b.cache, old)
+			}
+		}
+		if len(b.cache) >= b.opts.CacheCapacity {
+			b.cache = make(map[flightKey][]graph.Path)
+		}
+	}
+	b.cache[fk] = paths
+}
+
+// Flush ships every forming bucket immediately (age trigger forced).
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	for _, bu := range b.buckets {
+		b.flushLocked(bu)
+	}
+	b.mu.Unlock()
+}
+
+// Close flushes buffered pairs, waits for in-flight batches to resolve, and
+// fails later submissions with ErrClosed.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.flushes.Wait()
+		return
+	}
+	b.closed = true
+	for _, bu := range b.buckets {
+		b.flushLocked(bu)
+	}
+	b.mu.Unlock()
+	b.flushes.Wait()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (b *Batcher) Stats() Stats {
+	return Stats{
+		Batches:   b.batches.Load(),
+		PairsSent: b.pairsSent.Load(),
+		Enqueued:  b.enqueued.Load(),
+		DedupHits: b.dedup.Load(),
+		CacheHits: b.cacheHits.Load(),
+		Coalesced: b.coalesced.Load(),
+	}
+}

@@ -1,0 +1,322 @@
+package rpcbatch
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kspdg/internal/core"
+	"kspdg/internal/graph"
+)
+
+// recordingSender counts calls and returns a one-path answer per pair whose
+// distance encodes the epoch, so tests can tell which epoch served a pair.
+type recordingSender struct {
+	mu       sync.Mutex
+	calls    [][]core.PairRequest
+	err      error
+	delay    time.Duration
+	unpinned bool // report answers as not epoch-frozen
+}
+
+func (rs *recordingSender) send(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
+	if rs.delay > 0 {
+		time.Sleep(rs.delay)
+	}
+	rs.mu.Lock()
+	rs.calls = append(rs.calls, append([]core.PairRequest(nil), pairs...))
+	err := rs.err
+	rs.mu.Unlock()
+	if err != nil {
+		return nil, false, err
+	}
+	out := make(map[core.PairRequest][]graph.Path, len(pairs))
+	for _, pr := range pairs {
+		out[pr] = []graph.Path{{Vertices: []graph.VertexID{pr.A, pr.B}, Dist: float64(epoch)}}
+	}
+	return out, hasEpoch && !rs.unpinned, nil
+}
+
+func (rs *recordingSender) batches() [][]core.PairRequest {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([][]core.PairRequest(nil), rs.calls...)
+}
+
+func pairsN(n int) []core.PairRequest {
+	out := make([]core.PairRequest, n)
+	for i := range out {
+		out[i] = core.PairRequest{A: graph.VertexID(i), B: graph.VertexID(i + 1)}
+	}
+	return out
+}
+
+func TestFlushBySize(t *testing.T) {
+	rs := &recordingSender{}
+	b := New(rs.send, Options{MaxPairs: 4, MaxDelay: time.Hour})
+	defer b.Close()
+	paths, err := b.Do(pairsN(4), 2, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("got %d pair results, want 4", len(paths))
+	}
+	if got := rs.batches(); len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("expected one 4-pair batch, got %v", got)
+	}
+	st := b.Stats()
+	if st.Batches != 1 || st.PairsSent != 4 || st.Enqueued != 4 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFlushByAge(t *testing.T) {
+	// The age trigger governs contended periods: a first caller's flush is
+	// held in flight by the sender delay, so the second caller's bucket
+	// (size bound unreachable) can only ship via the MaxDelay timer.
+	rs := &recordingSender{delay: 50 * time.Millisecond}
+	b := New(rs.send, Options{MaxPairs: 1 << 20, MaxDelay: time.Millisecond, CacheCapacity: -1})
+	defer b.Close()
+	first := b.DoAsync(pairsN(1), 3, 7, true)
+	time.Sleep(2 * time.Millisecond) // let the first flush get in flight
+	start := time.Now()
+	paths, err := b.Do(pairsN(2)[1:], 3, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("got %d results, want 1", len(paths))
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("age flush took %v", waited)
+	}
+	if r := <-first; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if b.Stats().Batches != 2 {
+		t.Errorf("stats %+v", b.Stats())
+	}
+}
+
+func TestLoneCallerFlushesImmediately(t *testing.T) {
+	rs := &recordingSender{}
+	// MaxDelay far beyond the test timeout: a lone caller must not wait it.
+	b := New(rs.send, Options{MaxPairs: 1 << 20, MaxDelay: time.Hour})
+	defer b.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := b.Do(pairsN(3), 2, 1, true); err != nil {
+			t.Errorf("do: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lone caller waited for the age trigger")
+	}
+}
+
+func TestDedupAcrossCallers(t *testing.T) {
+	// The sender delay keeps the first caller's flush in flight so the
+	// second caller's identical pair dedups onto it.
+	rs := &recordingSender{delay: 20 * time.Millisecond}
+	b := New(rs.send, Options{MaxPairs: 8, MaxDelay: 5 * time.Millisecond, CacheCapacity: -1})
+	defer b.Close()
+	pr := core.PairRequest{A: 1, B: 2}
+	ch1 := b.DoAsync([]core.PairRequest{pr}, 2, 3, true)
+	time.Sleep(2 * time.Millisecond)
+	ch2 := b.DoAsync([]core.PairRequest{pr}, 2, 3, true)
+	r1, r2 := <-ch1, <-ch2
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatalf("errors: %v %v", r1.Err, r2.Err)
+	}
+	if len(r1.Paths[pr]) != 1 || len(r2.Paths[pr]) != 1 {
+		t.Fatalf("both callers should receive the shared pair result")
+	}
+	st := b.Stats()
+	if st.PairsSent != 1 || st.DedupHits != 1 {
+		t.Errorf("expected the second submission to dedup, stats %+v", st)
+	}
+}
+
+func TestEpochsNeverShareABatch(t *testing.T) {
+	rs := &recordingSender{}
+	b := New(rs.send, Options{MaxPairs: 64, MaxDelay: 2 * time.Millisecond, CacheCapacity: -1})
+	defer b.Close()
+	pr := core.PairRequest{A: 4, B: 5}
+	ch1 := b.DoAsync([]core.PairRequest{pr}, 2, 1, true)
+	ch2 := b.DoAsync([]core.PairRequest{pr}, 2, 2, true)
+	ch3 := b.DoAsync([]core.PairRequest{pr}, 2, 0, false) // live weights
+	r1, r2, r3 := <-ch1, <-ch2, <-ch3
+	if r1.Err != nil || r2.Err != nil || r3.Err != nil {
+		t.Fatalf("errors: %v %v %v", r1.Err, r2.Err, r3.Err)
+	}
+	// The sender encodes the epoch in the distance: each request must have
+	// been answered by its own epoch's batch.
+	if d := r1.Paths[pr][0].Dist; d != 1 {
+		t.Errorf("epoch-1 caller served from epoch %v", d)
+	}
+	if d := r2.Paths[pr][0].Dist; d != 2 {
+		t.Errorf("epoch-2 caller served from epoch %v", d)
+	}
+	st := b.Stats()
+	if st.Batches != 3 || st.DedupHits != 0 {
+		t.Errorf("mixed-epoch requests must not share batches: %+v", st)
+	}
+}
+
+func TestEpochPinnedCache(t *testing.T) {
+	rs := &recordingSender{}
+	b := New(rs.send, Options{MaxPairs: 8, MaxDelay: time.Millisecond})
+	defer b.Close()
+	pr := core.PairRequest{A: 8, B: 9}
+	if _, err := b.Do([]core.PairRequest{pr}, 2, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Do([]core.PairRequest{pr}, 2, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.CacheHits != 1 || st.PairsSent != 1 {
+		t.Errorf("second same-epoch request should hit the memo: %+v", st)
+	}
+	// A new epoch must miss: the weights may have changed.
+	if _, err := b.Do([]core.PairRequest{pr}, 2, 6, true); err != nil {
+		t.Fatal(err)
+	}
+	st = b.Stats()
+	if st.CacheHits != 1 || st.PairsSent != 2 {
+		t.Errorf("new-epoch request must not reuse the old epoch's answer: %+v", st)
+	}
+	// Live-weight requests are never cached.
+	if _, err := b.Do([]core.PairRequest{pr}, 2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Do([]core.PairRequest{pr}, 2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	st = b.Stats()
+	if st.CacheHits != 1 || st.PairsSent != 4 {
+		t.Errorf("live-weight requests must bypass the memo: %+v", st)
+	}
+}
+
+func TestSenderErrorPropagates(t *testing.T) {
+	rs := &recordingSender{err: errors.New("worker down"), delay: 20 * time.Millisecond}
+	b := New(rs.send, Options{MaxPairs: 2, MaxDelay: time.Millisecond})
+	defer b.Close()
+	ch1 := b.DoAsync(pairsN(1), 2, 1, true)
+	time.Sleep(2 * time.Millisecond)
+	ch2 := b.DoAsync(pairsN(1), 2, 1, true) // dedups onto the in-flight pair
+	r1, r2 := <-ch1, <-ch2
+	if r1.Err == nil || r2.Err == nil {
+		t.Fatalf("both callers must see the batch error, got %v / %v", r1.Err, r2.Err)
+	}
+}
+
+func TestUnpinnedAnswersAreNotMemoized(t *testing.T) {
+	// A worker that cannot honour the epoch pin (evicted epoch, standalone
+	// process) reports pinned=false: its answers must never enter the memo,
+	// even with the cache enabled.
+	rs := &recordingSender{unpinned: true}
+	b := New(rs.send, Options{MaxPairs: 8, MaxDelay: time.Millisecond})
+	defer b.Close()
+	pr := core.PairRequest{A: 30, B: 31}
+	for i := 0; i < 2; i++ {
+		if _, err := b.Do([]core.PairRequest{pr}, 2, 9, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Stats()
+	if st.CacheHits != 0 || st.PairsSent != 2 {
+		t.Errorf("unpinned answers must be recomputed every time: %+v", st)
+	}
+}
+
+func TestCloseFlushesAndRejects(t *testing.T) {
+	// Two active callers: the first's flush is held in flight by the sender
+	// delay, the second's bucket is still forming (hour-long age trigger)
+	// when Close runs — Close must force it out.
+	rs := &recordingSender{delay: 30 * time.Millisecond}
+	b := New(rs.send, Options{MaxPairs: 1 << 20, MaxDelay: time.Hour, CacheCapacity: -1})
+	first := b.DoAsync(pairsN(1), 2, 1, true)
+	time.Sleep(2 * time.Millisecond)
+	ch := b.DoAsync(pairsN(4)[1:], 2, 1, true)
+	b.Close() // must force the buffered pairs out
+	if r := <-first; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	r := <-ch
+	if r.Err != nil || len(r.Paths) != 3 {
+		t.Fatalf("close should flush the forming batch: %+v", r)
+	}
+	if res := <-b.DoAsync(pairsN(1), 2, 1, true); !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("post-close submissions must fail with ErrClosed, got %v", res.Err)
+	}
+}
+
+func TestEmptyRequest(t *testing.T) {
+	rs := &recordingSender{}
+	b := New(rs.send, Options{})
+	defer b.Close()
+	paths, err := b.Do(nil, 2, 1, true)
+	if err != nil || len(paths) != 0 {
+		t.Fatalf("empty request: %v %v", paths, err)
+	}
+	if b.Stats().Batches != 0 {
+		t.Errorf("empty request must not flush anything")
+	}
+}
+
+// TestConcurrentAccounting hammers the batcher from many goroutines across
+// several epochs and checks the conservation law: every enqueued pair is
+// either shipped, deduped onto a pending pair, or answered from the memo.
+func TestConcurrentAccounting(t *testing.T) {
+	rs := &recordingSender{delay: 100 * time.Microsecond}
+	b := New(rs.send, Options{MaxPairs: 16, MaxDelay: 200 * time.Microsecond})
+	defer b.Close()
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				var pairs []core.PairRequest
+				for j := 0; j < 1+rng.Intn(4); j++ {
+					pairs = append(pairs, core.PairRequest{
+						A: graph.VertexID(rng.Intn(10)),
+						B: graph.VertexID(10 + rng.Intn(10)),
+					})
+				}
+				epoch := uint64(rng.Intn(3))
+				paths, err := b.Do(pairs, 2, epoch, true)
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				for _, pr := range pairs {
+					if len(paths[pr]) != 1 || paths[pr][0].Dist != float64(epoch) {
+						failures.Add(1)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d callers saw wrong results", failures.Load())
+	}
+	st := b.Stats()
+	if st.Enqueued != st.PairsSent+st.DedupHits+st.CacheHits {
+		t.Errorf("accounting broken: enqueued %d != sent %d + dedup %d + cache %d",
+			st.Enqueued, st.PairsSent, st.DedupHits, st.CacheHits)
+	}
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"kspdg/internal/cluster"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/partition"
+	"kspdg/internal/testutil"
+	"kspdg/internal/workload"
+)
+
+// TestStatsExposeBatchCounters serves concurrent queries over a batching
+// cluster provider and checks the provider's coalescing counters surface in
+// serve.Stats.
+func TestStatsExposeBatchCounters(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(x, cluster.Config{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := New(x, c.Provider(), Options{Workers: 4, CacheCapacity: -1})
+	defer s.Close()
+
+	queries := workload.NewQueryGenerator(g.NumVertices(), 11).Batch(12)
+	var wg sync.WaitGroup
+	for _, q := range queries {
+		wg.Add(1)
+		go func(q workload.Query) {
+			defer wg.Done()
+			if _, err := s.Query(q.Source, q.Target, 2); err != nil {
+				t.Errorf("query: %v", err)
+			}
+		}(q)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.RPCBatches == 0 {
+		t.Errorf("expected the cluster provider's batch counters in serve.Stats, got %+v", st)
+	}
+	if st.QueriesServed != int64(len(queries)) {
+		t.Errorf("queries served = %d, want %d", st.QueriesServed, len(queries))
+	}
+}

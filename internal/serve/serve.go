@@ -25,6 +25,7 @@ import (
 	"kspdg/internal/core"
 	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
+	"kspdg/internal/rpcbatch"
 )
 
 // Persister receives durability callbacks from the server's writer path.
@@ -88,14 +89,28 @@ type Stats struct {
 	UpdatesApplied int64 // individual edge updates applied
 	Snapshots      int64 // periodic snapshots written through Options.Store
 	Epoch          uint64
+	// RPCBatches, PairsCoalesced and DedupHits mirror the provider's
+	// cross-query batching counters (see rpcbatch.Stats) when the refine step
+	// runs on a batching transport; they stay zero for local providers.
+	RPCBatches     int64
+	PairsCoalesced int64
+	DedupHits      int64
+	PairCacheHits  int64
+}
+
+// batchStatsProvider is implemented by batching refine-step providers (the
+// cluster transports) that can report their coalescing counters.
+type batchStatsProvider interface {
+	BatchStats() rpcbatch.Stats
 }
 
 // Server schedules concurrent KSP queries and weight updates over one index.
 type Server struct {
-	index  *dtlp.Index
-	engine *core.Engine
-	parent *graph.Graph
-	opts   Options
+	index    *dtlp.Index
+	engine   *core.Engine
+	provider core.PartialProvider
+	parent   *graph.Graph
+	opts     Options
 
 	tasks   chan *task
 	workers sync.WaitGroup
@@ -157,6 +172,7 @@ func New(index *dtlp.Index, provider core.PartialProvider, opts Options) *Server
 	s := &Server{
 		index:    index,
 		engine:   core.NewEngine(index, provider, engOpts),
+		provider: provider,
 		parent:   index.Partition().Parent(),
 		opts:     opts,
 		tasks:    make(chan *task, opts.QueueDepth),
@@ -325,9 +341,10 @@ func (s *Server) ApplyUpdates(batch []graph.WeightUpdate) error {
 	return nil
 }
 
-// Stats returns the server's scheduling counters.
+// Stats returns the server's scheduling counters, including the refine
+// transport's cross-query batching counters when the provider exposes them.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		QueriesServed:  s.queries.Load(),
 		CacheHits:      s.hits.Load(),
 		Coalesced:      s.coalesced.Load(),
@@ -336,6 +353,14 @@ func (s *Server) Stats() Stats {
 		Snapshots:      s.snapshots.Load(),
 		Epoch:          s.index.CurrentView().Epoch(),
 	}
+	if bp, ok := s.provider.(batchStatsProvider); ok {
+		bst := bp.BatchStats()
+		st.RPCBatches = bst.Batches
+		st.PairsCoalesced = bst.Coalesced
+		st.DedupHits = bst.DedupHits
+		st.PairCacheHits = bst.CacheHits
+	}
+	return st
 }
 
 // Close drains the worker pool.  Queries submitted after Close fail;
