@@ -6,9 +6,16 @@
 //	kspbench -list
 //	kspbench -exp fig35
 //	kspbench -exp all -scale small -nq 200 -workers 8
+//	kspbench -check BENCH_rpc.json -check-tolerance 2
 //
 // Each experiment prints a plain-text table whose rows correspond to the
 // series the paper plots; EXPERIMENTS.md records a captured run.
+//
+// -check is the CI regression gate: it re-runs the experiment recorded in a
+// committed BENCH_<name>.json baseline with the baseline's exact parameters
+// and exits nonzero when the fresh ns/op exceeds the baseline's by more than
+// the tolerance factor.  Refresh a baseline by re-running the experiment with
+// -json and committing the new file.
 package main
 
 import (
@@ -31,8 +38,15 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed for workloads")
 		workers = flag.Int("workers", 4, "default simulated cluster size")
 		jsonDir = flag.String("json", "", "also write machine-readable BENCH_<name>.json results (with ns/op and allocs) into this directory")
+		check   = flag.String("check", "", "regression gate: re-run the experiment recorded in this BENCH_<name>.json baseline and fail on a slowdown beyond -check-tolerance")
+		checkTl = flag.Float64("check-tolerance", 1.5, "maximum allowed fresh/baseline ns/op ratio for -check")
 	)
 	flag.Parse()
+
+	if *check != "" {
+		runCheck(*check, *checkTl, *jsonDir)
+		return
+	}
 
 	if *list {
 		for _, name := range bench.Experiments() {
@@ -93,4 +107,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kspbench: wrote %s (%.3fms/op, %d allocs)\n",
 			path, float64(metrics.NsPerOp)/1e6, metrics.Allocs)
 	}
+}
+
+// runCheck is the -check mode: replay the baseline's experiment with its
+// exact parameters and gate on the ns/op ratio.
+func runCheck(baselinePath string, tolerance float64, jsonDir string) {
+	baseline, err := bench.ReadJSON(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
+		os.Exit(2)
+	}
+	suite, err := bench.SuiteFromMetrics(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("kspbench: checking %s against %s (scale %s, nq %d, k %d, %d workers, tolerance %.2fx)\n",
+		baseline.Name, baselinePath, baseline.Scale, baseline.Nq, baseline.K, baseline.Workers, tolerance)
+	table, fresh, err := suite.RunMeasured(baseline.Name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
+		os.Exit(1)
+	}
+	table.Fprint(os.Stdout)
+	if jsonDir != "" {
+		if path, err := bench.WriteJSON(jsonDir, fresh); err == nil {
+			fmt.Fprintf(os.Stderr, "kspbench: wrote %s\n", path)
+		} else {
+			fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
+		}
+	}
+	if err := bench.CheckRegression(baseline, fresh, tolerance); err != nil {
+		fmt.Fprintf(os.Stderr, "kspbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kspbench: %s within tolerance: %.3fms/op vs baseline %.3fms/op (%.2fx <= %.2fx)\n",
+		baseline.Name, float64(fresh.NsPerOp)/1e6, float64(baseline.NsPerOp)/1e6,
+		float64(fresh.NsPerOp)/float64(baseline.NsPerOp), tolerance)
 }

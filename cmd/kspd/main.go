@@ -34,6 +34,18 @@
 //
 //	kspd -mode master -dataset NY -scale tiny -data-dir /var/lib/kspd -save-index -queries 10
 //	kspd -mode master -data-dir /var/lib/kspd -load-index -queries 50 -update-batches 3
+//
+// Fault tolerance: with -replicas N every subgraph is hosted by N workers
+// (the replica table is derived deterministically from the shared flags, so
+// master and workers agree without coordination), worker health is tracked by
+// -ping-every probes plus data-path outcomes, failed partial-KSP batches fail
+// over to replicas, and -hedge-after optionally duplicates slow batches for
+// tail latency.  All workers must be started with the same -replicas value:
+//
+//	kspd -mode worker -dataset NY -scale tiny -worker-id 0 -num-workers 2 -replicas 2 -listen 127.0.0.1:7001 &
+//	kspd -mode worker -dataset NY -scale tiny -worker-id 1 -num-workers 2 -replicas 2 -listen 127.0.0.1:7002 &
+//	kspd -mode master -dataset NY -scale tiny -num-workers 2 -replicas 2 -hedge-after 5ms \
+//	    -connect 127.0.0.1:7001,127.0.0.1:7002 -queries 50 -k 3 -update-batches 3
 package main
 
 import (
@@ -76,6 +88,9 @@ func main() {
 		conc       = flag.Int("concurrency", 0, "query worker pool size (0 = GOMAXPROCS)")
 		transport  = flag.String("transport", "batched", "master-worker transport: serialized (legacy lock-step), pipelined (multiplexed, per-query fan-out), or batched (multiplexed + cross-query pair batching)")
 		pool       = flag.Int("pool", 2, "TCP connections per worker (pipelined and batched transports)")
+		replicas   = flag.Int("replicas", 1, "workers hosting each subgraph; >1 enables health-checked failover on the batched transport (must match between master and workers)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "duplicate a partial-KSP batch to a replica when the primary is silent this long (master mode, needs -replicas > 1; 0 disables)")
+		pingEvery  = flag.Duration("ping-every", 500*time.Millisecond, "worker health-check probe interval (master mode with -replicas > 1; 0 leaves detection to the data path)")
 		batchPairs = flag.Int("batch-pairs", 0, "flush a coalesced partial-KSP batch at this many pairs (batched transport, 0 = default 64)")
 		batchAge   = flag.Duration("batch-age", 0, "flush a coalesced batch when its oldest pair waited this long (batched transport, 0 = default 200µs)")
 		dataDir    = flag.String("data-dir", "", "persistence directory for index snapshots and the update WAL")
@@ -109,28 +124,31 @@ func main() {
 			_, p := deriveDataset(*dataset, *scaleName, *z)
 			part = p
 		}
-		runWorker(part, *workerID, *numWorkers, *listen)
+		runWorker(part, *workerID, *numWorkers, *replicas, *listen)
 	case "master":
 		runMaster(masterConfig{
-			dataset:   *dataset,
-			scale:     *scaleName,
-			z:         *z,
-			xi:        *xi,
-			connect:   *connect,
-			queries:   *queries,
-			k:         *k,
-			seed:      *seed,
-			batches:   *batches,
-			alpha:     *alpha,
-			tau:       *tau,
-			conc:      *conc,
-			transport: *transport,
-			pool:      *pool,
-			batch:     rpcbatch.Options{MaxPairs: *batchPairs, MaxDelay: *batchAge},
-			dataDir:   *dataDir,
-			saveIndex: *saveIndex,
-			loadIndex: *loadIndex,
-			snapEvery: *snapEvery,
+			dataset:    *dataset,
+			scale:      *scaleName,
+			z:          *z,
+			xi:         *xi,
+			connect:    *connect,
+			queries:    *queries,
+			k:          *k,
+			seed:       *seed,
+			batches:    *batches,
+			alpha:      *alpha,
+			tau:        *tau,
+			conc:       *conc,
+			transport:  *transport,
+			pool:       *pool,
+			replicas:   *replicas,
+			hedgeAfter: *hedgeAfter,
+			pingEvery:  *pingEvery,
+			batch:      rpcbatch.Options{MaxPairs: *batchPairs, MaxDelay: *batchAge},
+			dataDir:    *dataDir,
+			saveIndex:  *saveIndex,
+			loadIndex:  *loadIndex,
+			snapEvery:  *snapEvery,
 		})
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want worker or master)", *mode))
@@ -170,16 +188,27 @@ func parseScale(name string) (workload.Scale, error) {
 	return 0, fmt.Errorf("unknown scale %q", name)
 }
 
-// runWorker serves the subgraphs assigned to workerID (round-robin over the
-// partition) until interrupted.
-func runWorker(part *partition.Partition, workerID, numWorkers int, listen string) {
+// runWorker serves the subgraphs assigned to workerID until interrupted:
+// round-robin over the partition at replication factor 1 (the historical
+// assignment), the shared replica table above that — every process derives
+// the same table from the same flags, so the master's failover routing and
+// the workers' ownership agree without coordination.
+func runWorker(part *partition.Partition, workerID, numWorkers, replicas int, listen string) {
 	if numWorkers < 1 || workerID < 0 || workerID >= numWorkers {
 		fatal(fmt.Errorf("invalid worker id %d of %d", workerID, numWorkers))
 	}
 	var owned []partition.SubgraphID
-	for i := 0; i < part.NumSubgraphs(); i++ {
-		if i%numWorkers == workerID {
-			owned = append(owned, partition.SubgraphID(i))
+	if replicas > 1 {
+		table, err := cluster.AssignReplicas(part, numWorkers, replicas)
+		if err != nil {
+			fatal(err)
+		}
+		owned = table.OwnedBy(workerID)
+	} else {
+		for i := 0; i < part.NumSubgraphs(); i++ {
+			if i%numWorkers == workerID {
+				owned = append(owned, partition.SubgraphID(i))
+			}
 		}
 	}
 	worker := cluster.NewWorker(workerID, part, owned)
@@ -211,6 +240,9 @@ type masterConfig struct {
 	conc           int
 	transport      string
 	pool           int
+	replicas       int
+	hedgeAfter     time.Duration
+	pingEvery      time.Duration
 	batch          rpcbatch.Options
 	dataDir        string
 	saveIndex      bool
@@ -305,11 +337,33 @@ func runMaster(cfg masterConfig) {
 		}
 		switch cfg.transport {
 		case "serialized", "pipelined":
+			if cfg.replicas > 1 {
+				fatal(fmt.Errorf("-replicas %d needs the batched transport, not %q", cfg.replicas, cfg.transport))
+			}
 			provider = cluster.NewRemoteProvider(remotes)
 		case "batched":
-			bp := cluster.NewBatchedRemoteProvider(remotes, cfg.batch)
-			defer bp.Close()
-			provider = bp
+			if cfg.replicas > 1 {
+				table, err := cluster.AssignReplicas(part, len(remotes), cfg.replicas)
+				if err != nil {
+					fatal(err)
+				}
+				rp, err := cluster.NewReplicatedRemoteProvider(remotes, part, table, cluster.ReplicatedOptions{
+					Batch:      cfg.batch,
+					HedgeAfter: cfg.hedgeAfter,
+					PingEvery:  cfg.pingEvery,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				defer rp.Close()
+				provider = rp
+				fmt.Printf("kspd master: replication factor %d, hedge-after %v, ping-every %v\n",
+					table.Factor(), cfg.hedgeAfter, cfg.pingEvery)
+			} else {
+				bp := cluster.NewBatchedRemoteProvider(remotes, cfg.batch)
+				defer bp.Close()
+				provider = bp
+			}
 		default:
 			fatal(fmt.Errorf("unknown -transport %q (want serialized, pipelined, or batched)", cfg.transport))
 		}
@@ -358,6 +412,10 @@ func runMaster(cfg masterConfig) {
 	if stats.RPCBatches > 0 {
 		fmt.Printf("kspd master: %d rpc batches, %d pairs coalesced across queries, %d dedup hits\n",
 			stats.RPCBatches, stats.PairsCoalesced, stats.DedupHits)
+	}
+	if cfg.replicas > 1 {
+		fmt.Printf("kspd master: %d failovers, %d hedged batches (%d hedge wins, %d duplicate replies dropped)\n",
+			stats.Failovers, stats.HedgedBatches, stats.HedgeWins, stats.HedgeDrops)
 	}
 }
 

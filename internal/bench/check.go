@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"kspdg/internal/workload"
+)
+
+// ReadJSON loads a BENCH_<name>.json metrics record written by WriteJSON.
+func ReadJSON(path string) (Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var m Metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Metrics{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if m.Name == "" {
+		return Metrics{}, fmt.Errorf("bench: %s has no experiment name", path)
+	}
+	return m, nil
+}
+
+// SuiteFromMetrics configures a Suite to replay a baseline record's exact
+// parameters, so a regression check compares apples to apples regardless of
+// the checker's own defaults.
+func SuiteFromMetrics(m Metrics) (*Suite, error) {
+	s := DefaultSuite()
+	switch m.Scale {
+	case "tiny":
+		s.Scale = workload.ScaleTiny
+	case "small":
+		s.Scale = workload.ScaleSmall
+	case "medium":
+		s.Scale = workload.ScaleMedium
+	default:
+		return nil, fmt.Errorf("bench: baseline has unknown scale %q", m.Scale)
+	}
+	s.Nq = m.Nq
+	s.Xi = m.Xi
+	s.K = m.K
+	s.Seed = m.Seed
+	s.Workers = m.Workers
+	return s, nil
+}
+
+// RegressionError reports a fresh run slower than the committed baseline
+// allows.
+type RegressionError struct {
+	Name      string
+	Baseline  int64 // baseline ns/op
+	Fresh     int64 // fresh ns/op
+	Tolerance float64
+}
+
+func (e *RegressionError) Error() string {
+	return fmt.Sprintf("bench: %s regressed: %.3fms/op vs baseline %.3fms/op (%.2fx, tolerance %.2fx)",
+		e.Name, float64(e.Fresh)/1e6, float64(e.Baseline)/1e6, e.Ratio(), e.Tolerance)
+}
+
+// Ratio is fresh over baseline ns/op.
+func (e *RegressionError) Ratio() float64 {
+	return float64(e.Fresh) / float64(e.Baseline)
+}
+
+// CheckRegression compares a fresh run against its committed baseline: the
+// fresh ns/op must stay within tolerance times the baseline's.  tolerance is
+// honored as given (1.0 is a strict no-slowdown gate); only an unset value
+// (<= 0) falls back to the default 1.5.  Refresh the committed baseline to
+// bank a win — the gate only ratchets against slowdowns.
+func CheckRegression(baseline, fresh Metrics, tolerance float64) error {
+	if tolerance <= 0 {
+		tolerance = 1.5
+	}
+	if baseline.Name != fresh.Name {
+		return fmt.Errorf("bench: comparing %q against baseline %q", fresh.Name, baseline.Name)
+	}
+	if baseline.NsPerOp <= 0 {
+		return fmt.Errorf("bench: baseline %s has no ns/op", baseline.Name)
+	}
+	if float64(fresh.NsPerOp) > float64(baseline.NsPerOp)*tolerance {
+		return &RegressionError{
+			Name:      baseline.Name,
+			Baseline:  baseline.NsPerOp,
+			Fresh:     fresh.NsPerOp,
+			Tolerance: tolerance,
+		}
+	}
+	return nil
+}

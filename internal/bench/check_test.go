@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kspdg/internal/workload"
+)
+
+func TestReadJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := Metrics{
+		Name: "rpc", Title: "t", Scale: "small", Nq: 7, Xi: 2, K: 3,
+		Workers: 5, Seed: 99, ElapsedNs: 1000, NsPerOp: 500,
+		Columns: []string{"a"}, Rows: [][]string{{"1"}},
+	}
+	path, err := WriteJSON(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_rpc.json" {
+		t.Fatalf("wrote %s, want BENCH_rpc.json", path)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.NsPerOp != m.NsPerOp || got.Scale != m.Scale || got.Seed != m.Seed {
+		t.Fatalf("round trip changed the record: %+v", got)
+	}
+
+	s, err := SuiteFromMetrics(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scale != workload.ScaleSmall || s.Nq != 7 || s.Xi != 2 || s.K != 3 || s.Workers != 5 || s.Seed != 99 {
+		t.Fatalf("suite does not replay the baseline parameters: %+v", s)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	base := Metrics{Name: "rpc", NsPerOp: 1000}
+
+	if err := CheckRegression(base, Metrics{Name: "rpc", NsPerOp: 1400}, 1.5); err != nil {
+		t.Errorf("within tolerance: %v", err)
+	}
+	if err := CheckRegression(base, Metrics{Name: "rpc", NsPerOp: 200}, 1.5); err != nil {
+		t.Errorf("an improvement must always pass: %v", err)
+	}
+
+	err := CheckRegression(base, Metrics{Name: "rpc", NsPerOp: 2000}, 1.5)
+	if err == nil {
+		t.Fatal("2x slowdown must fail a 1.5x gate")
+	}
+	var reg *RegressionError
+	if !errors.As(err, &reg) {
+		t.Fatalf("error type %T, want *RegressionError", err)
+	}
+	if reg.Ratio() < 1.99 || reg.Ratio() > 2.01 {
+		t.Errorf("ratio %.2f, want 2.0", reg.Ratio())
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error %q should say what happened", err)
+	}
+
+	if err := CheckRegression(base, Metrics{Name: "other", NsPerOp: 100}, 1.5); err == nil {
+		t.Error("mismatched experiment names must fail")
+	}
+	if err := CheckRegression(Metrics{Name: "rpc"}, Metrics{Name: "rpc", NsPerOp: 1}, 1.5); err == nil {
+		t.Error("baseline without ns/op must fail")
+	}
+	// Unset tolerance falls back to the 1.5x default.
+	if err := CheckRegression(base, Metrics{Name: "rpc", NsPerOp: 1400}, 0); err != nil {
+		t.Errorf("default tolerance should be 1.5x: %v", err)
+	}
+	// A strict 1.0 gate is honored, not silently loosened.
+	if err := CheckRegression(base, Metrics{Name: "rpc", NsPerOp: 1400}, 1.0); err == nil {
+		t.Error("a 1.4x slowdown must fail a strict 1.0x gate")
+	}
+}

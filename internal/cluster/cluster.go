@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +27,13 @@ type Config struct {
 	// bytes that would cross the network.  It adds CPU cost, so benchmarks
 	// that only need timing leave it off.
 	MeasureBytes bool
+	// Replicas is the number of workers hosting each subgraph (capped at
+	// NumWorkers).  Zero or one means single-copy ownership.  In-process
+	// workers do not fail, so replication here models the replicated load
+	// profile (each worker carries its share of every rank) rather than
+	// failover; the TCP deployment adds the failure handling on top (see
+	// ReplicatedRemoteProvider).
+	Replicas int
 	// Batch tunes the cross-query coalescing of partial-KSP requests (see
 	// rpcbatch.Options).  Zero values use the rpcbatch defaults.
 	Batch rpcbatch.Options
@@ -36,6 +42,7 @@ type Config struct {
 // Stats aggregates the communication and load counters of a cluster run.
 type Stats struct {
 	Workers         int
+	ReplicaFactor   int // workers hosting each subgraph (1 = no replication)
 	MessagesSent    int64
 	BytesSent       int64
 	QueriesHandled  int64
@@ -59,7 +66,7 @@ type Cluster struct {
 	part  *partition.Partition
 
 	workers  []*Worker
-	assign   map[partition.SubgraphID]int
+	table    *ReplicaTable
 	provider *batchedProvider
 
 	messages atomic.Int64
@@ -81,42 +88,19 @@ func New(index *dtlp.Index, cfg Config) (*Cluster, error) {
 	}
 	part := index.Partition()
 	c := &Cluster{
-		cfg:    cfg,
-		index:  index,
-		part:   part,
-		assign: make(map[partition.SubgraphID]int, part.NumSubgraphs()),
+		cfg:   cfg,
+		index: index,
+		part:  part,
 	}
 
-	// Least-loaded assignment: biggest subgraphs first.
-	type sgLoad struct {
-		id   partition.SubgraphID
-		size int
+	// Least-loaded assignment, rank by rank when replication is on.
+	table, err := AssignReplicas(part, cfg.NumWorkers, cfg.Replicas)
+	if err != nil {
+		return nil, err
 	}
-	loads := make([]sgLoad, part.NumSubgraphs())
-	for i := range loads {
-		loads[i] = sgLoad{id: partition.SubgraphID(i), size: part.Subgraph(partition.SubgraphID(i)).NumVertices()}
-	}
-	sort.Slice(loads, func(i, j int) bool {
-		if loads[i].size != loads[j].size {
-			return loads[i].size > loads[j].size
-		}
-		return loads[i].id < loads[j].id
-	})
-	workerLoad := make([]int, cfg.NumWorkers)
-	owned := make([][]partition.SubgraphID, cfg.NumWorkers)
-	for _, l := range loads {
-		best := 0
-		for w := 1; w < cfg.NumWorkers; w++ {
-			if workerLoad[w] < workerLoad[best] {
-				best = w
-			}
-		}
-		workerLoad[best] += l.size
-		owned[best] = append(owned[best], l.id)
-		c.assign[l.id] = best
-	}
+	c.table = table
 	for w := 0; w < cfg.NumWorkers; w++ {
-		worker := NewWorker(w, part, owned[w])
+		worker := NewWorker(w, part, table.OwnedBy(w))
 		// In-process workers share the master's index, so they can serve
 		// epoch-pinned requests from the retained views.
 		worker.SetViewResolver(index.ViewAt)
@@ -145,13 +129,15 @@ func (c *Cluster) workerSender(w int) rpcbatch.Sender {
 	}
 }
 
-// routePair returns the workers owning at least one subgraph containing both
-// endpoints of the pair.
+// routePair returns the primary worker of every subgraph containing both
+// endpoints of the pair.  In-process workers do not fail, so the replicas
+// (when Config.Replicas > 1) stay on the sidelines for routing and only
+// carry the replicated update load.
 func (c *Cluster) routePair(pr core.PairRequest) []int {
 	var ws []int
 	seen := make(map[int]bool)
 	for _, id := range c.part.CommonSubgraphs(pr.A, pr.B) {
-		w := c.assign[id]
+		w := c.table.Primary(id)
 		if !seen[w] {
 			seen[w] = true
 			ws = append(ws, w)
@@ -169,8 +155,11 @@ func (c *Cluster) Worker(i int) *Worker { return c.workers[i] }
 // Index returns the cluster's DTLP index.
 func (c *Cluster) Index() *dtlp.Index { return c.index }
 
-// AssignedWorker returns the worker hosting subgraph id.
-func (c *Cluster) AssignedWorker(id partition.SubgraphID) int { return c.assign[id] }
+// AssignedWorker returns the primary worker hosting subgraph id.
+func (c *Cluster) AssignedWorker(id partition.SubgraphID) int { return c.table.Primary(id) }
+
+// ReplicaTable returns the cluster's subgraph-to-workers assignment.
+func (c *Cluster) ReplicaTable() *ReplicaTable { return c.table }
 
 // Provider returns the cluster's refine-step provider: an asynchronous
 // batching pipeline with one outbound queue per worker, where pair requests
@@ -199,8 +188,12 @@ func (c *Cluster) ApplyUpdates(batch []graph.WeightUpdate) error {
 		if loc.Subgraph == partition.NoSubgraph {
 			return fmt.Errorf("cluster: update for unpartitioned edge %d", u.Edge)
 		}
-		w := c.assign[loc.Subgraph]
-		perWorker[w] = append(perWorker[w], u)
+		// Every replica of the subgraph receives the update: replicated
+		// ownership multiplies the maintenance traffic, and the per-worker
+		// counters are how that cost shows up in the stats.
+		for _, w := range c.table.Replicas(loc.Subgraph) {
+			perWorker[w] = append(perWorker[w], u)
+		}
 	}
 	for w, ups := range perWorker {
 		req := WeightUpdateRequest{Updates: ups}
@@ -250,6 +243,7 @@ func (c *Cluster) Stats() Stats {
 	bst := c.provider.BatchStats()
 	st := Stats{
 		Workers:        len(c.workers),
+		ReplicaFactor:  c.table.Factor(),
 		MessagesSent:   c.messages.Load(),
 		BytesSent:      c.bytes.Load(),
 		QueriesHandled: c.queries.Load(),

@@ -296,3 +296,90 @@ func TestRemoteProviderQueryMatchesOracle(t *testing.T) {
 		})
 	}
 }
+
+// TestClusterReplicatedMatchesSingleCopy runs the same queries through a
+// replicated in-process cluster and an unreplicated one: replication changes
+// where subgraph copies live (and multiplies the update routing), never the
+// answers.
+func TestClusterReplicatedMatchesSingleCopy(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(x1, Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	p2, _ := partition.PartitionGraph(g, 6)
+	x2, err := dtlp.Build(p2, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicated, err := New(x2, Config{NumWorkers: 3, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replicated.Close()
+
+	table := replicated.ReplicaTable()
+	if table.Factor() != 2 {
+		t.Fatalf("replica factor %d, want 2", table.Factor())
+	}
+	for sg := 0; sg < p2.NumSubgraphs(); sg++ {
+		id := partition.SubgraphID(sg)
+		for _, w := range table.Replicas(id) {
+			if !replicated.Worker(w).Owns(id) {
+				t.Errorf("worker %d does not own replicated subgraph %d", w, sg)
+			}
+		}
+	}
+
+	e1 := single.Engine(core.Options{})
+	e2 := replicated.Engine(core.Options{})
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 6; q++ {
+		s := graph.VertexID(rng.Intn(g.NumVertices()))
+		d := graph.VertexID(rng.Intn(g.NumVertices()))
+		if s == d {
+			continue
+		}
+		r1, err1 := e1.Query(s, d, 3)
+		r2, err2 := e2.Query(s, d, 3)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("query(%d,%d): errs %v vs %v", s, d, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if len(r1.Paths) != len(r2.Paths) {
+			t.Fatalf("query(%d,%d): %d vs %d paths", s, d, len(r1.Paths), len(r2.Paths))
+		}
+		for i := range r1.Paths {
+			if math.Abs(r1.Paths[i].Dist-r2.Paths[i].Dist) > 1e-9 {
+				t.Fatalf("query(%d,%d) path %d: %g vs %g", s, d, i, r1.Paths[i].Dist, r2.Paths[i].Dist)
+			}
+		}
+	}
+
+	// Updates are routed to every replica.
+	batch := []graph.WeightUpdate{{Edge: 0, NewWeight: g.Weight(0) * 1.5}}
+	if err := replicated.ApplyUpdates(batch); err != nil {
+		t.Fatal(err)
+	}
+	loc := p2.Locate(0)
+	for _, w := range table.Replicas(loc.Subgraph) {
+		ws := replicated.Worker(w).HandleStats(StatsRequest{})
+		if ws.UpdatesReceived == 0 {
+			t.Errorf("replica worker %d of subgraph %d received no updates", w, loc.Subgraph)
+		}
+	}
+	if st := replicated.Stats(); st.ReplicaFactor != 2 {
+		t.Errorf("stats replica factor %d, want 2", st.ReplicaFactor)
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMembershipEscalation(t *testing.T) {
+	m := NewMembership(2, MembershipOptions{SuspectAfter: 2, DownAfter: 4})
+	defer m.Stop()
+	if got := m.State(0); got != StateUp {
+		t.Fatalf("initial state %v, want up", got)
+	}
+	m.ReportFailure(0)
+	if got := m.State(0); got != StateUp {
+		t.Fatalf("after 1 failure: %v, want up (SuspectAfter=2)", got)
+	}
+	m.ReportFailure(0)
+	if got := m.State(0); got != StateSuspect {
+		t.Fatalf("after 2 failures: %v, want suspect", got)
+	}
+	m.ReportFailure(0)
+	m.ReportFailure(0)
+	if got := m.State(0); got != StateDown {
+		t.Fatalf("after 4 failures: %v, want down", got)
+	}
+	// Worker 1's counters are independent.
+	if got := m.State(1); got != StateUp {
+		t.Fatalf("worker 1 state %v, want up", got)
+	}
+	// One success fully restores the worker.
+	m.ReportSuccess(0)
+	if got := m.State(0); got != StateUp {
+		t.Fatalf("after success: %v, want up", got)
+	}
+	// The streak restarts from zero after a success.
+	m.ReportFailure(0)
+	if got := m.State(0); got != StateUp {
+		t.Fatalf("1 failure after recovery: %v, want up", got)
+	}
+}
+
+func TestMembershipPingLoopDrivesStates(t *testing.T) {
+	var healthy atomic.Bool
+	m := NewMembership(2, MembershipOptions{
+		SuspectAfter: 1,
+		DownAfter:    2,
+		PingEvery:    2 * time.Millisecond,
+		Ping: func(w int) error {
+			if w == 1 && !healthy.Load() {
+				return errors.New("injected ping failure")
+			}
+			return nil
+		},
+	})
+	defer m.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for m.State(1) != StateDown {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker 1 never went down; states %v", m.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.State(0); got != StateUp {
+		t.Fatalf("worker 0 state %v, want up", got)
+	}
+
+	// The worker rejoins: the next successful probe restores it.
+	healthy.Store(true)
+	for m.State(1) != StateUp {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker 1 never rejoined; states %v", m.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMembershipStopIsIdempotent(t *testing.T) {
+	m := NewMembership(1, MembershipOptions{PingEvery: time.Millisecond, Ping: func(int) error { return nil }})
+	m.Stop()
+	m.Stop()
+	mNoLoop := NewMembership(1, MembershipOptions{})
+	mNoLoop.Stop()
+}
+
+func TestWorkerStateString(t *testing.T) {
+	for state, want := range map[WorkerState]string{StateUp: "up", StateSuspect: "suspect", StateDown: "down"} {
+		if got := state.String(); got != want {
+			t.Errorf("state %d: %q, want %q", state, got, want)
+		}
+	}
+}

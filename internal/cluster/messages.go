@@ -113,6 +113,11 @@ type envelope struct {
 	Update   *WeightUpdateRequest
 	Stats    *StatsRequest
 	Shutdown bool
+	// Ping is a health-check probe: the server answers with Pong and does no
+	// work.  Old servers decode the field (gob tolerates additions) but treat
+	// the envelope as empty and reply with an error, which the failure
+	// detector counts the same as an unreachable worker — safe either way.
+	Ping bool
 }
 
 type replyEnvelope struct {
@@ -122,6 +127,7 @@ type replyEnvelope struct {
 	Partial *PartialKSPResponse
 	Update  *WeightUpdateResponse
 	Stats   *StatsResponse
+	Pong    bool
 }
 
 func init() {

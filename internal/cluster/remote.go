@@ -174,6 +174,8 @@ func (s *Server) dispatch(env envelope) replyEnvelope {
 	case env.Stats != nil:
 		resp := s.worker.HandleStats(*env.Stats)
 		reply.Stats = &resp
+	case env.Ping:
+		reply.Pong = true
 	default:
 		reply.Err = "cluster: empty envelope"
 	}
@@ -411,6 +413,13 @@ type RemoteWorker struct {
 	closed atomic.Bool
 	conns  []*clientConn
 
+	// failStreak counts consecutive transport failures across all requests
+	// and attempts of this client.  It only resets after a successful
+	// round-trip — a reply actually arriving — never on a merely accepted
+	// write: a half-dead connection that swallows requests without answering
+	// must keep backing off instead of retrying at full speed.
+	failStreak atomic.Uint64
+
 	// serial mode state (ClientOptions.Serialize)
 	serialMu sync.Mutex
 	serial   net.Conn
@@ -476,22 +485,41 @@ func (rw *RemoteWorker) Addr() string { return rw.addr }
 // PoolSize returns the number of pooled connections.
 func (rw *RemoteWorker) PoolSize() int { return rw.opts.PoolSize }
 
+// backoffDelay derives the pre-attempt delay from the client's persistent
+// failure streak: BackoffBase doubled per recorded failure, capped at
+// BackoffMax.  Zero while the client is healthy.
+func (rw *RemoteWorker) backoffDelay() time.Duration {
+	streak := rw.failStreak.Load()
+	if streak == 0 {
+		return 0
+	}
+	delay := rw.opts.BackoffBase
+	for i := uint64(1); i < streak && delay < rw.opts.BackoffMax; i++ {
+		delay *= 2
+	}
+	if delay > rw.opts.BackoffMax {
+		delay = rw.opts.BackoffMax
+	}
+	return delay
+}
+
 // roundTrip issues one request and waits for its reply, retrying with capped
-// backoff across reconnects on transport failures.  Application-level errors
-// (reply.Err) are returned without retry.
+// backoff across reconnects on transport failures.  The backoff state lives
+// on the client, not the call: the streak persists across round trips and
+// only a completed round-trip (a reply received) resets it, so a connection
+// that accepts writes but never answers keeps being treated as failing.
+// Application-level errors (reply.Err) are returned without retry.
 func (rw *RemoteWorker) roundTrip(env envelope) (replyEnvelope, error) {
 	if rw.opts.Serialize {
 		return rw.serialRoundTrip(env)
 	}
-	delay := rw.opts.BackoffBase
 	var lastErr error
 	for attempt := 0; attempt < rw.opts.MaxAttempts; attempt++ {
-		if attempt > 0 {
+		// The delay applies before the first attempt too: with a nonzero
+		// streak the worker is known-unhealthy, and fresh calls pacing
+		// themselves is the whole point of persisting the backoff state.
+		if delay := rw.backoffDelay(); delay > 0 {
 			time.Sleep(delay)
-			delay *= 2
-			if delay > rw.opts.BackoffMax {
-				delay = rw.opts.BackoffMax
-			}
 		}
 		if rw.closed.Load() {
 			return replyEnvelope{}, errClientClosed
@@ -501,13 +529,16 @@ func (rw *RemoteWorker) roundTrip(env envelope) (replyEnvelope, error) {
 		ch, err := cc.send(env)
 		if err != nil {
 			lastErr = err
+			rw.failStreak.Add(1)
 			continue
 		}
 		res := <-ch
 		if res.err != nil {
 			lastErr = res.err
+			rw.failStreak.Add(1)
 			continue
 		}
+		rw.failStreak.Store(0)
 		if res.rep.Err != "" {
 			return replyEnvelope{}, errors.New(res.rep.Err)
 		}
@@ -570,6 +601,21 @@ func (rw *RemoteWorker) Stats() (StatsResponse, error) {
 		return StatsResponse{}, errors.New("cluster: missing stats response")
 	}
 	return *reply.Stats, nil
+}
+
+// Ping probes the remote worker with a no-op request.  It is the health
+// check the membership layer runs between real traffic; like every request
+// it retries within the client's attempt budget, so one Ping error means the
+// worker stayed unreachable through the backoff window.
+func (rw *RemoteWorker) Ping() error {
+	reply, err := rw.roundTrip(envelope{Ping: true})
+	if err != nil {
+		return err
+	}
+	if !reply.Pong {
+		return fmt.Errorf("cluster: %s did not acknowledge ping (pre-ping server?)", rw.addr)
+	}
+	return nil
 }
 
 // Shutdown asks the remote worker connection to close after acknowledging.

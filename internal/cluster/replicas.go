@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"kspdg/internal/partition"
+)
+
+// ReplicaTable maps every subgraph of a partition to an ordered set of
+// workers that host it: the primary first, then the failover replicas in
+// preference order.  The table is derived deterministically from the
+// partition, the worker count and the replication factor, so every process
+// of a deployment (master routing, worker ownership, health-check failover)
+// computes the same table from the shared flags without any coordination —
+// the same trick the repo already uses to derive the dataset itself.
+type ReplicaTable struct {
+	factor  int
+	workers int
+	// replicas[sg] lists the workers hosting subgraph sg, primary first.
+	replicas [][]int
+}
+
+// AssignReplicas derives the replica table for the partition: factor distinct
+// workers per subgraph, chosen by a greedy least-loaded policy on vertex
+// counts applied rank by rank (rank 0 reproduces the single-copy assignment
+// the in-process cluster has always used, so factor 1 changes nothing).  The
+// factor is capped at the worker count — with fewer workers than requested
+// copies every worker hosts the subgraph.
+func AssignReplicas(part *partition.Partition, numWorkers, factor int) (*ReplicaTable, error) {
+	if numWorkers < 1 {
+		return nil, fmt.Errorf("cluster: replica assignment needs at least 1 worker, got %d", numWorkers)
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	if factor > numWorkers {
+		factor = numWorkers
+	}
+	rt := &ReplicaTable{
+		factor:   factor,
+		workers:  numWorkers,
+		replicas: make([][]int, part.NumSubgraphs()),
+	}
+
+	// Biggest subgraphs first, mirroring the "allocated to different workers
+	// on a many-to-one basis based on their load" strategy of Section 5.2.
+	type sgLoad struct {
+		id   partition.SubgraphID
+		size int
+	}
+	loads := make([]sgLoad, part.NumSubgraphs())
+	for i := range loads {
+		id := partition.SubgraphID(i)
+		loads[i] = sgLoad{id: id, size: part.Subgraph(id).NumVertices()}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].size != loads[j].size {
+			return loads[i].size > loads[j].size
+		}
+		return loads[i].id < loads[j].id
+	})
+
+	workerLoad := make([]int, numWorkers)
+	for rank := 0; rank < factor; rank++ {
+		for _, l := range loads {
+			hosted := rt.replicas[l.id]
+			best := -1
+			for w := 0; w < numWorkers; w++ {
+				if containsWorker(hosted, w) {
+					continue
+				}
+				if best < 0 || workerLoad[w] < workerLoad[best] {
+					best = w
+				}
+			}
+			if best < 0 {
+				continue // factor capped above, cannot happen
+			}
+			workerLoad[best] += l.size
+			rt.replicas[l.id] = append(hosted, best)
+		}
+	}
+	return rt, nil
+}
+
+func containsWorker(ws []int, w int) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// Factor returns the (possibly capped) replication factor.
+func (rt *ReplicaTable) Factor() int { return rt.factor }
+
+// NumWorkers returns the worker count the table was derived for.
+func (rt *ReplicaTable) NumWorkers() int { return rt.workers }
+
+// NumSubgraphs returns the number of subgraphs in the table.
+func (rt *ReplicaTable) NumSubgraphs() int { return len(rt.replicas) }
+
+// Replicas returns the workers hosting subgraph id, primary first.  The
+// returned slice is the table's own; callers must not mutate it.
+func (rt *ReplicaTable) Replicas(id partition.SubgraphID) []int {
+	return rt.replicas[id]
+}
+
+// Primary returns the primary worker of subgraph id.
+func (rt *ReplicaTable) Primary(id partition.SubgraphID) int {
+	return rt.replicas[id][0]
+}
+
+// OwnedBy returns every subgraph hosted by worker w at any replica rank, in
+// ascending order — the partition set a worker process loads at startup.
+func (rt *ReplicaTable) OwnedBy(w int) []partition.SubgraphID {
+	var out []partition.SubgraphID
+	for sg, ws := range rt.replicas {
+		if containsWorker(ws, w) {
+			out = append(out, partition.SubgraphID(sg))
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"kspdg/internal/partition"
+	"kspdg/internal/testutil"
+)
+
+func paperPartition(t *testing.T) *partition.Partition {
+	t.Helper()
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAssignReplicasSingleCopy(t *testing.T) {
+	p := paperPartition(t)
+	rt, err := AssignReplicas(p, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Factor() != 1 {
+		t.Fatalf("factor %d, want 1", rt.Factor())
+	}
+	covered := 0
+	for sg := 0; sg < p.NumSubgraphs(); sg++ {
+		ws := rt.Replicas(partition.SubgraphID(sg))
+		if len(ws) != 1 {
+			t.Fatalf("subgraph %d hosted by %v, want exactly one worker", sg, ws)
+		}
+		covered++
+	}
+	// OwnedBy partitions the subgraphs with no overlap at factor 1.
+	seen := make(map[partition.SubgraphID]int)
+	for w := 0; w < 3; w++ {
+		for _, sg := range rt.OwnedBy(w) {
+			seen[sg]++
+		}
+	}
+	if len(seen) != covered {
+		t.Fatalf("OwnedBy covers %d subgraphs, want %d", len(seen), covered)
+	}
+	for sg, n := range seen {
+		if n != 1 {
+			t.Errorf("subgraph %d owned by %d workers at factor 1", sg, n)
+		}
+	}
+}
+
+func TestAssignReplicasFactorTwo(t *testing.T) {
+	p := paperPartition(t)
+	rt, err := AssignReplicas(p, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sg := 0; sg < p.NumSubgraphs(); sg++ {
+		id := partition.SubgraphID(sg)
+		ws := rt.Replicas(id)
+		if len(ws) != 2 {
+			t.Fatalf("subgraph %d hosted by %v, want two workers", sg, ws)
+		}
+		if ws[0] == ws[1] {
+			t.Fatalf("subgraph %d replicated onto the same worker %d twice", sg, ws[0])
+		}
+		if rt.Primary(id) != ws[0] {
+			t.Fatalf("primary %d != first replica %d", rt.Primary(id), ws[0])
+		}
+	}
+	// Each worker's owned set must include every subgraph it appears for.
+	for w := 0; w < 3; w++ {
+		owned := make(map[partition.SubgraphID]bool)
+		for _, sg := range rt.OwnedBy(w) {
+			owned[sg] = true
+		}
+		for sg := 0; sg < p.NumSubgraphs(); sg++ {
+			id := partition.SubgraphID(sg)
+			if containsWorker(rt.Replicas(id), w) != owned[id] {
+				t.Errorf("worker %d ownership of subgraph %d inconsistent with table", w, sg)
+			}
+		}
+	}
+}
+
+func TestAssignReplicasFactorCappedAtWorkers(t *testing.T) {
+	p := paperPartition(t)
+	rt, err := AssignReplicas(p, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Factor() != 2 {
+		t.Fatalf("factor %d, want capped at 2", rt.Factor())
+	}
+	for sg := 0; sg < p.NumSubgraphs(); sg++ {
+		if ws := rt.Replicas(partition.SubgraphID(sg)); len(ws) != 2 {
+			t.Fatalf("subgraph %d hosted by %v, want both workers", sg, ws)
+		}
+	}
+}
+
+func TestAssignReplicasDeterministic(t *testing.T) {
+	p := paperPartition(t)
+	a, err := AssignReplicas(p, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AssignReplicas(p, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.replicas, b.replicas) {
+		t.Fatalf("replica assignment is not deterministic:\n%v\n%v", a.replicas, b.replicas)
+	}
+}
+
+func TestAssignReplicasRejectsZeroWorkers(t *testing.T) {
+	p := paperPartition(t)
+	if _, err := AssignReplicas(p, 0, 1); err == nil {
+		t.Fatal("expected an error for 0 workers")
+	}
+}

@@ -404,3 +404,81 @@ func TestWorkerReportsEpochResolution(t *testing.T) {
 		t.Errorf("resolver-less worker must never claim a pin")
 	}
 }
+
+// TestRemoteWorkerPing covers the health-check probe end to end.
+func TestRemoteWorkerPing(t *testing.T) {
+	srv, _ := buildServedWorker(t)
+	defer srv.Close()
+	rw, err := DialPool(srv.Addr(), ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	if err := rw.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+}
+
+// TestRemoteWorkerBackoffPersistsAcrossRoundTrips is the satellite's backoff
+// fix: the failure streak (and therefore the retry delay) must survive from
+// one round trip to the next and reset only after a successful round trip —
+// not after a merely accepted write.
+func TestRemoteWorkerBackoffPersistsAcrossRoundTrips(t *testing.T) {
+	srv, p := buildServedWorker(t)
+	addr := srv.Addr()
+	rw, err := DialPool(addr, ClientOptions{
+		MaxAttempts: 1, // no in-call retries: any growth must come from the streak
+		BackoffBase: time.Millisecond,
+		BackoffMax:  8 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	pairs := somePairs(t, p, 1)
+	if _, err := rw.PartialKSP(PartialKSPRequest{Pairs: pairs, K: 2}); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	if got := rw.failStreak.Load(); got != 0 {
+		t.Fatalf("streak %d after success, want 0", got)
+	}
+
+	srv.Close()
+	for i := 1; i <= 5; i++ {
+		if _, err := rw.PartialKSP(PartialKSPRequest{Pairs: pairs, K: 2}); err == nil {
+			t.Fatalf("request %d against a dead server should fail", i)
+		}
+	}
+	if got := rw.failStreak.Load(); got < 5 {
+		t.Fatalf("streak %d after 5 failed round trips, want >= 5 (state must persist across calls)", got)
+	}
+	if got, want := rw.backoffDelay(), 8*time.Millisecond; got != want {
+		t.Fatalf("delay %v after a long streak, want the cap %v", got, want)
+	}
+
+	// Restart and require one successful round trip to clear the streak.
+	var srv2 *Server
+	for i := 0; i < 50; i++ {
+		g := testutil.PaperGraph(t)
+		p2, _ := partition.PartitionGraph(g, 6)
+		var owned []partition.SubgraphID
+		for j := 0; j < p2.NumSubgraphs(); j++ {
+			owned = append(owned, partition.SubgraphID(j))
+		}
+		srv2, err = Serve(addr, NewWorker(0, p2, owned))
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if srv2 == nil {
+		t.Skip("could not rebind restart address")
+	}
+	defer srv2.Close()
+	if _, err := rw.PartialKSP(PartialKSPRequest{Pairs: pairs, K: 2}); err != nil {
+		t.Fatalf("request after restart: %v", err)
+	}
+	if got := rw.failStreak.Load(); got != 0 {
+		t.Fatalf("streak %d after a successful round trip, want 0", got)
+	}
+}

@@ -1,0 +1,25 @@
+package difftest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDifferentialChaosKillWorker is the kill-worker chaos lane: with
+// replication factor 2, a worker dying mid-workload must lose zero queries
+// and every returned path set must still match exact Yen at the epoch each
+// query reports.
+func TestDifferentialChaosKillWorker(t *testing.T) {
+	t.Run("kill", func(t *testing.T) {
+		CheckChaos(t, ChaosParams{Seed: 75, Victim: 0})
+	})
+	t.Run("kill-and-rejoin", func(t *testing.T) {
+		CheckChaos(t, ChaosParams{Seed: 72, Victim: 1, Restart: true})
+	})
+	t.Run("directed-hedged", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("hedged directed chaos cell runs in the full lane")
+		}
+		CheckChaos(t, ChaosParams{Seed: 73, Victim: 0, Directed: true, Restart: true, HedgeAfter: 3 * time.Millisecond})
+	})
+}

@@ -21,6 +21,9 @@ type ScenarioReport struct {
 	Results []ScenarioResult
 	// BatchesApplied counts the update batches applied.
 	BatchesApplied int
+	// ChaosInjected counts the fault injections executed through
+	// Options.Chaos.
+	ChaosInjected int
 	// Elapsed is the wall-clock time of the whole run.
 	Elapsed time.Duration
 }
@@ -68,6 +71,18 @@ func (s *Server) RunScenario(sc workload.MixedScenario) (ScenarioReport, error) 
 				return report, err
 			}
 			report.BatchesApplied++
+			continue
+		}
+		if ev.Chaos != nil && s.opts.Chaos != nil {
+			// Faults are injected inline, like updates: earlier queries may
+			// still be in flight when the worker dies — that overlap is the
+			// point of a chaos scenario.
+			if err := s.opts.Chaos(*ev.Chaos); err != nil {
+				wg.Wait()
+				report.Elapsed = time.Since(start)
+				return report, err
+			}
+			report.ChaosInjected++
 		}
 	}
 	wg.Wait()

@@ -22,10 +22,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kspdg/internal/cluster"
 	"kspdg/internal/core"
 	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 	"kspdg/internal/rpcbatch"
+	"kspdg/internal/workload"
 )
 
 // Persister receives durability callbacks from the server's writer path.
@@ -65,6 +67,10 @@ type Options struct {
 	// snapshot after every SnapshotEvery applied batches, rotating the WAL
 	// and bounding recovery replay cost.
 	SnapshotEvery int
+	// Chaos, when set, executes the fault-injection events of a scenario
+	// replayed through RunScenario (kill/restart a worker of the deployment
+	// backing the refine provider).  Nil ignores chaos events.
+	Chaos func(ev workload.ChaosEvent) error
 }
 
 func (o Options) withDefaults() Options {
@@ -96,12 +102,25 @@ type Stats struct {
 	PairsCoalesced int64
 	DedupHits      int64
 	PairCacheHits  int64
+	// Failovers, HedgedBatches, HedgeWins and HedgeDrops mirror the replica
+	// failover counters (see cluster.FailoverStats) when the refine step runs
+	// on a replicated transport; they stay zero otherwise.
+	Failovers     int64
+	HedgedBatches int64
+	HedgeWins     int64
+	HedgeDrops    int64
 }
 
 // batchStatsProvider is implemented by batching refine-step providers (the
 // cluster transports) that can report their coalescing counters.
 type batchStatsProvider interface {
 	BatchStats() rpcbatch.Stats
+}
+
+// failoverStatsProvider is implemented by replica-aware refine-step providers
+// (cluster.ReplicatedRemoteProvider) that can report their failover traffic.
+type failoverStatsProvider interface {
+	FailoverStats() cluster.FailoverStats
 }
 
 // Server schedules concurrent KSP queries and weight updates over one index.
@@ -359,6 +378,13 @@ func (s *Server) Stats() Stats {
 		st.PairsCoalesced = bst.Coalesced
 		st.DedupHits = bst.DedupHits
 		st.PairCacheHits = bst.CacheHits
+	}
+	if fp, ok := s.provider.(failoverStatsProvider); ok {
+		fst := fp.FailoverStats()
+		st.Failovers = fst.Failovers
+		st.HedgedBatches = fst.HedgedBatches
+		st.HedgeWins = fst.HedgeWins
+		st.HedgeDrops = fst.HedgeDrops
 	}
 	return st
 }
