@@ -46,11 +46,23 @@
 //	kspd -mode worker -dataset NY -scale tiny -worker-id 1 -num-workers 2 -replicas 2 -listen 127.0.0.1:7002 &
 //	kspd -mode master -dataset NY -scale tiny -num-workers 2 -replicas 2 -hedge-after 5ms \
 //	    -connect 127.0.0.1:7001,127.0.0.1:7002 -queries 50 -k 3 -update-batches 3
+//
+// HTTP service: with -http the master skips the scenario replay and serves
+// the JSON API (see internal/gateway: /v1/ksp, /v1/ksp/stream, /v1/updates,
+// /healthz, /metrics) until SIGINT/SIGTERM, then drains the listener and the
+// query pool and — with -data-dir — writes a final snapshot.  -tls-cert and
+// -tls-key upgrade the listener to HTTPS:
+//
+//	kspd -mode master -dataset NY -scale tiny -http 127.0.0.1:8080 -http-rate 200
+//	curl -s -X POST 127.0.0.1:8080/v1/ksp -d '{"source":3,"target":100,"k":2}'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -60,6 +72,7 @@ import (
 	"kspdg/internal/cluster"
 	"kspdg/internal/core"
 	"kspdg/internal/dtlp"
+	"kspdg/internal/gateway"
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
 	"kspdg/internal/rpcbatch"
@@ -97,8 +110,21 @@ func main() {
 		saveIndex  = flag.Bool("save-index", false, "force a fresh snapshot in -data-dir after a warm start (cold starts with -data-dir always snapshot; master mode)")
 		loadIndex  = flag.Bool("load-index", false, "warm-start from the newest snapshot in -data-dir instead of deriving the dataset from flags")
 		snapEvery  = flag.Int("snapshot-every", 0, "rewrite the snapshot every N applied update batches (master mode, needs -data-dir)")
+		httpAddr   = flag.String("http", "", "serve the HTTP API on this address instead of replaying a scenario (master mode); SIGINT/SIGTERM drains and exits")
+		tlsCert    = flag.String("tls-cert", "", "TLS certificate file for the -http listener (with -tls-key)")
+		tlsKey     = flag.String("tls-key", "", "TLS private key file for the -http listener (with -tls-cert)")
+		httpRate   = flag.Float64("http-rate", 100, "per-API-key admission rate in requests/second on the HTTP API (negative disables)")
+		httpBurst  = flag.Int("http-burst", 0, "per-API-key token-bucket burst (0 = the rate)")
+		httpTmout  = flag.Duration("http-timeout", 30*time.Second, "default per-request deadline applied when clients send no Request-Timeout-Ms header (0 = none)")
 	)
 	flag.Parse()
+
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fatal(fmt.Errorf("-tls-cert and -tls-key must be set together"))
+	}
+	if (*tlsCert != "" || *tlsKey != "") && *httpAddr == "" {
+		fatal(fmt.Errorf("-tls-cert/-tls-key require -http"))
+	}
 
 	if *loadIndex && *dataDir == "" {
 		fatal(fmt.Errorf("-load-index requires -data-dir"))
@@ -149,6 +175,12 @@ func main() {
 			saveIndex:  *saveIndex,
 			loadIndex:  *loadIndex,
 			snapEvery:  *snapEvery,
+			httpAddr:   *httpAddr,
+			tlsCert:    *tlsCert,
+			tlsKey:     *tlsKey,
+			httpRate:   *httpRate,
+			httpBurst:  *httpBurst,
+			httpTmout:  *httpTmout,
 		})
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want worker or master)", *mode))
@@ -248,6 +280,12 @@ type masterConfig struct {
 	saveIndex      bool
 	loadIndex      bool
 	snapEvery      int
+	httpAddr       string
+	tlsCert        string
+	tlsKey         string
+	httpRate       float64
+	httpBurst      int
+	httpTmout      time.Duration
 }
 
 // runMaster obtains the graph, partition and DTLP index — warm-started from
@@ -313,6 +351,7 @@ func runMaster(cfg masterConfig) {
 
 	var provider core.PartialProvider
 	var broadcast func([]graph.WeightUpdate) error
+	var member *cluster.Membership
 	if cfg.connect != "" {
 		copts := cluster.ClientOptions{PoolSize: cfg.pool}
 		if cfg.transport == "serialized" {
@@ -357,6 +396,7 @@ func runMaster(cfg masterConfig) {
 				}
 				defer rp.Close()
 				provider = rp
+				member = rp.Membership()
 				fmt.Printf("kspd master: replication factor %d, hedge-after %v, ping-every %v\n",
 					table.Factor(), cfg.hedgeAfter, cfg.pingEvery)
 			} else {
@@ -386,6 +426,11 @@ func runMaster(cfg masterConfig) {
 	srv := serve.New(index, provider, srvOpts)
 	defer srv.Close()
 
+	if cfg.httpAddr != "" {
+		runHTTP(cfg, srv, index, st, member)
+		return
+	}
+
 	sc := workload.GenerateMixed(g, cfg.queries, cfg.batches, cfg.k, cfg.alpha, cfg.tau, cfg.seed)
 	report, err := srv.RunScenario(sc)
 	if err != nil {
@@ -409,6 +454,10 @@ func runMaster(cfg masterConfig) {
 		float64(totalIter)/float64(max(len(report.Results), 1)))
 	fmt.Printf("kspd master: epoch %d, %d cache hits, %d coalesced, %d edge updates applied, %d periodic snapshots\n",
 		stats.Epoch, stats.CacheHits, stats.Coalesced, stats.UpdatesApplied, stats.Snapshots)
+	if stats.NonConverged > 0 {
+		fmt.Printf("kspd master: WARNING: %d queries hit the iteration cap without converging (results may be truncated)\n",
+			stats.NonConverged)
+	}
 	if stats.RPCBatches > 0 {
 		fmt.Printf("kspd master: %d rpc batches, %d pairs coalesced across queries, %d dedup hits\n",
 			stats.RPCBatches, stats.PairsCoalesced, stats.DedupHits)
@@ -416,6 +465,66 @@ func runMaster(cfg masterConfig) {
 	if cfg.replicas > 1 {
 		fmt.Printf("kspd master: %d failovers, %d hedged batches (%d hedge wins, %d duplicate replies dropped)\n",
 			stats.Failovers, stats.HedgedBatches, stats.HedgeWins, stats.HedgeDrops)
+	}
+}
+
+// runHTTP turns the master into a long-running network service: the gateway
+// serves the JSON API until SIGINT/SIGTERM, then the process drains in order
+// — stop accepting HTTP, finish in-flight requests, drain the query pool,
+// and write a final snapshot when persistence is configured — so a rolling
+// restart loses neither queries nor durability.
+func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.Store, member *cluster.Membership) {
+	gw := gateway.New(srv, gateway.Options{
+		Rate:           cfg.httpRate,
+		Burst:          cfg.httpBurst,
+		DefaultTimeout: cfg.httpTmout,
+		Membership:     member,
+	})
+	ln, err := net.Listen("tcp", cfg.httpAddr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: gw}
+	scheme := "http"
+	if cfg.tlsCert != "" {
+		scheme = "https"
+	}
+	fmt.Printf("kspd master: serving %s API on %s://%s (rate %g/s per key, default timeout %v)\n",
+		strings.ToUpper(scheme), scheme, ln.Addr(), cfg.httpRate, cfg.httpTmout)
+	errCh := make(chan error, 1)
+	go func() {
+		var err error
+		if cfg.tlsCert != "" {
+			err = hs.ServeTLS(ln, cfg.tlsCert, cfg.tlsKey)
+		} else {
+			err = hs.Serve(ln)
+		}
+		errCh <- err
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("kspd master: %v: draining HTTP listener\n", s)
+	case err := <-errCh:
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "kspd: HTTP drain incomplete: %v\n", err)
+	}
+	cancel()
+	srv.Close() // drain in-flight queries
+	stats := srv.Stats()
+	fmt.Printf("kspd master: drained at epoch %d: %d queries served (%d cache hits, %d coalesced, %d non-converged, %d canceled), %d update batches\n",
+		stats.Epoch, stats.QueriesServed, stats.CacheHits, stats.Coalesced, stats.NonConverged, stats.Canceled, stats.UpdateBatches)
+	if st != nil {
+		epoch, err := st.SaveSnapshot(index)
+		if err != nil {
+			fatal(fmt.Errorf("final snapshot: %w", err))
+		}
+		fmt.Printf("kspd master: final snapshot written to %s at epoch %d\n", cfg.dataDir, epoch)
 	}
 }
 

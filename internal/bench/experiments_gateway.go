@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"kspdg/internal/cluster"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/gateway"
+	"kspdg/internal/partition"
+	"kspdg/internal/serve"
+	"kspdg/internal/workload"
+)
+
+// gatewayRate is the open-loop arrival rate (requests/second) of the gateway
+// experiment.  Open-loop means the schedule does not slow down when the
+// server falls behind — queueing delay shows up as latency, which is the
+// point.
+const gatewayRate = 150.0
+
+// gatewayBatchShare is the fraction of requests sent with X-Priority: batch.
+const gatewayBatchShare = 5 // every 5th request
+
+// GatewayBench measures the HTTP front door end to end: an in-process
+// cluster behind a serve.Server behind the gateway on a real loopback
+// listener, driven by a seeded open-loop Poisson query stream.  Reported
+// latencies include JSON decode, admission, queueing, the full engine query
+// and the response round trip — the numbers an external client would see.
+func (s *Suite) GatewayBench() (*Table, error) {
+	ds, err := workload.BuiltinDataset("NY", s.Scale)
+	if err != nil {
+		return nil, err
+	}
+	part, err := partition.PartitionGraph(ds.Graph, ds.DefaultZ)
+	if err != nil {
+		return nil, err
+	}
+	index, err := dtlp.Build(part, dtlp.Config{Xi: s.Xi})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(index, cluster.Config{NumWorkers: s.Workers})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	srv := serve.New(index, cl.Provider(), serve.Options{Workers: 8, Engine: s.engineOpts()})
+	defer srv.Close()
+	gw := gateway.New(srv, gateway.Options{
+		Rate:           -1, // measuring latency, not per-key admission
+		DefaultTimeout: 10 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: gw}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	arrivals := workload.GenerateOpenLoop(ds.Graph, s.Nq, gatewayRate, s.Seed)
+
+	type outcome struct {
+		class   string
+		status  int
+		latency time.Duration
+	}
+	outcomes := make([]outcome, len(arrivals))
+	client := &http.Client{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, a := range arrivals {
+		wg.Add(1)
+		go func(i int, a workload.OpenLoopArrival) {
+			defer wg.Done()
+			if d := a.At - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			body := fmt.Sprintf(`{"source":%d,"target":%d,"k":%d}`, a.Query.Source, a.Query.Target, s.K)
+			req, err := http.NewRequest("POST", base+"/v1/ksp", bytes.NewReader([]byte(body)))
+			if err != nil {
+				outcomes[i] = outcome{class: "interactive", status: -1}
+				return
+			}
+			cls := "interactive"
+			if i%gatewayBatchShare == 0 {
+				cls = "batch"
+				req.Header.Set("X-Priority", "batch")
+			}
+			issued := time.Now()
+			resp, err := client.Do(req)
+			if err != nil {
+				outcomes[i] = outcome{class: cls, status: -1}
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcomes[i] = outcome{class: cls, status: resp.StatusCode, latency: time.Since(issued)}
+		}(i, a)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	table := &Table{
+		Columns: []string{"class", "requests", "ok", "errors", "p50", "p95", "p99"},
+	}
+	for _, cls := range []string{"interactive", "batch"} {
+		var lats []time.Duration
+		total, ok, errs := 0, 0, 0
+		for _, o := range outcomes {
+			if o.class != cls {
+				continue
+			}
+			total++
+			if o.status == http.StatusOK {
+				ok++
+				lats = append(lats, o.latency)
+			} else {
+				errs++
+			}
+		}
+		table.AddRow(cls, total, ok, errs,
+			percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99))
+	}
+	stats := srv.Stats()
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("open-loop Poisson arrivals at %.0f/s over real loopback HTTP: %d queries (k=%d) in %v",
+			gatewayRate, s.Nq, s.K, elapsed.Round(time.Millisecond)),
+		fmt.Sprintf("in-process cluster, %d workers; serve: %d served, %d cache hits, %d coalesced, %d non-converged",
+			s.Workers, stats.QueriesServed, stats.CacheHits, stats.Coalesced, stats.NonConverged),
+		"latency includes JSON decode, admission, queue wait, engine execution and the response round trip")
+	return table, nil
+}
+
+// percentile returns the q-quantile of the (unsorted) latency sample, by the
+// nearest-rank method.
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

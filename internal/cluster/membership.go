@@ -168,6 +168,25 @@ func (m *Membership) State(w int) WorkerState {
 	return m.states[w]
 }
 
+// Counts returns the number of workers currently in each state — the shape
+// an observability endpoint exports (workers{state="up"} etc.) without
+// enumerating workers per scrape.
+func (m *Membership) Counts() (up, suspect, down int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.states {
+		switch st {
+		case StateUp:
+			up++
+		case StateSuspect:
+			suspect++
+		default:
+			down++
+		}
+	}
+	return up, suspect, down
+}
+
 // Snapshot returns every worker's state, indexed by worker.
 func (m *Membership) Snapshot() []WorkerState {
 	m.mu.Lock()

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -118,6 +119,31 @@ func (e *Engine) Query(s, t graph.VertexID, k int) (Result, error) {
 // the weights frozen in the view, so concurrent ApplyUpdates calls cannot
 // tear the result.
 func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Result, error) {
+	return e.queryView(context.Background(), iv, s, t, k, nil)
+}
+
+// QueryViewCtx is QueryView under a context: the iteration loop aborts as
+// soon as ctx is done, including while a refine request is in flight (the
+// abandoned reply lands in a buffered channel, so nothing leaks).  This is
+// what lets a serving layer stop burning worker capacity for a client that
+// already hung up or blew its deadline.
+func (e *Engine) QueryViewCtx(ctx context.Context, iv *dtlp.IndexView, s, t graph.VertexID, k int) (Result, error) {
+	return e.queryView(ctx, iv, s, t, k, nil)
+}
+
+// StreamView answers the query like QueryViewCtx but additionally emits
+// result paths incrementally through yield, in ascending distance order, as
+// the search settles them: a path is yielded as soon as Theorem 3's bound
+// proves no future candidate can displace it (its distance is strictly below
+// the next reference path's lower bound), and the remainder is flushed on
+// termination.  The union of yielded paths is exactly Result.Paths.  A
+// non-nil error from yield aborts the query with that error — a streaming
+// HTTP handler uses this to stop computing for a disconnected client.
+func (e *Engine) StreamView(ctx context.Context, iv *dtlp.IndexView, s, t graph.VertexID, k int, yield func(graph.Path) error) (Result, error) {
+	return e.queryView(ctx, iv, s, t, k, yield)
+}
+
+func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.VertexID, k int, yield func(graph.Path) error) (Result, error) {
 	start := time.Now()
 	if iv == nil {
 		iv = e.index.CurrentView()
@@ -135,6 +161,11 @@ func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Resu
 		res.Paths = []graph.Path{{Vertices: []graph.VertexID{s}}}
 		res.Converged = true
 		res.Elapsed = time.Since(start)
+		if yield != nil {
+			if err := yield(res.Paths[0]); err != nil {
+				return res, err
+			}
+		}
 		return res, nil
 	}
 
@@ -158,7 +189,11 @@ func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Resu
 	}
 	asyncProvider, _ := e.provider.(AsyncPartialProvider)
 	maxIter := e.opts.maxIterations()
+	emitted := 0 // prefix of list already streamed through yield
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Iterations++
 		seq := toGlobal(ref)
 		missing := e.missingPairs(seq, pairCache)
@@ -188,12 +223,18 @@ func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Resu
 		next, okNext := gen.Next()
 
 		if pending != nil {
-			reply := <-pending
-			if reply.Err != nil {
-				return res, reply.Err
-			}
-			for _, pr := range missing {
-				pairCache[pr] = reply.Paths[pr]
+			// The wait is cancelable: reply channels are buffered, so an
+			// abandoned reply is delivered to nobody and the sender moves on.
+			select {
+			case reply := <-pending:
+				if reply.Err != nil {
+					return res, reply.Err
+				}
+				for _, pr := range missing {
+					pairCache[pr] = reply.Paths[pr]
+				}
+			case <-ctx.Done():
+				return res, ctx.Err()
 			}
 		}
 
@@ -223,10 +264,29 @@ func (e *Engine) QueryView(iv *dtlp.IndexView, s, t graph.VertexID, k int) (Resu
 			res.Converged = true
 			break
 		}
+		if yield != nil {
+			// Stream the settled prefix: every future candidate joins along a
+			// reference path of lower-bound distance >= next.Dist, so entries
+			// strictly below that bound can no longer be displaced or
+			// reordered (sorting is by distance first) — they are final.
+			for emitted < len(list) && list[emitted].Dist < next.Dist-1e-9 {
+				if err := yield(list[emitted]); err != nil {
+					return res, err
+				}
+				emitted++
+			}
+		}
 		ref = next
 	}
 	res.Paths = list
 	res.Elapsed = time.Since(start)
+	if yield != nil {
+		for ; emitted < len(list); emitted++ {
+			if err := yield(list[emitted]); err != nil {
+				return res, err
+			}
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,169 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission errors, mapped onto HTTP statuses by the handler wrapper (rate
+// limiting reports through rateLimiter.allow's return values instead).
+var (
+	// errQueueFull: the class's wait queue is at capacity (503).
+	errQueueFull = errors.New("gateway: admission queue full")
+	// errDeadlineShed: the request's deadline expired before a slot freed up,
+	// so it was shed without ever reaching a worker (504).
+	errDeadlineShed = errors.New("gateway: deadline expired while queued")
+)
+
+// tokenBucket is one API key's refilling budget.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter applies a per-key token bucket: every key accrues `rate` tokens
+// per second up to `burst`, and each admitted request spends one.  Keys are
+// created on first use and evicted opportunistically once they have refilled
+// to full burst (an idle bucket holds no state worth keeping), which bounds
+// the map against API-key churn without a background sweeper.
+type rateLimiter struct {
+	rate    float64
+	burst   float64
+	maxKeys int
+	now     func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, rate)
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		maxKeys: 4096,
+		now:     now,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow spends one token of key's bucket.  When the bucket is empty it
+// returns false and the duration after which one token will have accrued —
+// the Retry-After the client should honor.
+func (rl *rateLimiter) allow(key string) (bool, time.Duration) {
+	if rl.rate <= 0 {
+		return true, 0 // unlimited
+	}
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	tb, ok := rl.buckets[key]
+	if !ok {
+		if len(rl.buckets) >= rl.maxKeys {
+			rl.evictFullLocked(now)
+		}
+		tb = &tokenBucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = tb
+	}
+	tb.tokens = math.Min(rl.burst, tb.tokens+now.Sub(tb.last).Seconds()*rl.rate)
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - tb.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}
+
+// evictFullLocked drops buckets that have refilled to burst: they are
+// indistinguishable from never-seen keys.  Callers hold rl.mu.
+func (rl *rateLimiter) evictFullLocked(now time.Time) {
+	for k, tb := range rl.buckets {
+		if math.Min(rl.burst, tb.tokens+now.Sub(tb.last).Seconds()*rl.rate) >= rl.burst {
+			delete(rl.buckets, k)
+		}
+	}
+}
+
+// class is a request priority class.  Interactive requests (the default) and
+// batch requests (X-Priority: batch) run on separately bounded slot pools so
+// a flood of bulk traffic cannot starve latency-sensitive callers.
+type class int
+
+const (
+	classInteractive class = iota
+	classBatch
+	numClasses
+)
+
+func (c class) String() string {
+	if c == classBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// admitter bounds one class's concurrency (slots) and its wait queue.  A
+// request past the concurrency bound waits for a slot only as long as its
+// deadline allows — when the context expires first the request is shed with
+// errDeadlineShed instead of rotting in the queue, and a request arriving to
+// a full queue is rejected immediately with errQueueFull.
+type admitter struct {
+	slots   chan struct{}
+	maxWait int64
+	waiting atomic.Int64
+}
+
+func newAdmitter(slots, queueDepth int) *admitter {
+	a := &admitter{slots: make(chan struct{}, slots), maxWait: int64(queueDepth)}
+	return a
+}
+
+// acquire claims a slot, queueing deadline-aware.  Callers must release()
+// after the request completes iff acquire returned nil.  A context that dies
+// first yields errDeadlineShed when its deadline expired and the raw
+// context.Canceled when the client hung up — the two are different events to
+// an operator (overload vs client churn) and are counted separately.
+func (a *admitter) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return shedCause(err)
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxWait {
+		a.waiting.Add(-1)
+		return errQueueFull
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return shedCause(ctx.Err())
+	}
+}
+
+func shedCause(err error) error {
+	if errors.Is(err, context.Canceled) {
+		return context.Canceled
+	}
+	return errDeadlineShed
+}
+
+func (a *admitter) release() { <-a.slots }
+
+// inFlight returns the number of currently executing requests of the class.
+func (a *admitter) inFlight() int { return len(a.slots) }
+
+// queued returns the number of requests waiting for a slot.
+func (a *admitter) queued() int64 { return a.waiting.Load() }

@@ -1,0 +1,429 @@
+// Package metrics is a small hand-rolled metrics registry with Prometheus
+// text exposition: atomic counters, gauges, sampled functions and fixed-bucket
+// histograms, with optional label vectors.  It exists so the gateway can
+// expose first-class observability without pulling a client library into the
+// module — the exposition format is the stable contract, not an SDK.
+//
+// All metric operations (Inc, Add, Set, Observe) are lock-free atomic
+// updates safe for unbounded concurrent use; registration and scraping take
+// the registry lock.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta, which must be non-negative for the exposition to stay
+// meaningful (negative deltas are not rejected, matching the rest of the
+// repo's trust-the-caller style).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default latency buckets in seconds, spanning sub-
+// millisecond in-process queries through multi-second tail outliers.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // float64 sum of observations
+	count   atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) from the
+// bucket counts: the upper bound of the bucket the quantile falls into (the
+// last finite bound for the overflow bucket).  It is a scrape-side
+// convenience for tests and reports; Prometheus computes the same thing from
+// the exposition.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return math.Inf(1)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// kind is the exposition TYPE of a metric family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// sample is one exposition line: a suffix ("", "_bucket", ...), a rendered
+// label set and a value.
+type sample struct {
+	suffix string
+	labels string
+	value  string
+}
+
+// family is one registered metric family.
+type family struct {
+	name    string
+	help    string
+	typ     kind
+	collect func() []sample
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// format.  The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register installs a family, panicking on duplicate names — duplicate
+// registration is a programming error, caught in any test that scrapes.
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", f.name))
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: kindCounter, collect: func() []sample {
+		return []sample{{value: strconv.FormatInt(c.Value(), 10)}}
+	}})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: kindGauge, collect: func() []sample {
+		return []sample{{value: formatFloat(g.Value())}}
+	}})
+	return g
+}
+
+// CounterFunc registers a counter family whose value is sampled from fn at
+// scrape time — the bridge for counters maintained elsewhere (serve.Stats,
+// cluster.FailoverStats) without double accounting.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: kindCounter, collect: func() []sample {
+		return []sample{{value: formatFloat(fn())}}
+	}})
+}
+
+// GaugeFunc registers a gauge family sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: kindGauge, collect: func() []sample {
+		return []sample{{value: formatFloat(fn())}}
+	}})
+}
+
+// GaugeVecFunc registers a gauge family with one child per label value,
+// sampled from fn at scrape time.  fn returns a value per label value, in
+// order (e.g. worker health states).
+func (r *Registry) GaugeVecFunc(name, help, label string, values []string, fn func() []float64) {
+	rendered := make([]string, len(values))
+	for i, v := range values {
+		rendered[i] = renderLabels([]string{label}, []string{v})
+	}
+	r.register(&family{name: name, help: help, typ: kindGauge, collect: func() []sample {
+		vals := fn()
+		out := make([]sample, 0, len(rendered))
+		for i, l := range rendered {
+			v := 0.0
+			if i < len(vals) {
+				v = vals[i]
+			}
+			out = append(out, sample{labels: l, value: formatFloat(v)})
+		}
+		return out
+	}})
+}
+
+// Histogram registers and returns a new histogram with the given bucket
+// upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := newHistogram(buckets)
+	r.register(&family{name: name, help: help, typ: kindHistogram, collect: func() []sample {
+		return h.samples("")
+	}})
+	return h
+}
+
+// samples renders a histogram's exposition lines under an optional rendered
+// base label set (without braces), e.g. `route="/v1/ksp"`.
+func (h *Histogram) samples(base string) []sample {
+	out := make([]sample, 0, len(h.counts)+2)
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		labels := `le="` + le + `"`
+		if base != "" {
+			labels = base + "," + labels
+		}
+		out = append(out, sample{suffix: "_bucket", labels: labels, value: strconv.FormatInt(cum, 10)})
+	}
+	out = append(out,
+		sample{suffix: "_sum", labels: base, value: formatFloat(h.Sum())},
+		sample{suffix: "_count", labels: base, value: strconv.FormatInt(h.Count(), 10)})
+	return out
+}
+
+// CounterVec is a counter family with one child per label-value tuple,
+// created lazily on first use.
+type CounterVec struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*Counter
+	order    []string
+}
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, children: make(map[string]*Counter)}
+	r.register(&family{name: name, help: help, typ: kindCounter, collect: func() []sample {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		out := make([]sample, 0, len(v.order))
+		for _, l := range v.order {
+			out = append(out, sample{labels: l, value: strconv.FormatInt(v.children[l].Value(), 10)})
+		}
+		return out
+	}})
+	return v
+}
+
+// With returns the child counter for the given label values (one per label
+// name, in registration order).
+func (v *CounterVec) With(values ...string) *Counter {
+	key := renderLabels(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &Counter{}
+		v.children[key] = c
+		v.order = append(v.order, key)
+	}
+	return c
+}
+
+// HistogramVec is a histogram family with one child per label-value tuple.
+type HistogramVec struct {
+	labels   []string
+	buckets  []float64
+	mu       sync.Mutex
+	children map[string]*Histogram
+	order    []string
+}
+
+// HistogramVec registers and returns a labeled histogram family (nil buckets
+// means DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	v := &HistogramVec{labels: labels, buckets: buckets, children: make(map[string]*Histogram)}
+	r.register(&family{name: name, help: help, typ: kindHistogram, collect: func() []sample {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		var out []sample
+		for _, l := range v.order {
+			out = append(out, v.children[l].samples(l)...)
+		}
+		return out
+	}})
+	return v
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := renderLabels(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[key]
+	if !ok {
+		h = newHistogram(v.buckets)
+		v.children[key] = h
+		v.order = append(v.order, key)
+	}
+	return h
+}
+
+// renderLabels renders `k1="v1",k2="v2"` with label values escaped.
+func renderLabels(names, values []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float the way Prometheus expects: integers without a
+// decimal point, everything else in shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders every family in the Prometheus text exposition format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var total int64
+	for _, f := range fams {
+		n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		for _, s := range f.collect() {
+			line := f.name + s.suffix
+			if s.labels != "" {
+				line += "{" + s.labels + "}"
+			}
+			n, err := fmt.Fprintf(w, "%s %s\n", line, s.value)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// Handler returns an http.Handler serving the exposition (the /metrics
+// endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.")
+	g := r.Gauge("inflight", "In-flight requests.")
+	c.Add(41)
+	c.Inc()
+	g.Set(2.5)
+	g.Add(-1)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests.",
+		"# TYPE requests_total counter",
+		"requests_total 42",
+		"# TYPE inflight gauge",
+		"inflight 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecsAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "Requests by route and code.", "route", "code")
+	v.With("/v1/ksp", "200").Add(3)
+	v.With("/v1/ksp", "429").Inc()
+	v.With("/metrics", "200").Inc()
+	r.GaugeFunc("epoch", "Current epoch.", func() float64 { return 7 })
+	r.CounterFunc("served_total", "Served.", func() float64 { return 9 })
+	r.GaugeVecFunc("workers", "Worker states.", "state", []string{"up", "down"}, func() []float64 {
+		return []float64{3, 1}
+	})
+
+	var b strings.Builder
+	_, _ = r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`http_requests_total{route="/v1/ksp",code="200"} 3`,
+		`http_requests_total{route="/v1/ksp",code="429"} 1`,
+		`http_requests_total{route="/metrics",code="200"} 1`,
+		"epoch 7",
+		"served_total 9",
+		`workers{state="up"} 3`,
+		`workers{state="down"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+
+	var b strings.Builder
+	_, _ = r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 56.05",
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Quantile estimates land on bucket upper bounds.
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %v, want 1", q)
+	}
+	if q := h.Quantile(0.99); q != 10 {
+		t.Errorf("p99 = %v, want 10 (overflow clamps to last bound)", q)
+	}
+	var empty Histogram
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("route_seconds", "Per-route latency.", []float64{1}, "route")
+	v.With("/a").Observe(0.5)
+	v.With("/a").Observe(2)
+	v.With("/b").Observe(0.1)
+
+	var b strings.Builder
+	_, _ = r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`route_seconds_bucket{route="/a",le="1"} 1`,
+		`route_seconds_bucket{route="/a",le="+Inf"} 2`,
+		`route_seconds_count{route="/a"} 2`,
+		`route_seconds_bucket{route="/b",le="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x", "")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c", "", "l")
+	v.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	_, _ = r.WriteTo(&b)
+	if want := `c{l="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	h := r.Histogram("h", "", []float64{1, 2})
+	v := r.CounterVec("vec", "", "i")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				h.Observe(float64(j % 3))
+				v.With(string(rune('a' + i%2))).Inc()
+				if j%100 == 0 {
+					var b strings.Builder
+					_, _ = r.WriteTo(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Value())
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", h.Count())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "ok 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}

@@ -16,6 +16,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -29,6 +30,11 @@ import (
 	"kspdg/internal/rpcbatch"
 	"kspdg/internal/workload"
 )
+
+// ErrEpochEvicted is returned (wrapped) by QueryAt and StreamQueryAt when the
+// requested epoch has aged out of the index's view retention window.  Serving
+// layers map it to a distinct status (the gateway returns 410 Gone).
+var ErrEpochEvicted = errors.New("serve: epoch evicted from the retention window")
 
 // Persister receives durability callbacks from the server's writer path.
 // *store.Store implements it; serve depends only on this interface so the
@@ -94,7 +100,17 @@ type Stats struct {
 	UpdateBatches  int64 // update batches applied
 	UpdatesApplied int64 // individual edge updates applied
 	Snapshots      int64 // periodic snapshots written through Options.Store
-	Epoch          uint64
+	// NonConverged counts successfully answered queries whose search hit the
+	// MaxIterations safety cap instead of the Theorem 3 bound: their paths
+	// may be silently truncated.  A nonzero rate is the observable symptom of
+	// the known iteration-cap outliers, so it is exported through /metrics
+	// rather than left to surface as mysterious multi-minute stalls.
+	NonConverged int64
+	// Canceled counts queries abandoned before completion because their
+	// context was canceled or blew its deadline (including queued queries
+	// whose last waiter hung up before a worker picked them up).
+	Canceled int64
+	Epoch    uint64
 	// RPCBatches, PairsCoalesced and DedupHits mirror the provider's
 	// cross-query batching counters (see rpcbatch.Stats) when the refine step
 	// runs on a batching transport; they stay zero for local providers.
@@ -146,12 +162,14 @@ type Server struct {
 	writeMu       sync.Mutex
 	sinceSnapshot int
 
-	queries   atomic.Int64
-	hits      atomic.Int64
-	coalesced atomic.Int64
-	batches   atomic.Int64
-	updates   atomic.Int64
-	snapshots atomic.Int64
+	queries      atomic.Int64
+	hits         atomic.Int64
+	coalesced    atomic.Int64
+	batches      atomic.Int64
+	updates      atomic.Int64
+	snapshots    atomic.Int64
+	nonConverged atomic.Int64
+	canceled     atomic.Int64
 }
 
 type queryKey struct {
@@ -164,13 +182,38 @@ type cacheEntry struct {
 	res   core.Result
 }
 
-// call is one in-flight computation that concurrent identical queries share.
+// call is one scheduled computation.  Plain queries are shared: concurrent
+// identical queries join the same call and its result lands in the cache.
+// Epoch-pinned and streaming queries get private calls (pin answers are
+// immutable but rare; stream yields belong to one client).
+//
+// The computation runs under its own context (ctx/cancel), which is canceled
+// once every joined waiter has abandoned the call — that is how a dead
+// client's deadline propagates into the engine loop and stops consuming
+// worker capacity, without a single impatient joiner killing a computation
+// other callers still want.
 type call struct {
-	key   queryKey
-	epoch uint64 // epoch current at registration; joiners must match
-	done  chan struct{}
-	res   core.Result
-	err   error
+	key    queryKey
+	epoch  uint64 // epoch current at registration; joiners must match
+	shared bool   // registered in inflight + eligible for the cache
+
+	view  *dtlp.IndexView        // pinned epoch view; nil = newest at execution
+	yield func(graph.Path) error // streaming observer; runs on the pool worker
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters atomic.Int32 // callers currently waiting on done
+
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+func newCall(key queryKey) *call {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &call{key: key, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+	c.waiters.Store(1)
+	return c
 }
 
 type task struct{ c *call }
@@ -212,30 +255,66 @@ func (s *Server) Index() *dtlp.Index { return s.index }
 // bypass the scheduler and cache but are still snapshot-isolated.
 func (s *Server) Engine() *core.Engine { return s.engine }
 
-// worker drains the task queue, answering each query against the newest
-// epoch available when the query starts executing.
+// worker drains the task queue, answering each query against its pinned view
+// or the newest epoch available when the query starts executing.  Calls whose
+// context died while queued are failed without touching the engine.
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for t := range s.tasks {
-		view := s.index.CurrentView()
-		res, err := s.engine.QueryView(view, t.c.key.s, t.c.key.t, t.c.key.k)
-		s.finish(t.c, res, err)
+		c := t.c
+		if err := c.ctx.Err(); err != nil {
+			s.finish(c, core.Result{}, err)
+			continue
+		}
+		view := c.view
+		if view == nil {
+			view = s.index.CurrentView()
+		}
+		var res core.Result
+		var err error
+		if c.yield != nil {
+			res, err = s.engine.StreamView(c.ctx, view, c.key.s, c.key.t, c.key.k, c.yield)
+		} else {
+			res, err = s.engine.QueryViewCtx(c.ctx, view, c.key.s, c.key.t, c.key.k)
+		}
+		s.finish(c, res, err)
 	}
 }
 
-// finish completes a call: publishes the result to all joined waiters and
-// installs it in the epoch-tagged cache.
+// finish completes a call: publishes the result to all joined waiters and,
+// for shared calls, installs it in the epoch-tagged cache.
 func (s *Server) finish(c *call, res core.Result, err error) {
 	c.res, c.err = res, err
+	c.cancel()
 	s.mu.Lock()
-	if s.inflight[c.key] == c {
+	if c.shared && s.inflight[c.key] == c {
 		delete(s.inflight, c.key)
 	}
-	if err == nil && s.opts.CacheCapacity > 0 {
+	if err == nil && c.shared && s.opts.CacheCapacity > 0 {
 		s.storeCacheLocked(c.key, cacheEntry{epoch: res.Epoch, res: res})
 	}
 	s.mu.Unlock()
+	switch {
+	case err == nil && !res.Converged:
+		s.nonConverged.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.canceled.Add(1)
+	}
 	close(c.done)
+}
+
+// abandon records that one waiter gave up on c.  The last waiter to leave
+// cancels the computation and unregisters the call, so the next identical
+// query starts fresh instead of joining a corpse.
+func (s *Server) abandon(c *call) {
+	s.mu.Lock()
+	if c.waiters.Add(-1) == 0 {
+		if c.shared && s.inflight[c.key] == c {
+			delete(s.inflight, c.key)
+		}
+		c.cancel()
+	}
+	s.mu.Unlock()
 }
 
 // storeCacheLocked inserts an entry, evicting stale entries (and, if the
@@ -266,6 +345,18 @@ func (s *Server) storeCacheLocked(key queryKey, e cacheEntry) {
 // use; admission beyond the queue depth blocks callers (backpressure) rather
 // than growing an unbounded backlog.
 func (s *Server) Query(src, dst graph.VertexID, k int) (core.Result, error) {
+	return s.QueryCtx(context.Background(), src, dst, k)
+}
+
+// QueryCtx is Query under a context: once ctx is done the caller returns
+// immediately with ctx's error, and — when it was the computation's last
+// remaining waiter — the computation itself is canceled mid-iteration, so a
+// hung-up client stops consuming worker capacity.  A coalesced computation
+// with other live waiters keeps running for them.
+func (s *Server) QueryCtx(ctx context.Context, src, dst graph.VertexID, k int) (core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
 	key := queryKey{s: src, t: dst, k: k}
 
 	s.mu.Lock()
@@ -289,22 +380,108 @@ func (s *Server) Query(src, dst graph.VertexID, k int) (core.Result, error) {
 	if c, ok := s.inflight[key]; ok && c.epoch == epoch {
 		// An identical query for the same epoch is already running (or
 		// queued); share its outcome instead of computing it twice.
+		c.waiters.Add(1)
 		s.mu.Unlock()
-		<-c.done
-		s.queries.Add(1)
-		s.coalesced.Add(1)
-		return c.res, c.err
+		select {
+		case <-c.done:
+			s.queries.Add(1)
+			s.coalesced.Add(1)
+			return c.res, c.err
+		case <-ctx.Done():
+			s.abandon(c)
+			return core.Result{}, ctx.Err()
+		}
 	}
-	c := &call{key: key, epoch: epoch, done: make(chan struct{})}
+	c := newCall(key)
+	c.epoch = epoch
+	c.shared = true
 	s.inflight[key] = c
 	s.senders.Add(1)
 	s.mu.Unlock()
+	return s.await(ctx, c)
+}
 
-	s.tasks <- &task{c: c}
-	s.senders.Done()
-	<-c.done
-	s.queries.Add(1)
-	return c.res, c.err
+// QueryAt answers the query pinned to a specific retained index epoch: the
+// whole search runs against that epoch's frozen weights regardless of how
+// many updates have landed since.  Pinned queries bypass the cache and
+// coalescing (the current-epoch bookkeeping does not apply) but still run on
+// the worker pool.  A request for an epoch outside the retention window
+// fails with an error wrapping ErrEpochEvicted.
+func (s *Server) QueryAt(ctx context.Context, epoch uint64, src, dst graph.VertexID, k int) (core.Result, error) {
+	view := s.index.ViewAt(epoch)
+	if view == nil {
+		return core.Result{}, fmt.Errorf("%w: epoch %d (current %d)",
+			ErrEpochEvicted, epoch, s.index.CurrentView().Epoch())
+	}
+	return s.submit(ctx, queryKey{s: src, t: dst, k: k}, view, nil)
+}
+
+// StreamQuery answers the query against the newest epoch available at
+// execution, emitting settled result paths incrementally through yield (see
+// core.Engine.StreamView) from the pool worker executing the query.  The
+// caller blocks until the query completes; yield errors abort the
+// computation.  Streaming queries bypass the cache and coalescing.
+func (s *Server) StreamQuery(ctx context.Context, src, dst graph.VertexID, k int, yield func(graph.Path) error) (core.Result, error) {
+	return s.submit(ctx, queryKey{s: src, t: dst, k: k}, nil, yield)
+}
+
+// StreamQueryAt is StreamQuery pinned to a retained epoch.
+func (s *Server) StreamQueryAt(ctx context.Context, epoch uint64, src, dst graph.VertexID, k int, yield func(graph.Path) error) (core.Result, error) {
+	view := s.index.ViewAt(epoch)
+	if view == nil {
+		return core.Result{}, fmt.Errorf("%w: epoch %d (current %d)",
+			ErrEpochEvicted, epoch, s.index.CurrentView().Epoch())
+	}
+	return s.submit(ctx, queryKey{s: src, t: dst, k: k}, view, yield)
+}
+
+// submit schedules a private (uncached, uncoalesced) call on the pool.
+func (s *Server) submit(ctx context.Context, key queryKey, view *dtlp.IndexView, yield func(graph.Path) error) (core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return core.Result{}, fmt.Errorf("serve: server is closed")
+	}
+	c := newCall(key)
+	c.view = view
+	c.yield = yield
+	s.senders.Add(1)
+	s.mu.Unlock()
+	return s.await(ctx, c)
+}
+
+// await enqueues the freshly created call and waits for its outcome as its
+// first waiter.
+func (s *Server) await(ctx context.Context, c *call) (core.Result, error) {
+	select {
+	case s.tasks <- &task{c: c}:
+		s.senders.Done()
+	case <-ctx.Done():
+		// The creator's patience ran out while the queue was full, but
+		// joiners with live contexts may share this call: hand the blocking
+		// enqueue off to a detached sender so the call still executes for
+		// them.  If every waiter is gone by then, abandon() has canceled the
+		// call's context and the worker fast-fails it without computing.
+		// The sender holds s.senders, so Close cannot close the task channel
+		// underneath the pending send.
+		go func() {
+			s.tasks <- &task{c: c}
+			s.senders.Done()
+		}()
+		s.abandon(c)
+		return core.Result{}, ctx.Err()
+	}
+	select {
+	case <-c.done:
+		s.queries.Add(1)
+		return c.res, c.err
+	case <-ctx.Done():
+		s.abandon(c)
+		return core.Result{}, ctx.Err()
+	}
 }
 
 // ApplyUpdates applies one batch of edge weight updates: first to the master
@@ -315,17 +492,28 @@ func (s *Server) Query(src, dst graph.VertexID, k int) (core.Result, error) {
 // returns, and every Options.SnapshotEvery batches a fresh snapshot is
 // written (rotating the WAL).
 func (s *Server) ApplyUpdates(batch []graph.WeightUpdate) error {
+	_, err := s.ApplyUpdatesEpoch(batch)
+	return err
+}
+
+// ApplyUpdatesEpoch is ApplyUpdates returning the epoch the batch published,
+// so callers answering on behalf of one specific client (the gateway's
+// /v1/updates) can attribute the batch to its exact epoch instead of
+// re-reading the current epoch after the fact — under concurrent writers
+// those are not the same thing.  An empty batch publishes nothing and
+// returns the current epoch.
+func (s *Server) ApplyUpdatesEpoch(batch []graph.WeightUpdate) (uint64, error) {
 	if len(batch) == 0 {
-		return nil
+		return s.index.CurrentView().Epoch(), nil
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	if err := s.parent.ApplyUpdates(batch); err != nil {
-		return err
+		return 0, err
 	}
 	epoch, err := s.index.ApplyUpdatesEpoch(batch)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// The WAL append and the worker broadcast are independent obligations:
 	// a durability failure must not leave the (already updated) master and
@@ -343,7 +531,7 @@ func (s *Server) ApplyUpdates(batch []graph.WeightUpdate) error {
 		}
 	}
 	if len(errs) > 0 {
-		return errors.Join(errs...)
+		return epoch, errors.Join(errs...)
 	}
 	s.batches.Add(1)
 	s.updates.Add(int64(len(batch)))
@@ -351,13 +539,13 @@ func (s *Server) ApplyUpdates(batch []graph.WeightUpdate) error {
 		s.sinceSnapshot++
 		if s.sinceSnapshot >= s.opts.SnapshotEvery {
 			if _, err := s.opts.Store.SaveSnapshot(s.index); err != nil {
-				return fmt.Errorf("serve: periodic snapshot at epoch %d: %w", epoch, err)
+				return epoch, fmt.Errorf("serve: periodic snapshot at epoch %d: %w", epoch, err)
 			}
 			s.sinceSnapshot = 0
 			s.snapshots.Add(1)
 		}
 	}
-	return nil
+	return epoch, nil
 }
 
 // Stats returns the server's scheduling counters, including the refine
@@ -370,6 +558,8 @@ func (s *Server) Stats() Stats {
 		UpdateBatches:  s.batches.Load(),
 		UpdatesApplied: s.updates.Load(),
 		Snapshots:      s.snapshots.Load(),
+		NonConverged:   s.nonConverged.Load(),
+		Canceled:       s.canceled.Load(),
 		Epoch:          s.index.CurrentView().Epoch(),
 	}
 	if bp, ok := s.provider.(batchStatsProvider); ok {

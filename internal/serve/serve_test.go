@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -346,5 +348,354 @@ func TestServerCloseRejectsNewQueries(t *testing.T) {
 	s.Close() // idempotent
 	if _, err := s.Query(testutil.V1, testutil.V9, 1); err == nil {
 		t.Fatal("query after Close should fail")
+	}
+}
+
+// blockingProvider parks every refine call until released, for cancellation
+// tests.
+type blockingProvider struct {
+	inner   core.PartialProvider
+	release chan struct{}
+	entered chan struct{}
+}
+
+func newBlockingProvider(inner core.PartialProvider) *blockingProvider {
+	return &blockingProvider{inner: inner, release: make(chan struct{}), entered: make(chan struct{}, 16)}
+}
+
+func (p *blockingProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
+	select {
+	case p.entered <- struct{}{}:
+	default:
+	}
+	<-p.release
+	return p.inner.PartialKSP(pairs, k)
+}
+
+func (p *blockingProvider) PartialKSPView(iv *dtlp.IndexView, pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
+	select {
+	case p.entered <- struct{}{}:
+	default:
+	}
+	<-p.release
+	if vp, ok := p.inner.(core.ViewProvider); ok {
+		return vp.PartialKSPView(iv, pairs, k)
+	}
+	return p.inner.PartialKSP(pairs, k)
+}
+
+func TestQueryCtxCancelStopsComputation(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := newBlockingProvider(core.NewLocalProvider(p, 0))
+	s := New(x, bp, Options{Workers: 1, CacheCapacity: -1})
+	defer func() {
+		defer func() { _ = recover() }()
+		close(bp.release)
+		s.Close()
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.QueryCtx(ctx, 3, 12, 2)
+		errCh <- err
+	}()
+	<-bp.entered // the query reached the refine step
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled query returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("QueryCtx did not return after cancel")
+	}
+
+	// The engine abandons the computation once the refine unblocks.
+	close(bp.release)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Canceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation never counted: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+}
+
+func TestCoalescedCancelKeepsOtherWaiters(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := newBlockingProvider(core.NewLocalProvider(p, 0))
+	s := New(x, bp, Options{Workers: 1, CacheCapacity: -1})
+	released := false
+	defer func() {
+		if !released {
+			close(bp.release)
+		}
+		s.Close()
+	}()
+
+	type outcome struct {
+		res core.Result
+		err error
+	}
+	first := make(chan outcome, 1)
+	go func() {
+		res, err := s.QueryCtx(context.Background(), 3, 12, 2)
+		first <- outcome{res, err}
+	}()
+	<-bp.entered // the computation is running
+
+	// A second identical query joins it, then hangs up.
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan outcome, 1)
+	go func() {
+		res, err := s.QueryCtx(ctx, 3, 12, 2)
+		second <- outcome{res, err}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Coalesced == 0 {
+		// The joiner registers by bumping the waiter count before blocking;
+		// give it a moment to reach the select.
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+		s.mu.Lock()
+		n := len(s.inflight)
+		s.mu.Unlock()
+		if n > 0 {
+			break
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // let the joiner block on the call
+	cancel()
+	o2 := <-second
+	if !errors.Is(o2.err, context.Canceled) {
+		t.Fatalf("canceled joiner returned %v, want context.Canceled", o2.err)
+	}
+
+	// The first waiter still gets a real answer: one abandoning joiner must
+	// not kill a computation someone else is waiting on.
+	released = true
+	close(bp.release)
+	o1 := <-first
+	if o1.err != nil {
+		t.Fatalf("surviving waiter failed: %v", o1.err)
+	}
+	if len(o1.res.Paths) == 0 {
+		t.Fatal("surviving waiter got no paths")
+	}
+}
+
+func TestQueryAtPinnedEpoch(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	_, s := buildServer(t, g, 6, 2, Options{Workers: 2})
+	defer s.Close()
+
+	res0, err := s.Query(testutil.V1, testutil.V19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift the weights: the current epoch moves past res0's.
+	tm := workload.NewTrafficModel(0.5, 0.5, 5)
+	for i := 0; i < 3; i++ {
+		batch := tm.Derive(g.NumEdges(), g.Directed(), g.Weight)
+		if err := s.ApplyUpdates(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pinned, err := s.QueryAt(context.Background(), res0.Epoch, testutil.V1, testutil.V19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Epoch != res0.Epoch {
+		t.Fatalf("pinned result reports epoch %d, want %d", pinned.Epoch, res0.Epoch)
+	}
+	if len(pinned.Paths) != len(res0.Paths) {
+		t.Fatalf("pinned returned %d paths, original %d", len(pinned.Paths), len(res0.Paths))
+	}
+	for i := range res0.Paths {
+		if pinned.Paths[i].Dist != res0.Paths[i].Dist {
+			t.Errorf("pinned path %d dist %v != original %v", i, pinned.Paths[i].Dist, res0.Paths[i].Dist)
+		}
+	}
+
+	if _, err := s.QueryAt(context.Background(), 10_000, testutil.V1, testutil.V19, 2); !errors.Is(err, ErrEpochEvicted) {
+		t.Fatalf("unretained epoch returned %v, want ErrEpochEvicted", err)
+	}
+}
+
+func TestStreamQueryMatchesQuery(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	_, s := buildServer(t, g, 6, 2, Options{Workers: 2, CacheCapacity: -1})
+	defer s.Close()
+
+	for _, q := range []struct {
+		s, t graph.VertexID
+		k    int
+	}{
+		{testutil.V1, testutil.V19, 3},
+		{testutil.V3, testutil.V17, 2},
+		{testutil.V5, testutil.V12, 4},
+	} {
+		var streamed []graph.Path
+		res, err := s.StreamQuery(context.Background(), q.s, q.t, q.k, func(p graph.Path) error {
+			streamed = append(streamed, p)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("stream query(%d,%d,%d): %v", q.s, q.t, q.k, err)
+		}
+		if len(streamed) != len(res.Paths) {
+			t.Fatalf("query(%d,%d,%d): streamed %d paths, result has %d",
+				q.s, q.t, q.k, len(streamed), len(res.Paths))
+		}
+		for i := range res.Paths {
+			if streamed[i].Dist != res.Paths[i].Dist ||
+				graph.PathKey(streamed[i]) != graph.PathKey(res.Paths[i]) {
+				t.Errorf("query(%d,%d,%d): streamed path %d differs from result", q.s, q.t, q.k, i)
+			}
+		}
+		// Streamed paths arrive in ascending order.
+		for i := 1; i < len(streamed); i++ {
+			if streamed[i].Dist < streamed[i-1].Dist {
+				t.Errorf("query(%d,%d,%d): stream out of order at %d", q.s, q.t, q.k, i)
+			}
+		}
+	}
+}
+
+func TestNonConvergedCounter(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	// An iteration cap of 1 forces every multi-iteration search to give up
+	// before the Theorem 3 bound fires.
+	_, s := buildServer(t, g, 6, 2, Options{Workers: 2, Engine: core.Options{MaxIterations: 1}})
+	defer s.Close()
+	res, err := s.Query(testutil.V1, testutil.V19, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Skip("query converged in one iteration; counter not exercised")
+	}
+	if got := s.Stats().NonConverged; got != 1 {
+		t.Fatalf("NonConverged = %d, want 1", got)
+	}
+}
+
+func TestAbandonedEnqueueStillServesJoiners(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := newBlockingProvider(core.NewLocalProvider(p, 0))
+	// One worker and a one-deep task queue, so a third query's creator
+	// blocks in the enqueue itself.
+	s := New(x, bp, Options{Workers: 1, QueueDepth: 1, CacheCapacity: -1})
+	released := false
+	defer func() {
+		if !released {
+			close(bp.release)
+		}
+		s.Close()
+	}()
+
+	type outcome struct {
+		res core.Result
+		err error
+	}
+	// A occupies the only worker (blocked in its refine step).
+	a := make(chan outcome, 1)
+	go func() {
+		res, err := s.Query(3, 12, 2)
+		a <- outcome{res, err}
+	}()
+	<-bp.entered
+	// B fills the one-slot task buffer.
+	b := make(chan outcome, 1)
+	go func() {
+		res, err := s.Query(0, 15, 2)
+		b <- outcome{res, err}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.tasks) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second query never reached the task buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// C's creator blocks sending to the full queue...
+	ctxC, cancelC := context.WithCancel(context.Background())
+	defer cancelC()
+	c := make(chan outcome, 1)
+	go func() {
+		res, err := s.QueryCtx(ctxC, 1, 16, 2)
+		c <- outcome{res, err}
+	}()
+	key := queryKey{s: 1, t: 16, k: 2}
+	var call3 *call
+	for call3 == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("third query never registered")
+		}
+		s.mu.Lock()
+		call3 = s.inflight[key]
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	// ...and D joins C's in-flight call with no deadline of its own.
+	d := make(chan outcome, 1)
+	go func() {
+		res, err := s.QueryCtx(context.Background(), 1, 16, 2)
+		d <- outcome{res, err}
+	}()
+	for call3.waiters.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner never registered (waiters=%d)", call3.waiters.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// C gives up while the enqueue is still blocked.  D's context is live,
+	// so the call must be handed off and answered, not failed.
+	cancelC()
+	oc := <-c
+	if !errors.Is(oc.err, context.Canceled) {
+		t.Fatalf("canceled creator returned %v, want context.Canceled", oc.err)
+	}
+	released = true
+	close(bp.release)
+	for _, ch := range []chan outcome{a, b, d} {
+		o := <-ch
+		if o.err != nil {
+			t.Fatalf("surviving query failed: %v", o.err)
+		}
+		if len(o.res.Paths) == 0 {
+			t.Fatal("surviving query got no paths")
+		}
 	}
 }
