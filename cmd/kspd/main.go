@@ -99,6 +99,8 @@ func main() {
 		alpha      = flag.Float64("alpha", 0.2, "fraction of edges perturbed per update batch")
 		tau        = flag.Float64("tau", 0.3, "relative weight variation per update batch")
 		conc       = flag.Int("concurrency", 0, "query worker pool size (0 = GOMAXPROCS)")
+		maxIter    = flag.Int("max-iterations", 0, "hard cap on reference paths examined per query (0 = default 10000; master mode)")
+		stallWin   = flag.Int("stall-window", 0, "adaptive iteration budget: terminate a query near-exactly (reporting its bound gap) after this many iterations without bound-gap progress (0 = default 64, negative disables; master mode)")
 		transport  = flag.String("transport", "batched", "master-worker transport: serialized (legacy lock-step), pipelined (multiplexed, per-query fan-out), or batched (multiplexed + cross-query pair batching)")
 		pool       = flag.Int("pool", 2, "TCP connections per worker (pipelined and batched transports)")
 		replicas   = flag.Int("replicas", 1, "workers hosting each subgraph; >1 enables health-checked failover on the batched transport (must match between master and workers)")
@@ -165,6 +167,8 @@ func main() {
 			alpha:      *alpha,
 			tau:        *tau,
 			conc:       *conc,
+			maxIter:    *maxIter,
+			stallWin:   *stallWin,
 			transport:  *transport,
 			pool:       *pool,
 			replicas:   *replicas,
@@ -270,6 +274,8 @@ type masterConfig struct {
 	alpha          float64
 	tau            float64
 	conc           int
+	maxIter        int
+	stallWin       int
 	transport      string
 	pool           int
 	replicas       int
@@ -419,7 +425,12 @@ func runMaster(cfg masterConfig) {
 	} else {
 		fmt.Println("kspd master: no -connect given, running the refine step locally")
 	}
-	srvOpts := serve.Options{Workers: cfg.conc, Broadcast: broadcast, SnapshotEvery: cfg.snapEvery}
+	srvOpts := serve.Options{
+		Workers:       cfg.conc,
+		Broadcast:     broadcast,
+		SnapshotEvery: cfg.snapEvery,
+		Engine:        core.Options{MaxIterations: cfg.maxIter, StallWindow: cfg.stallWin},
+	}
 	if st != nil {
 		srvOpts.Store = st
 	}
@@ -455,8 +466,12 @@ func runMaster(cfg masterConfig) {
 	fmt.Printf("kspd master: epoch %d, %d cache hits, %d coalesced, %d edge updates applied, %d periodic snapshots\n",
 		stats.Epoch, stats.CacheHits, stats.Coalesced, stats.UpdatesApplied, stats.Snapshots)
 	if stats.NonConverged > 0 {
-		fmt.Printf("kspd master: WARNING: %d queries hit the iteration cap without converging (results may be truncated)\n",
+		fmt.Printf("kspd master: WARNING: %d queries were cut off with fewer than k proven paths (results may be truncated)\n",
 			stats.NonConverged)
+	}
+	if stats.BudgetTerminated > 0 {
+		fmt.Printf("kspd master: %d queries terminated by the adaptive iteration budget (near-exact, max bound gap %.3f)\n",
+			stats.BudgetTerminated, stats.MaxBoundGap)
 	}
 	if stats.RPCBatches > 0 {
 		fmt.Printf("kspd master: %d rpc batches, %d pairs coalesced across queries, %d dedup hits\n",
@@ -517,8 +532,8 @@ func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.S
 	cancel()
 	srv.Close() // drain in-flight queries
 	stats := srv.Stats()
-	fmt.Printf("kspd master: drained at epoch %d: %d queries served (%d cache hits, %d coalesced, %d non-converged, %d canceled), %d update batches\n",
-		stats.Epoch, stats.QueriesServed, stats.CacheHits, stats.Coalesced, stats.NonConverged, stats.Canceled, stats.UpdateBatches)
+	fmt.Printf("kspd master: drained at epoch %d: %d queries served (%d cache hits, %d coalesced, %d truncated, %d budget-terminated, %d canceled), %d update batches\n",
+		stats.Epoch, stats.QueriesServed, stats.CacheHits, stats.Coalesced, stats.NonConverged, stats.BudgetTerminated, stats.Canceled, stats.UpdateBatches)
 	if st != nil {
 		epoch, err := st.SaveSnapshot(index)
 		if err != nil {

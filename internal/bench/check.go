@@ -91,3 +91,59 @@ func CheckRegression(baseline, fresh Metrics, tolerance float64) error {
 	}
 	return nil
 }
+
+// AllocRegressionError reports a fresh run allocating more than the
+// committed baseline allows.
+type AllocRegressionError struct {
+	Name      string
+	Nq        int
+	Baseline  uint64 // baseline heap allocations over the run
+	Fresh     uint64 // fresh heap allocations over the run
+	Tolerance float64
+}
+
+func (e *AllocRegressionError) Error() string {
+	perOp := func(total uint64) float64 {
+		if e.Nq <= 0 {
+			return float64(total)
+		}
+		return float64(total) / float64(e.Nq)
+	}
+	return fmt.Sprintf("bench: %s alloc regression: %.0f allocs/query vs baseline %.0f allocs/query (%.2fx, tolerance %.2fx)",
+		e.Name, perOp(e.Fresh), perOp(e.Baseline), e.Ratio(), e.Tolerance)
+}
+
+// Ratio is fresh over baseline allocation count.
+func (e *AllocRegressionError) Ratio() float64 {
+	return float64(e.Fresh) / float64(e.Baseline)
+}
+
+// CheckAllocRegression gates the fresh run's heap allocation count against
+// the committed baseline's.  Because SuiteFromMetrics replays the baseline's
+// exact parameters, the totals are directly comparable and their ratio
+// equals the allocs/query ratio.  Allocation counts are far less noisy than
+// wall-clock time, so the default tolerance is tighter than the ns/op
+// gate's; an explicit tolerance <= 0 falls back to the default 1.25.
+// Baselines recorded before allocation tracking carry a zero count and are
+// skipped rather than failed.
+func CheckAllocRegression(baseline, fresh Metrics, tolerance float64) error {
+	if tolerance <= 0 {
+		tolerance = 1.25
+	}
+	if baseline.Name != fresh.Name {
+		return fmt.Errorf("bench: comparing %q against baseline %q", fresh.Name, baseline.Name)
+	}
+	if baseline.Allocs == 0 {
+		return nil
+	}
+	if float64(fresh.Allocs) > float64(baseline.Allocs)*tolerance {
+		return &AllocRegressionError{
+			Name:      baseline.Name,
+			Nq:        baseline.Nq,
+			Baseline:  baseline.Allocs,
+			Fresh:     fresh.Allocs,
+			Tolerance: tolerance,
+		}
+	}
+	return nil
+}

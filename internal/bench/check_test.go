@@ -86,3 +86,41 @@ func TestCheckRegression(t *testing.T) {
 		t.Error("a 1.4x slowdown must fail a strict 1.0x gate")
 	}
 }
+
+func TestCheckAllocRegression(t *testing.T) {
+	base := Metrics{Name: "rpc", Nq: 100, Allocs: 1000}
+
+	if err := CheckAllocRegression(base, Metrics{Name: "rpc", Allocs: 1200}, 1.25); err != nil {
+		t.Errorf("within tolerance: %v", err)
+	}
+	if err := CheckAllocRegression(base, Metrics{Name: "rpc", Allocs: 400}, 1.25); err != nil {
+		t.Errorf("an improvement must always pass: %v", err)
+	}
+
+	err := CheckAllocRegression(base, Metrics{Name: "rpc", Allocs: 2000}, 1.25)
+	if err == nil {
+		t.Fatal("2x allocation growth must fail a 1.25x gate")
+	}
+	var reg *AllocRegressionError
+	if !errors.As(err, &reg) {
+		t.Fatalf("error type %T, want *AllocRegressionError", err)
+	}
+	if reg.Ratio() < 1.99 || reg.Ratio() > 2.01 {
+		t.Errorf("ratio %.2f, want 2.0", reg.Ratio())
+	}
+	if !strings.Contains(err.Error(), "allocs/query") {
+		t.Errorf("error %q should report per-query counts", err)
+	}
+
+	if err := CheckAllocRegression(base, Metrics{Name: "other", Allocs: 10}, 1.25); err == nil {
+		t.Error("mismatched experiment names must fail")
+	}
+	// A baseline recorded before allocation tracking is skipped, not failed.
+	if err := CheckAllocRegression(Metrics{Name: "rpc"}, Metrics{Name: "rpc", Allocs: 1 << 30}, 1.25); err != nil {
+		t.Errorf("zero-alloc baseline must skip the gate: %v", err)
+	}
+	// Unset tolerance falls back to the 1.25x default.
+	if err := CheckAllocRegression(base, Metrics{Name: "rpc", Allocs: 1200}, 0); err != nil {
+		t.Errorf("default tolerance should be 1.25x: %v", err)
+	}
+}

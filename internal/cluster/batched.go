@@ -10,19 +10,24 @@ import (
 	"kspdg/internal/rpcbatch"
 )
 
+// mergeSeenPool recycles the dedup sets used while merging partial paths
+// collected from several workers.
+var mergeSeenPool = sync.Pool{New: func() interface{} { return new(graph.PathSet) }}
+
 // mergePairPaths merges the partial paths collected for one pair (possibly
 // from several workers with replicated subgraph boundaries) into the k
-// shortest distinct paths.
+// shortest distinct paths.  The merge is in place: paths must be owned by the
+// caller and is clobbered.
 func mergePairPaths(paths []graph.Path, k int) []graph.Path {
 	sort.Slice(paths, func(i, j int) bool { return graph.ComparePaths(paths[i], paths[j]) < 0 })
-	var dedup []graph.Path
-	seen := make(map[string]bool, len(paths))
+	seen := mergeSeenPool.Get().(*graph.PathSet)
+	seen.Reset()
+	defer mergeSeenPool.Put(seen)
+	dedup := paths[:0]
 	for _, p := range paths {
-		key := graph.PathKey(p)
-		if seen[key] {
+		if !seen.Add(p) {
 			continue
 		}
-		seen[key] = true
 		dedup = append(dedup, p)
 		if len(dedup) == k {
 			break
@@ -31,18 +36,17 @@ func mergePairPaths(paths []graph.Path, k int) []graph.Path {
 	return dedup
 }
 
-// responseToMap converts a wire response back into per-pair path lists.
+// responseToMap converts a wire response back into per-pair path lists.  The
+// returned paths alias the response's decoded arrays (see DecodePaths) and
+// must be treated as immutable.
 func responseToMap(pairs []core.PairRequest, resp PartialKSPResponse) map[core.PairRequest][]graph.Path {
 	out := make(map[core.PairRequest][]graph.Path, len(pairs))
+	decoded := resp.DecodePaths()
 	for i, pr := range pairs {
-		if i >= len(resp.Results) {
+		if i >= len(decoded) {
 			continue
 		}
-		paths := make([]graph.Path, 0, len(resp.Results[i]))
-		for _, msg := range resp.Results[i] {
-			paths = append(paths, fromPathMsg(msg))
-		}
-		out[pr] = paths
+		out[pr] = decoded[i]
 	}
 	return out
 }

@@ -247,8 +247,8 @@ func TestRemoteWorkerRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Results) != 1 {
-		t.Fatalf("expected one result slot, got %d", len(resp.Results))
+	if resp.NumPairs() != 1 {
+		t.Fatalf("expected one result slot, got %d", resp.NumPairs())
 	}
 
 	if _, err := rw.ApplyUpdates([]graph.WeightUpdate{{Edge: 0, NewWeight: 5}}); err != nil {

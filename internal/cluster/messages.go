@@ -55,11 +55,38 @@ type PartialKSPRequest struct {
 	HasEpoch bool
 }
 
+// FlatPaths is the copy-free wire encoding of a response's paths: every
+// path's vertex sequence is appended to one Verts array, described by the
+// parallel per-path Lens and Dists arrays, with Counts giving the number of
+// paths per request pair.  A flat response decodes into paths that subslice
+// the single gob-allocated Verts array — instead of one slice header and one
+// vertex array per path as in the legacy [][]PathMsg layout — which removes
+// the dominant per-path allocations from the master's refine hot path.
+type FlatPaths struct {
+	Verts  []graph.VertexID
+	Lens   []int32
+	Dists  []float64
+	Counts []int32
+}
+
+// appendPath encodes one path onto the flat arrays.
+func (f *FlatPaths) appendPath(p graph.Path) {
+	f.Verts = append(f.Verts, p.Vertices...)
+	f.Lens = append(f.Lens, int32(len(p.Vertices)))
+	f.Dists = append(f.Dists, p.Dist)
+}
+
 // PartialKSPResponse carries the partial paths a worker computed, keyed by
 // pair index into the request (to keep gob encoding simple and compact).
 type PartialKSPResponse struct {
-	// Results[i] holds the paths for request pair i (possibly empty).
+	// Results[i] holds the paths for request pair i (possibly empty).  Legacy
+	// encoding: current workers send Flat instead, but decoders accept both,
+	// so responses from older peers (and hand-built test fixtures) still work.
 	Results [][]PathMsg
+	// Flat is the flat encoding of the same per-pair paths; when non-nil it
+	// takes precedence over Results.  gob omits the field entirely for legacy
+	// senders, decoding as nil — the safe fallback.
+	Flat *FlatPaths
 	// ServedEpoch reports that the request's epoch pin was honoured: every
 	// path was computed from the frozen weights of the requested epoch.
 	// False when the worker cannot resolve epochs (standalone processes),
@@ -68,6 +95,62 @@ type PartialKSPResponse struct {
 	// as immutable (see rpcbatch's epoch memo); legacy workers never set
 	// the field, which decodes as false — the safe default.
 	ServedEpoch bool
+}
+
+// NumPairs returns the number of request pair slots the response answers.
+func (r *PartialKSPResponse) NumPairs() int {
+	if r.Flat != nil {
+		return len(r.Flat.Counts)
+	}
+	return len(r.Results)
+}
+
+// DecodePaths expands the response into per-pair path lists, accepting either
+// encoding.  A flat response decodes with two allocations total (the per-pair
+// slice-of-slices and one shared path-header array); every decoded path's
+// vertex slice aliases the response's Verts array, so callers must treat the
+// paths as immutable.  Malformed flat responses (lengths that overrun the
+// arrays) decode to as many well-formed leading pairs as the data supports —
+// the same shape a short legacy Results array produces.
+func (r *PartialKSPResponse) DecodePaths() [][]graph.Path {
+	f := r.Flat
+	if f == nil {
+		out := make([][]graph.Path, len(r.Results))
+		total := 0
+		for _, msgs := range r.Results {
+			total += len(msgs)
+		}
+		hdrs := make([]graph.Path, 0, total)
+		for i, msgs := range r.Results {
+			start := len(hdrs)
+			for _, m := range msgs {
+				hdrs = append(hdrs, fromPathMsg(m))
+			}
+			out[i] = hdrs[start:len(hdrs):len(hdrs)]
+		}
+		return out
+	}
+	out := make([][]graph.Path, len(f.Counts))
+	hdrs := make([]graph.Path, 0, len(f.Lens))
+	voff := 0
+	for i, l := range f.Lens {
+		n := int(l)
+		if n < 0 || voff+n > len(f.Verts) || i >= len(f.Dists) {
+			break
+		}
+		hdrs = append(hdrs, graph.Path{Vertices: f.Verts[voff : voff+n : voff+n], Dist: f.Dists[i]})
+		voff += n
+	}
+	poff := 0
+	for i, c := range f.Counts {
+		n := int(c)
+		if n < 0 || poff+n > len(hdrs) {
+			break
+		}
+		out[i] = hdrs[poff : poff+n : poff+n]
+		poff += n
+	}
+	return out
 }
 
 // WeightUpdateRequest delivers edge weight updates to the worker owning the

@@ -667,11 +667,10 @@ func (rp *RemoteProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.
 		if r.err != nil {
 			return nil, r.err
 		}
+		decoded := r.resp.DecodePaths()
 		for i, pr := range pairs {
-			if i < len(r.resp.Results) {
-				for _, msg := range r.resp.Results[i] {
-					merged[pr] = append(merged[pr], fromPathMsg(msg))
-				}
+			if i < len(decoded) {
+				merged[pr] = append(merged[pr], decoded[i]...)
 			}
 		}
 	}

@@ -178,8 +178,8 @@ func TestRemoteWorkerReconnectsAfterRestart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("request after restart should reconnect: %v", err)
 	}
-	if len(resp.Results) != 1 {
-		t.Fatalf("expected one result slot, got %d", len(resp.Results))
+	if resp.NumPairs() != 1 {
+		t.Fatalf("expected one result slot, got %d", resp.NumPairs())
 	}
 }
 
@@ -260,8 +260,8 @@ func TestSerializedTransportStillServed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Results) != len(pairs) {
-		t.Fatalf("results %d, want %d", len(resp.Results), len(pairs))
+	if resp.NumPairs() != len(pairs) {
+		t.Fatalf("results %d, want %d", resp.NumPairs(), len(pairs))
 	}
 	if _, err := rw.Stats(); err != nil {
 		t.Fatal(err)

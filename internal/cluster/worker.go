@@ -76,7 +76,9 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 		view = w.views(req.Epoch)
 	}
 	resp := PartialKSPResponse{
-		Results: make([][]PathMsg, len(req.Pairs)),
+		// Responses travel flat-encoded; see FlatPaths.  Decoders fall back
+		// to the legacy Results field only for old peers.
+		Flat: &FlatPaths{Counts: make([]int32, len(req.Pairs))},
 		// A nil view means the pin was absent or could not be honoured
 		// (unknown or evicted epoch): the answer reads live weights and must
 		// not be treated as frozen at the requested epoch.
@@ -84,11 +86,10 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 	}
 	for i, pr := range req.Pairs {
 		paths := w.partialForPair(view, pr, req.K)
-		msgs := make([]PathMsg, len(paths))
-		for j, p := range paths {
-			msgs[j] = toPathMsg(p)
+		resp.Flat.Counts[i] = int32(len(paths))
+		for _, p := range paths {
+			resp.Flat.appendPath(p)
 		}
-		resp.Results[i] = msgs
 	}
 	w.mu.Lock()
 	w.stats.RequestsServed++
@@ -104,9 +105,19 @@ func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k int
 	if pr.A == pr.B {
 		return []graph.Path{{Vertices: []graph.VertexID{pr.A}}}
 	}
+	ids := w.part.CommonSubgraphs(pr.A, pr.B)
+	nOwned := 0
+	for _, id := range ids {
+		if w.owned[id] {
+			nOwned++
+		}
+	}
 	var merged []graph.Path
-	seen := make(map[string]bool)
-	for _, id := range w.part.CommonSubgraphs(pr.A, pr.B) {
+	var seen graph.PathSet
+	// One Yen call already emits sorted, duplicate-free paths; only results
+	// merged from several owned subgraphs need the dedup set and the sort.
+	dedup := nOwned > 1
+	for _, id := range ids {
 		if !w.owned[id] {
 			continue
 		}
@@ -122,15 +133,15 @@ func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k int
 		}
 		for _, lp := range shortest.Yen(weights, la, lb, k, nil) {
 			gp := sub.GlobalPath(lp)
-			key := graph.PathKey(gp)
-			if seen[key] {
+			if dedup && !seen.Add(gp) {
 				continue
 			}
-			seen[key] = true
 			merged = append(merged, gp)
 		}
 	}
-	sort.Slice(merged, func(i, j int) bool { return graph.ComparePaths(merged[i], merged[j]) < 0 })
+	if dedup {
+		sort.Slice(merged, func(i, j int) bool { return graph.ComparePaths(merged[i], merged[j]) < 0 })
+	}
 	if len(merged) > k {
 		merged = merged[:k]
 	}

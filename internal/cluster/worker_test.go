@@ -55,15 +55,17 @@ func TestWorkerPartialKSPRestrictedToOwnedSubgraphs(t *testing.T) {
 	owner := NewWorker(0, p, subs)
 	other := NewWorker(1, p, nil)
 	req := PartialKSPRequest{Pairs: []core.PairRequest{{A: a, B: b}}, K: 2}
-	if got := owner.HandlePartialKSP(req); len(got.Results[0]) == 0 {
+	ownerResp := owner.HandlePartialKSP(req)
+	if got := ownerResp.DecodePaths(); len(got[0]) == 0 {
 		t.Errorf("owning worker should return partial paths")
 	}
-	if got := other.HandlePartialKSP(req); len(got.Results[0]) != 0 {
-		t.Errorf("non-owning worker should return no paths, got %v", got.Results[0])
+	otherResp := other.HandlePartialKSP(req)
+	if got := otherResp.DecodePaths(); len(got[0]) != 0 {
+		t.Errorf("non-owning worker should return no paths, got %v", got[0])
 	}
 	// Same-vertex pairs yield the trivial path regardless of ownership.
 	trivial := other.HandlePartialKSP(PartialKSPRequest{Pairs: []core.PairRequest{{A: a, B: a}}, K: 2})
-	if len(trivial.Results[0]) != 1 {
+	if got := trivial.DecodePaths(); len(got[0]) != 1 {
 		t.Errorf("same-vertex pair should yield the trivial path")
 	}
 	st := owner.HandleStats(StatsRequest{})

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"kspdg/internal/dtlp"
@@ -32,8 +33,22 @@ type Options struct {
 	// beams make the join closer to exhaustive at higher cost.
 	BeamWidth int
 	// MaxIterations caps the number of reference paths examined per query as
-	// a safety valve.  Zero means 10000.
+	// a hard safety valve behind the adaptive budget.  Zero means 10000.
 	MaxIterations int
+	// StallWindow is the adaptive iteration budget: once the query holds k
+	// results, the search terminates early with a principled near-exact
+	// answer (Result.BoundGap > 0) after StallWindow consecutive iterations
+	// in which the bound gap — the k-th result's distance minus the next
+	// reference path's lower bound — failed to shrink by at least
+	// StallImprovement (relative).  This is what turns the worst-case
+	// convergence tail (thousands of reference paths with barely-rising
+	// lower bounds on loosely-bounded skeletons) into a tunable latency
+	// ceiling.  Zero means 64; negative disables adaptive termination,
+	// leaving only the MaxIterations cap.
+	StallWindow int
+	// StallImprovement is the minimum relative bound-gap improvement the
+	// stall detector counts as progress.  Zero means 1e-3.
+	StallImprovement float64
 	// Parallelism is passed to LocalProvider when the engine builds its own
 	// provider; it has no effect when a custom provider is supplied.
 	Parallelism int
@@ -61,6 +76,24 @@ func (o Options) maxIterations() int {
 	return 10000
 }
 
+// stallWindow resolves the adaptive budget window; 0 means disabled.
+func (o Options) stallWindow() int {
+	if o.StallWindow > 0 {
+		return o.StallWindow
+	}
+	if o.StallWindow < 0 {
+		return 0
+	}
+	return 64
+}
+
+func (o Options) stallImprovement() float64 {
+	if o.StallImprovement > 0 {
+		return o.StallImprovement
+	}
+	return 1e-3
+}
+
 // Result is the answer to one KSP query together with execution statistics.
 type Result struct {
 	// Paths holds up to k shortest loopless paths in ascending distance.
@@ -68,12 +101,21 @@ type Result struct {
 	// Epoch is the index epoch the query ran against (see dtlp.IndexView).
 	// All paths and distances are consistent with that epoch's weights.
 	Epoch uint64
-	// Converged reports whether the search terminated through the Theorem 3
-	// bound (or by exhausting all reference paths), which is what guarantees
-	// the result is exact.  A false value means the MaxIterations safety cap
-	// fired first and the paths — while valid — may be silently truncated:
-	// callers that need exactness must check it.
+	// Converged reports whether the search terminated through a principled
+	// bound: the Theorem 3 test or reference-path exhaustion (the result is
+	// exact, BoundGap == 0), or the adaptive iteration budget (the result is
+	// near-exact within BoundGap, see below).  A false value means the
+	// search was cut off while it still had fewer than k proven candidates —
+	// the paths are valid but possibly truncated, and callers that need
+	// completeness must check it.
 	Converged bool
+	// BoundGap is 0 for exact results.  When the adaptive iteration budget
+	// (or the MaxIterations cap) terminated a search that already held k
+	// candidate paths, BoundGap is the distance of the k-th result minus the
+	// lower bound of the next unexplored reference path: every unexplored
+	// candidate is at least that lower bound long, so each returned distance
+	// exceeds its exact counterpart by at most BoundGap.
+	BoundGap float64
 	// Iterations is the number of reference paths examined (filter steps).
 	Iterations int
 	// PairsRefined is the number of distinct adjacent boundary pairs whose
@@ -81,7 +123,8 @@ type Result struct {
 	PairsRefined int
 	// CandidatesGenerated counts candidate complete paths produced by joins.
 	CandidatesGenerated int
-	// Elapsed is the wall-clock processing time of the query.
+	// Elapsed is the wall-clock processing time of the query.  It is set on
+	// every return path, including errors and cancellations.
 	Elapsed time.Duration
 }
 
@@ -134,21 +177,142 @@ func (e *Engine) QueryViewCtx(ctx context.Context, iv *dtlp.IndexView, s, t grap
 // StreamView answers the query like QueryViewCtx but additionally emits
 // result paths incrementally through yield, in ascending distance order, as
 // the search settles them: a path is yielded as soon as Theorem 3's bound
-// proves no future candidate can displace it (its distance is strictly below
-// the next reference path's lower bound), and the remainder is flushed on
-// termination.  The union of yielded paths is exactly Result.Paths.  A
-// non-nil error from yield aborts the query with that error — a streaming
-// HTTP handler uses this to stop computing for a disconnected client.
+// proves no strictly shorter candidate can appear (its distance is at most
+// the next reference path's lower bound, under the same epsilon the
+// termination test uses, so tied-distance paths are not held back), and the
+// remainder is flushed on termination.  The union of yielded paths is
+// exactly Result.Paths.  A non-nil error from yield aborts the query with
+// that error — a streaming HTTP handler uses this to stop computing for a
+// disconnected client.
 func (e *Engine) StreamView(ctx context.Context, iv *dtlp.IndexView, s, t graph.VertexID, k int, yield func(graph.Path) error) (Result, error) {
 	return e.queryView(ctx, iv, s, t, k, yield)
 }
 
-func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.VertexID, k int, yield func(graph.Path) error) (Result, error) {
+// engineScratch is the pooled per-query working state: the pair cache, the
+// dedup set, the running top-k list, the join buffers, and the candidate
+// vertex arena.  Pooling it (plus the arena-backed joins) removes nearly all
+// steady-state allocation from the iteration loop.
+type engineScratch struct {
+	pairCache   map[PairRequest][]graph.Path
+	resultSet   graph.PathSet
+	list        []graph.Path
+	missing     []PairRequest
+	missingSeen map[PairRequest]struct{}
+	joinCur     []graph.Path
+	joinNext    []graph.Path
+	seqBuf      []graph.VertexID
+	arena       vertexArena
+}
+
+var engineScratchPool = sync.Pool{New: func() interface{} {
+	return &engineScratch{
+		pairCache:   make(map[PairRequest][]graph.Path),
+		missingSeen: make(map[PairRequest]struct{}),
+	}
+}}
+
+func getEngineScratch() *engineScratch {
+	sc := engineScratchPool.Get().(*engineScratch)
+	clear(sc.pairCache)
+	clear(sc.missingSeen)
+	sc.resultSet.Reset()
+	sc.list = sc.list[:0]
+	sc.missing = sc.missing[:0]
+	sc.joinCur = sc.joinCur[:0]
+	sc.joinNext = sc.joinNext[:0]
+	sc.arena.reset()
+	return sc
+}
+
+// vertexArena hands out vertex-sequence storage for candidate paths in large
+// blocks, so the join step's many short-lived candidates stop being
+// individual heap allocations.  Arena memory only lives for one query; the
+// final result paths are deep-copied out before the scratch is pooled again.
+type vertexArena struct {
+	blocks [][]graph.VertexID
+	cur    int
+	off    int
+}
+
+const arenaBlockLen = 4096
+
+func (a *vertexArena) reset() { a.cur, a.off = 0, 0 }
+
+func (a *vertexArena) alloc(n int) []graph.VertexID {
+	if n > arenaBlockLen {
+		return make([]graph.VertexID, n)
+	}
+	for {
+		if a.cur == len(a.blocks) {
+			a.blocks = append(a.blocks, make([]graph.VertexID, arenaBlockLen))
+		}
+		if a.off+n <= arenaBlockLen {
+			b := a.blocks[a.cur][a.off : a.off+n : a.off+n]
+			a.off += n
+			return b
+		}
+		a.cur++
+		a.off = 0
+	}
+}
+
+// joinSimple concatenates prefix and seg (which must start at prefix's last
+// vertex) when the joined path is simple, allocating the joined sequence from
+// the arena.  The simplicity test is a quadratic scan — paths are tens of
+// vertices, so scanning beats the map the former Concat+IsSimple pair built —
+// and it runs before any allocation, so rejected combinations are free.
+func joinSimple(a *vertexArena, prefix, seg graph.Path) (graph.Path, bool) {
+	pv, sv := prefix.Vertices, seg.Vertices
+	if len(pv) == 0 || len(sv) == 0 || pv[len(pv)-1] != sv[0] {
+		return graph.Path{}, false
+	}
+	for _, u := range sv[1:] {
+		for _, w := range pv {
+			if u == w {
+				return graph.Path{}, false
+			}
+		}
+	}
+	out := a.alloc(len(pv) + len(sv) - 1)
+	copy(out, pv)
+	copy(out[len(pv):], sv[1:])
+	return graph.Path{Vertices: out, Dist: prefix.Dist + seg.Dist}, true
+}
+
+// insertTopK inserts p into the ascending-ordered list, keeping at most k
+// entries, and reports whether p entered.  Entries below index frozen are
+// settled (already streamed to a client) and are never displaced: an
+// epsilon-tied candidate that would sort before them is placed at frozen
+// instead, which is sound because ties are interchangeable under the
+// multiset-of-lengths contract.
+func insertTopK(list []graph.Path, p graph.Path, k, frozen int) ([]graph.Path, bool) {
+	pos := sort.Search(len(list), func(i int) bool { return graph.ComparePaths(list[i], p) > 0 })
+	if pos < frozen {
+		pos = frozen
+	}
+	if len(list) < k {
+		list = append(list, graph.Path{})
+		copy(list[pos+1:], list[pos:])
+		list[pos] = p
+		return list, true
+	}
+	if pos >= k {
+		return list, false
+	}
+	copy(list[pos+1:k], list[pos:k-1])
+	list[pos] = p
+	return list, true
+}
+
+func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.VertexID, k int, yield func(graph.Path) error) (res Result, err error) {
 	start := time.Now()
+	// Elapsed is set on every return path — error, cancellation, or success —
+	// so latency stats never observe zero-duration queries.
+	defer func() { res.Elapsed = time.Since(start) }()
 	if iv == nil {
 		iv = e.index.CurrentView()
 	}
-	res := Result{Epoch: iv.Epoch()}
+	res = Result{Epoch: iv.Epoch()}
 	parent := e.index.Partition().Parent()
 	if k <= 0 {
 		return res, fmt.Errorf("core: k must be positive, got %d", k)
@@ -157,12 +321,24 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 	if int(s) < 0 || int(s) >= n || int(t) < 0 || int(t) >= n {
 		return res, fmt.Errorf("core: query endpoints (%d,%d) outside [0,%d)", s, t, n)
 	}
+	// emit forwards a settled path to the streaming observer.  A failed yield
+	// on a canceled context reports the cancellation, not the write error it
+	// caused downstream — callers (and the serve layer's Canceled counter)
+	// care about the root cause.
+	emit := func(p graph.Path) error {
+		if err := yield(p); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return err
+		}
+		return nil
+	}
 	if s == t {
 		res.Paths = []graph.Path{{Vertices: []graph.VertexID{s}}}
 		res.Converged = true
-		res.Elapsed = time.Since(start)
 		if yield != nil {
-			if err := yield(res.Paths[0]); err != nil {
+			if err := emit(res.Paths[0]); err != nil {
 				return res, err
 			}
 		}
@@ -174,29 +350,35 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 		return res, err
 	}
 
+	sc := getEngineScratch()
+	defer engineScratchPool.Put(sc)
+
 	gen := shortest.NewGenerator(view, sAug, tAug, nil)
-	pairCache := make(map[PairRequest][]graph.Path)
-	resultSet := make(map[string]bool)
-	var list []graph.Path
+	list := sc.list
 
 	ref, ok := gen.Next()
 	if !ok {
 		// No reference path: s and t are disconnected (also under the
 		// skeleton abstraction).  Return an empty (and exact) result.
 		res.Converged = true
-		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 	asyncProvider, _ := e.provider.(AsyncPartialProvider)
 	maxIter := e.opts.maxIterations()
-	emitted := 0 // prefix of list already streamed through yield
+	stallWindow := e.opts.stallWindow()
+	minImprove := e.opts.stallImprovement()
+	bestGap := math.Inf(1)
+	stall := 0
+	lastBound := math.NaN() // lower bound of the last unexplored reference path
+	emitted := 0            // settled prefix of list already streamed through yield
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		res.Iterations++
-		seq := toGlobal(ref)
-		missing := e.missingPairs(seq, pairCache)
+		sc.seqBuf = toGlobal(ref, sc.seqBuf[:0])
+		seq := sc.seqBuf
+		missing := e.missingPairs(sc, seq)
 
 		// Refine: with an asynchronous provider the request is issued first
 		// and the next iteration's filter step (reference-path generation on
@@ -212,7 +394,7 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 					return res, err
 				}
 				for _, pr := range missing {
-					pairCache[pr] = partials[pr]
+					sc.pairCache[pr] = partials[pr]
 				}
 			}
 			res.PairsRefined += len(missing)
@@ -231,25 +413,19 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 					return res, reply.Err
 				}
 				for _, pr := range missing {
-					pairCache[pr] = reply.Paths[pr]
+					sc.pairCache[pr] = reply.Paths[pr]
 				}
 			case <-ctx.Done():
 				return res, ctx.Err()
 			}
 		}
 
-		candidates := e.joinCandidates(seq, k, pairCache, &res)
+		candidates := e.joinCandidates(sc, seq, k, &res)
 		for _, c := range candidates {
-			key := graph.PathKey(c)
-			if resultSet[key] {
+			if !sc.resultSet.Add(c) {
 				continue
 			}
-			resultSet[key] = true
-			list = append(list, c)
-		}
-		sort.Slice(list, func(i, j int) bool { return graph.ComparePaths(list[i], list[j]) < 0 })
-		if len(list) > k {
-			list = list[:k]
+			list, _ = insertTopK(list, c, k, emitted)
 		}
 
 		if !okNext {
@@ -258,19 +434,37 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 			res.Converged = true
 			break
 		}
+		lastBound = next.Dist
 		if len(list) >= k && list[k-1].Dist <= next.Dist+1e-9 {
 			// Theorem 3 termination: the k-th result is at least as short as
 			// the next reference path's lower bound.
 			res.Converged = true
 			break
 		}
+		if stallWindow > 0 && len(list) >= k {
+			// Adaptive iteration budget: every unexplored candidate is at
+			// least next.Dist long, so the k results in hand are within
+			// gap of exact.  When that gap stops shrinking meaningfully for
+			// a whole window, further iterations are near-pure latency —
+			// terminate with the bound instead of spinning toward the cap.
+			gap := list[k-1].Dist - next.Dist
+			if gap < bestGap*(1-minImprove) {
+				bestGap, stall = gap, 0
+			} else if stall++; stall >= stallWindow {
+				res.Converged = true
+				res.BoundGap = gap
+				break
+			}
+		}
 		if yield != nil {
 			// Stream the settled prefix: every future candidate joins along a
 			// reference path of lower-bound distance >= next.Dist, so entries
-			// strictly below that bound can no longer be displaced or
-			// reordered (sorting is by distance first) — they are final.
-			for emitted < len(list) && list[emitted].Dist < next.Dist-1e-9 {
-				if err := yield(list[emitted]); err != nil {
+			// at or below that bound (same epsilon as the Theorem 3 test, so
+			// tied-distance paths are not held back) can no longer be beaten
+			// by a strictly shorter candidate.  insertTopK freezes the
+			// emitted prefix against epsilon-tied reorderings.
+			for emitted < len(list) && list[emitted].Dist <= next.Dist+1e-9 {
+				if err := emit(list[emitted].Clone()); err != nil {
 					return res, err
 				}
 				emitted++
@@ -278,11 +472,23 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 		}
 		ref = next
 	}
-	res.Paths = list
-	res.Elapsed = time.Since(start)
+	if !res.Converged && len(list) >= k && !math.IsNaN(lastBound) {
+		// The MaxIterations safety valve fired with k candidates in hand:
+		// report the same principled near-exact bound the adaptive budget
+		// would have, instead of a bare truncation.
+		res.Converged = true
+		res.BoundGap = math.Max(list[k-1].Dist-lastBound, 0)
+	}
+	// The working list is arena/scratch-backed; deep-copy the winners so the
+	// scratch can be pooled while the result outlives the query.
+	res.Paths = make([]graph.Path, len(list))
+	for i, p := range list {
+		res.Paths[i] = p.Clone()
+	}
+	sc.list = list[:0]
 	if yield != nil {
-		for ; emitted < len(list); emitted++ {
-			if err := yield(list[emitted]); err != nil {
+		for ; emitted < len(res.Paths); emitted++ {
+			if err := emit(res.Paths[emitted]); err != nil {
 				return res, err
 			}
 		}
@@ -293,9 +499,10 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 // buildAugmentedSkeleton maps the query endpoints onto the skeleton graph,
 // attaching non-boundary endpoints per Section 5.3.  It returns the weighted
 // view to search, the augmented source/target ids, and a translator from a
-// path over augmented ids to global vertex ids.  All weights — the skeleton
-// MBDs and the attachment lower bounds — come from the epoch view.
-func (e *Engine) buildAugmentedSkeleton(iv *dtlp.IndexView, s, t graph.VertexID) (graph.WeightedView, graph.VertexID, graph.VertexID, func(graph.Path) []graph.VertexID, error) {
+// path over augmented ids to global vertex ids (appending into the caller's
+// buffer).  All weights — the skeleton MBDs and the attachment lower bounds —
+// come from the epoch view.
+func (e *Engine) buildAugmentedSkeleton(iv *dtlp.IndexView, s, t graph.VertexID) (graph.WeightedView, graph.VertexID, graph.VertexID, func(graph.Path, []graph.VertexID) []graph.VertexID, error) {
 	skel := iv.Skeleton()
 	aug := newAugmentedSkeleton(iv.SkeletonWeights())
 
@@ -346,16 +553,15 @@ func (e *Engine) buildAugmentedSkeleton(iv *dtlp.IndexView, s, t graph.VertexID)
 		}
 	}
 
-	toGlobal := func(p graph.Path) []graph.VertexID {
-		out := make([]graph.VertexID, len(p.Vertices))
-		for i, v := range p.Vertices {
+	toGlobal := func(p graph.Path, buf []graph.VertexID) []graph.VertexID {
+		for _, v := range p.Vertices {
 			if g, ok := extraGlobal[v]; ok {
-				out[i] = g
+				buf = append(buf, g)
 			} else {
-				out[i] = skel.GlobalID(v)
+				buf = append(buf, skel.GlobalID(v))
 			}
 		}
-		return out
+		return buf
 	}
 	return aug, sAug, tAug, toGlobal, nil
 }
@@ -363,63 +569,74 @@ func (e *Engine) buildAugmentedSkeleton(iv *dtlp.IndexView, s, t graph.VertexID)
 // missingPairs returns the adjacent pairs of the reference sequence whose
 // partial k shortest paths are not already in the query-local cache (the
 // Section 5.2 reuse optimisation; DisablePairCache forces a full refetch).
-func (e *Engine) missingPairs(seq []graph.VertexID, cache map[PairRequest][]graph.Path) []PairRequest {
-	var missing []PairRequest
-	seen := make(map[PairRequest]bool)
+// The returned slice is scratch-backed and only valid until the next call.
+func (e *Engine) missingPairs(sc *engineScratch, seq []graph.VertexID) []PairRequest {
+	missing := sc.missing[:0]
+	clear(sc.missingSeen)
 	for i := 0; i+1 < len(seq); i++ {
 		pr := PairRequest{A: seq[i], B: seq[i+1]}
-		if seen[pr] {
+		if _, dup := sc.missingSeen[pr]; dup {
 			continue
 		}
-		if _, ok := cache[pr]; !ok || e.opts.DisablePairCache {
-			seen[pr] = true
+		if _, ok := sc.pairCache[pr]; !ok || e.opts.DisablePairCache {
+			sc.missingSeen[pr] = struct{}{}
 			missing = append(missing, pr)
 		}
 	}
+	sc.missing = missing
 	return missing
 }
 
 // joinCandidates implements the join half of Algorithm 4: with every adjacent
-// pair's partial paths already in the cache, it joins them segment by segment
-// into complete candidate paths from s to t.
-func (e *Engine) joinCandidates(seq []graph.VertexID, k int, cache map[PairRequest][]graph.Path, res *Result) []graph.Path {
+// pair's partial paths already in the scratch pair cache, it joins them
+// segment by segment into complete candidate paths from s to t.  The returned
+// slice and the candidates' vertex sequences are scratch/arena-backed and only
+// valid until the next call.
+func (e *Engine) joinCandidates(sc *engineScratch, seq []graph.VertexID, k int, res *Result) []graph.Path {
 	if len(seq) < 2 {
 		return nil
 	}
 	beam := e.opts.beam(k)
 	// Join segment by segment, keeping the `beam` shortest simple partial
 	// combinations (Algorithm 4 keeps k; a slightly wider beam compensates
-	// for combinations discarded due to vertex overlaps).
-	current := []graph.Path{}
-	first := cache[PairRequest{A: seq[0], B: seq[1]}]
+	// for combinations discarded due to vertex overlaps).  The two join
+	// buffers are reused across segments and across iterations.
+	current := sc.joinCur[:0]
+	first := sc.pairCache[PairRequest{A: seq[0], B: seq[1]}]
 	if len(first) == 0 {
 		return nil
 	}
 	current = append(current, first...)
 	for i := 1; i+1 < len(seq); i++ {
-		segs := cache[PairRequest{A: seq[i], B: seq[i+1]}]
+		segs := sc.pairCache[PairRequest{A: seq[i], B: seq[i+1]}]
 		if len(segs) == 0 {
+			sc.joinCur = current[:0]
 			return nil
 		}
-		var next []graph.Path
+		next := sc.joinNext[:0]
 		for _, prefix := range current {
 			for _, seg := range segs {
-				joined, err := prefix.Concat(seg)
-				if err != nil || !joined.IsSimple() {
+				joined, ok := joinSimple(&sc.arena, prefix, seg)
+				if !ok {
 					continue
 				}
 				next = append(next, joined)
 			}
 		}
 		if len(next) == 0 {
+			sc.joinCur, sc.joinNext = current[:0], next
 			return nil
 		}
 		sort.Slice(next, func(a, b int) bool { return graph.ComparePaths(next[a], next[b]) < 0 })
 		if len(next) > beam {
 			next = next[:beam]
 		}
+		// Swap buffers: next becomes current, current's storage is reused
+		// for the following segment's combinations.
+		sc.joinNext = current
 		current = next
 	}
+	sc.joinCur = current
 	res.CandidatesGenerated += len(current)
 	if len(current) > k {
 		current = current[:k]

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -379,11 +381,12 @@ func TestPropertyKSPDGMatchesOracle(t *testing.T) {
 	}
 }
 
-// TestResultConverged pins the Converged contract: a query that terminates
-// through the Theorem 3 bound (or by exhausting the generator) reports
-// Converged, and the same query rerun with an iteration cap below its
-// natural iteration count reports a truncated, non-converged result instead
-// of silently passing it off as exact.
+// TestResultConverged pins the Converged/BoundGap contract: a query that
+// terminates through the Theorem 3 bound (or by exhausting the generator)
+// reports Converged with a zero BoundGap (exact), and the same query rerun
+// with an iteration cap below its natural iteration count must not pass the
+// result off as exact — it either reports a positive BoundGap (near-exact
+// with k paths in hand) or drops Converged (genuinely truncated below k).
 func TestResultConverged(t *testing.T) {
 	g := testutil.PaperGraph(t)
 	_, x, e := buildEngine(t, g, 6, 2)
@@ -395,6 +398,9 @@ func TestResultConverged(t *testing.T) {
 	if !res.Converged {
 		t.Fatalf("uncapped query should converge (%d iterations)", res.Iterations)
 	}
+	if res.BoundGap != 0 {
+		t.Fatalf("uncapped query should be exact, got BoundGap %g", res.BoundGap)
+	}
 	if res.Iterations < 2 {
 		t.Skipf("query converged in %d iteration(s); cannot exercise the cap", res.Iterations)
 	}
@@ -404,8 +410,11 @@ func TestResultConverged(t *testing.T) {
 	if err != nil {
 		t.Fatalf("capped Query: %v", err)
 	}
-	if cres.Converged {
-		t.Fatalf("query capped at %d iterations must not report convergence", res.Iterations-1)
+	if cres.Converged && cres.BoundGap == 0 {
+		t.Fatalf("query capped at %d iterations must not claim an exact result", res.Iterations-1)
+	}
+	if !cres.Converged && cres.BoundGap != 0 {
+		t.Fatalf("truncated result must not carry a bound gap, got %g", cres.BoundGap)
 	}
 	if cres.Iterations != res.Iterations-1 {
 		t.Errorf("capped query ran %d iterations, want %d", cres.Iterations, res.Iterations-1)
@@ -418,5 +427,129 @@ func TestResultConverged(t *testing.T) {
 	}
 	if !same.Converged {
 		t.Error("s == t query should report convergence")
+	}
+}
+
+// TestStreamTiedImmediate pins the streaming emission epsilon to the one
+// Theorem 3 uses: a settled path whose distance ties the next reference
+// path's lower bound must stream immediately, not wait for the final flush.
+//
+// The graph has three tied parallel s-t paths of length 2 plus one longer
+// chain, partitioned at z=2 so every vertex is a boundary vertex and the
+// skeleton reference paths carry exact distances.  With k=4 the query needs
+// several iterations, but after the first one a length-2 path is already in
+// hand while the next reference path's bound is also exactly 2 — settled
+// only under the tie-inclusive (<= bound + eps) test.  A yield that aborts
+// on its first call must therefore abort the query inside iteration 1; an
+// emitter that held tied paths back to the flush would run all iterations
+// first.
+func TestStreamTiedImmediate(t *testing.T) {
+	b := graph.NewBuilder(9, false)
+	s, tt := graph.VertexID(0), graph.VertexID(1)
+	for _, m := range []graph.VertexID{2, 3, 4} {
+		b.AddEdge(s, m, 1)
+		b.AddEdge(m, tt, 1)
+	}
+	chain := []graph.VertexID{s, 5, 6, 7, 8, tt}
+	for i := 0; i+1 < len(chain); i++ {
+		b.AddEdge(chain[i], chain[i+1], 1)
+	}
+	g := b.Build()
+	_, x, eng := buildEngine(t, g, 2, 2)
+	iv := x.CurrentView()
+	const k = 4
+	ctx := context.Background()
+
+	var streamed []graph.Path
+	res, err := eng.StreamView(ctx, iv, s, tt, k, func(p graph.Path) error {
+		streamed = append(streamed, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamView: %v", err)
+	}
+	if !res.Converged || res.BoundGap != 0 {
+		t.Fatalf("Converged=%v BoundGap=%g, want an exact result", res.Converged, res.BoundGap)
+	}
+	wantDists := []float64{2, 2, 2, 5}
+	if len(res.Paths) != len(wantDists) {
+		t.Fatalf("got %d paths, want %d: %v", len(res.Paths), len(wantDists), res.Paths)
+	}
+	for i, d := range wantDists {
+		if math.Abs(res.Paths[i].Dist-d) > 1e-9 {
+			t.Errorf("path %d dist = %g, want %g", i, res.Paths[i].Dist, d)
+		}
+	}
+	// The stream is exactly Result.Paths, in order: the frozen emitted prefix
+	// guarantees tied-distance late arrivals cannot displace streamed paths.
+	if len(streamed) != len(res.Paths) {
+		t.Fatalf("streamed %d paths, result has %d", len(streamed), len(res.Paths))
+	}
+	for i := range streamed {
+		if !streamed[i].Equal(res.Paths[i]) {
+			t.Errorf("streamed path %d = %v, result path = %v", i, streamed[i], res.Paths[i])
+		}
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("query converged in %d iterations; the construction no longer separates emission from termination", res.Iterations)
+	}
+
+	sentinel := errors.New("stop streaming")
+	ares, aerr := eng.StreamView(ctx, iv, s, tt, k, func(graph.Path) error { return sentinel })
+	if !errors.Is(aerr, sentinel) {
+		t.Fatalf("aborting yield returned %v, want the sentinel", aerr)
+	}
+	if ares.Iterations != 1 {
+		t.Errorf("aborting yield stopped the query after %d of %d iterations; a tied-distance settled path did not stream immediately",
+			ares.Iterations, res.Iterations)
+	}
+}
+
+// TestStreamTiedWeightsRandom hammers the streaming contract on a
+// unit-weight random graph, where nearly every pair of path distances ties:
+// for every query the yielded sequence must be exactly Result.Paths in
+// non-decreasing distance order, and the result must stay exact.
+func TestStreamTiedWeightsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 24
+	g := testutil.RandomConnected(rng, n, 30)
+	unit := make([]graph.WeightUpdate, g.NumEdges())
+	for e := range unit {
+		unit[e] = graph.WeightUpdate{Edge: graph.EdgeID(e), NewWeight: 1}
+	}
+	if err := g.ApplyUpdates(unit); err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
+	_, x, eng := buildEngine(t, g, 5, 2)
+	iv := x.CurrentView()
+	const k = 6
+	for trial := 0; trial < 30; trial++ {
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		var streamed []graph.Path
+		res, err := eng.StreamView(context.Background(), iv, s, tt, k, func(p graph.Path) error {
+			streamed = append(streamed, p)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("StreamView(%d,%d): %v", s, tt, err)
+		}
+		if res.BoundGap != 0 {
+			t.Errorf("query(%d,%d): BoundGap=%g on a graph the engine solves exactly", s, tt, res.BoundGap)
+		}
+		if len(streamed) != len(res.Paths) {
+			t.Fatalf("query(%d,%d): streamed %d paths, result has %d", s, tt, len(streamed), len(res.Paths))
+		}
+		for i := range streamed {
+			if !streamed[i].Equal(res.Paths[i]) {
+				t.Errorf("query(%d,%d): streamed path %d = %v, result path = %v", s, tt, i, streamed[i], res.Paths[i])
+			}
+			if i > 0 && streamed[i].Dist < streamed[i-1].Dist-1e-9 {
+				t.Errorf("query(%d,%d): stream order regressed at %d: %g after %g", s, tt, i, streamed[i].Dist, streamed[i-1].Dist)
+			}
+		}
 	}
 }

@@ -150,13 +150,25 @@ func PartialKSPForPairView(iv *dtlp.IndexView, pr PairRequest, k int) []graph.Pa
 	return partialKSPForPair(iv.Partition(), pr, k, iv.SubgraphWeights)
 }
 
+// pairSeenPool recycles the dedup sets used when a pair's endpoints share
+// more than one subgraph; the common single-subgraph case skips dedup (and
+// the merge sort) entirely, since one Yen call cannot produce duplicates and
+// already emits in ascending order.
+var pairSeenPool = sync.Pool{New: func() interface{} { return new(graph.PathSet) }}
+
 func partialKSPForPair(part *partition.Partition, pr PairRequest, k int, weights subgraphWeightsFn) []graph.Path {
 	if pr.A == pr.B {
 		return []graph.Path{{Vertices: []graph.VertexID{pr.A}}}
 	}
+	ids := part.CommonSubgraphs(pr.A, pr.B)
 	var merged []graph.Path
-	seen := make(map[string]bool)
-	for _, id := range part.CommonSubgraphs(pr.A, pr.B) {
+	var seen *graph.PathSet
+	if len(ids) > 1 {
+		seen = pairSeenPool.Get().(*graph.PathSet)
+		seen.Reset()
+		defer pairSeenPool.Put(seen)
+	}
+	for _, id := range ids {
 		sub := part.Subgraph(id)
 		la, okA := sub.ToLocal(pr.A)
 		lb, okB := sub.ToLocal(pr.B)
@@ -165,15 +177,15 @@ func partialKSPForPair(part *partition.Partition, pr PairRequest, k int, weights
 		}
 		for _, lp := range shortest.Yen(weights(id), la, lb, k, nil) {
 			gp := sub.GlobalPath(lp)
-			key := graph.PathKey(gp)
-			if seen[key] {
+			if seen != nil && !seen.Add(gp) {
 				continue
 			}
-			seen[key] = true
 			merged = append(merged, gp)
 		}
 	}
-	sort.Slice(merged, func(i, j int) bool { return graph.ComparePaths(merged[i], merged[j]) < 0 })
+	if len(ids) > 1 {
+		sort.Slice(merged, func(i, j int) bool { return graph.ComparePaths(merged[i], merged[j]) < 0 })
+	}
 	if len(merged) > k {
 		merged = merged[:k]
 	}

@@ -307,11 +307,15 @@ type queryRequest struct {
 }
 
 type queryResponse struct {
-	Paths      []pathJSON `json:"paths"`
-	Epoch      uint64     `json:"epoch"`
-	Converged  bool       `json:"converged"`
-	Iterations int        `json:"iterations"`
-	ElapsedUs  int64      `json:"elapsed_us"`
+	Paths     []pathJSON `json:"paths"`
+	Epoch     uint64     `json:"epoch"`
+	Converged bool       `json:"converged"`
+	// BoundGap is 0 for exact answers; positive when the adaptive iteration
+	// budget terminated the search early, in which case every returned
+	// distance is within BoundGap of its exact counterpart.
+	BoundGap   float64 `json:"bound_gap,omitempty"`
+	Iterations int     `json:"iterations"`
+	ElapsedUs  int64   `json:"elapsed_us"`
 }
 
 type updateJSON struct {
@@ -404,6 +408,7 @@ func toQueryResponse(res core.Result) queryResponse {
 		Paths:      make([]pathJSON, 0, len(res.Paths)),
 		Epoch:      res.Epoch,
 		Converged:  res.Converged,
+		BoundGap:   res.BoundGap,
 		Iterations: res.Iterations,
 		ElapsedUs:  res.Elapsed.Microseconds(),
 	}
@@ -422,6 +427,7 @@ type streamLine struct {
 	Done       bool      `json:"done,omitempty"`
 	Epoch      uint64    `json:"epoch"`
 	Converged  bool      `json:"converged"`
+	BoundGap   float64   `json:"bound_gap,omitempty"`
 	Paths      int       `json:"paths"`
 	Iterations int       `json:"iterations"`
 	Error      string    `json:"error,omitempty"`
@@ -432,12 +438,13 @@ type pathLine struct {
 }
 
 type doneLine struct {
-	Done       bool   `json:"done"`
-	Epoch      uint64 `json:"epoch"`
-	Converged  bool   `json:"converged"`
-	Paths      int    `json:"paths"`
-	Iterations int    `json:"iterations"`
-	Error      string `json:"error,omitempty"`
+	Done       bool    `json:"done"`
+	Epoch      uint64  `json:"epoch"`
+	Converged  bool    `json:"converged"`
+	BoundGap   float64 `json:"bound_gap,omitempty"`
+	Paths      int     `json:"paths"`
+	Iterations int     `json:"iterations"`
+	Error      string  `json:"error,omitempty"`
 }
 
 func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
@@ -494,6 +501,7 @@ func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
 		Done:       true,
 		Epoch:      res.Epoch,
 		Converged:  res.Converged,
+		BoundGap:   res.BoundGap,
 		Paths:      len(res.Paths),
 		Iterations: res.Iterations,
 	})
@@ -627,8 +635,14 @@ func (g *Gateway) registerMetrics() {
 	r.CounterFunc("kspd_coalesced_queries_total", "Queries that joined an identical in-flight query.",
 		stats(func(s serve.Stats) int64 { return s.Coalesced }))
 	r.CounterFunc("kspd_nonconverged_queries_total",
-		"Queries that hit the iteration safety cap instead of the Theorem 3 bound (possibly truncated results).",
+		"Queries cut off with fewer than k proven candidates (possibly truncated results).",
 		stats(func(s serve.Stats) int64 { return s.NonConverged }))
+	r.CounterFunc("kspd_budget_terminated_total",
+		"Queries the adaptive iteration budget terminated early with a near-exact answer (k paths within a reported bound gap).",
+		stats(func(s serve.Stats) int64 { return s.BudgetTerminated }))
+	r.GaugeFunc("kspd_max_bound_gap",
+		"Largest bound gap observed across budget-terminated queries since start.",
+		func() float64 { return g.srv.Stats().MaxBoundGap })
 	r.CounterFunc("kspd_canceled_queries_total",
 		"Queries abandoned by cancellation or deadline expiry.",
 		stats(func(s serve.Stats) int64 { return s.Canceled }))

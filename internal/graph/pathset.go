@@ -1,0 +1,69 @@
+package graph
+
+// PathSet is an allocation-lean set of vertex sequences, used on every hot
+// dedup path (Yen's candidate generation, the engine's result fold, partial
+// path merging).  Compared to a plain map[string]bool keyed by PathKey it
+// avoids the per-probe string allocation: the candidate's key is packed into
+// a reusable scratch buffer and membership is tested with a non-allocating
+// map lookup (the compiler elides the []byte→string conversion for lookups).
+// Only a genuinely new entry pays one string allocation when it is inserted.
+//
+// The zero value is ready to use.  PathSet is not safe for concurrent use.
+type PathSet struct {
+	m       map[string]struct{}
+	scratch []byte
+}
+
+// packSeq packs a vertex sequence into the reusable scratch buffer using the
+// same little-endian layout as PathKey, so PathSet and PathKey keys agree.
+func (s *PathSet) packSeq(verts []VertexID) []byte {
+	need := len(verts) * 4
+	if cap(s.scratch) < need {
+		s.scratch = make([]byte, need)
+	}
+	b := s.scratch[:need]
+	for i, v := range verts {
+		b[i*4] = byte(v)
+		b[i*4+1] = byte(v >> 8)
+		b[i*4+2] = byte(v >> 16)
+		b[i*4+3] = byte(v >> 24)
+	}
+	return b
+}
+
+// Len returns the number of sequences in the set.
+func (s *PathSet) Len() int { return len(s.m) }
+
+// Reset empties the set while keeping its allocations for reuse.
+func (s *PathSet) Reset() {
+	clear(s.m)
+}
+
+// Contains reports whether the path's vertex sequence is in the set.
+func (s *PathSet) Contains(p Path) bool { return s.ContainsSeq(p.Vertices) }
+
+// ContainsSeq reports whether the vertex sequence is in the set without
+// allocating.
+func (s *PathSet) ContainsSeq(verts []VertexID) bool {
+	if s.m == nil {
+		return false
+	}
+	_, ok := s.m[string(s.packSeq(verts))]
+	return ok
+}
+
+// Add inserts the path's vertex sequence, reporting whether it was new.
+func (s *PathSet) Add(p Path) bool { return s.AddSeq(p.Vertices) }
+
+// AddSeq inserts a vertex sequence, reporting whether it was new.  Only a
+// new sequence allocates (the map key string); duplicates are free.
+func (s *PathSet) AddSeq(verts []VertexID) bool {
+	b := s.packSeq(verts)
+	if s.m == nil {
+		s.m = make(map[string]struct{})
+	} else if _, ok := s.m[string(b)]; ok {
+		return false
+	}
+	s.m[string(b)] = struct{}{}
+	return true
+}

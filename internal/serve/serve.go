@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -100,12 +101,23 @@ type Stats struct {
 	UpdateBatches  int64 // update batches applied
 	UpdatesApplied int64 // individual edge updates applied
 	Snapshots      int64 // periodic snapshots written through Options.Store
-	// NonConverged counts successfully answered queries whose search hit the
-	// MaxIterations safety cap instead of the Theorem 3 bound: their paths
-	// may be silently truncated.  A nonzero rate is the observable symptom of
-	// the known iteration-cap outliers, so it is exported through /metrics
-	// rather than left to surface as mysterious multi-minute stalls.
+	// NonConverged counts successfully answered queries whose search was cut
+	// off while it still held fewer than k proven candidates: their paths may
+	// be silently truncated.  With the adaptive iteration budget in place
+	// this should stay at zero in healthy deployments; a nonzero rate means
+	// the MaxIterations safety valve fired before k candidates existed.
 	NonConverged int64
+	// BudgetTerminated counts successfully answered queries the adaptive
+	// iteration budget (or the MaxIterations cap) terminated early with a
+	// principled near-exact answer: k paths, each within Result.BoundGap of
+	// its exact counterpart.  This is the tunable replacement for the old
+	// iteration-cap tail — the former multi-minute outliers now land here,
+	// bounded by core.Options.StallWindow.
+	BudgetTerminated int64
+	// MaxBoundGap is the largest Result.BoundGap observed across
+	// budget-terminated queries since the server started, i.e. the worst
+	// distance overshoot any near-exact answer may have had.
+	MaxBoundGap float64
 	// Canceled counts queries abandoned before completion because their
 	// context was canceled or blew its deadline (including queued queries
 	// whose last waiter hung up before a worker picked them up).
@@ -162,14 +174,16 @@ type Server struct {
 	writeMu       sync.Mutex
 	sinceSnapshot int
 
-	queries      atomic.Int64
-	hits         atomic.Int64
-	coalesced    atomic.Int64
-	batches      atomic.Int64
-	updates      atomic.Int64
-	snapshots    atomic.Int64
-	nonConverged atomic.Int64
-	canceled     atomic.Int64
+	queries          atomic.Int64
+	hits             atomic.Int64
+	coalesced        atomic.Int64
+	batches          atomic.Int64
+	updates          atomic.Int64
+	snapshots        atomic.Int64
+	nonConverged     atomic.Int64
+	budgetTerminated atomic.Int64
+	maxBoundGap      atomic.Uint64 // math.Float64bits, monotonic max
+	canceled         atomic.Int64
 }
 
 type queryKey struct {
@@ -297,6 +311,17 @@ func (s *Server) finish(c *call, res core.Result, err error) {
 	switch {
 	case err == nil && !res.Converged:
 		s.nonConverged.Add(1)
+	case err == nil && res.BoundGap > 0:
+		s.budgetTerminated.Add(1)
+		for {
+			cur := s.maxBoundGap.Load()
+			if res.BoundGap <= math.Float64frombits(cur) {
+				break
+			}
+			if s.maxBoundGap.CompareAndSwap(cur, math.Float64bits(res.BoundGap)) {
+				break
+			}
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.canceled.Add(1)
 	}
@@ -561,6 +586,9 @@ func (s *Server) Stats() Stats {
 		NonConverged:   s.nonConverged.Load(),
 		Canceled:       s.canceled.Load(),
 		Epoch:          s.index.CurrentView().Epoch(),
+
+		BudgetTerminated: s.budgetTerminated.Load(),
+		MaxBoundGap:      math.Float64frombits(s.maxBoundGap.Load()),
 	}
 	if bp, ok := s.provider.(batchStatsProvider); ok {
 		bst := bp.BatchStats()

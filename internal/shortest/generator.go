@@ -12,6 +12,10 @@ import (
 // produce reference paths lazily: each iteration consumes one more reference
 // path and the termination test peeks at the next one, so eagerly computing
 // all of them up front would be wasted work.
+//
+// A Generator keeps one yenScratch for its whole lifetime, so the deviation
+// state (ban maps, dedup set, candidate buffers) is allocated once per query
+// instead of once per spur vertex.
 type Generator struct {
 	view graph.WeightedView
 	s, t graph.VertexID
@@ -19,14 +23,14 @@ type Generator struct {
 
 	produced   []graph.Path
 	candidates pathHeap
-	seen       map[string]bool
+	ys         *yenScratch
 	exhausted  bool
 	started    bool
 }
 
 // NewGenerator creates a Generator for paths from s to t under opts.
 func NewGenerator(v graph.WeightedView, s, t graph.VertexID, opts *Options) *Generator {
-	return &Generator{view: v, s: s, t: t, opts: opts, seen: make(map[string]bool)}
+	return &Generator{view: v, s: s, t: t, opts: opts, ys: newYenScratch()}
 }
 
 // Produced returns the paths generated so far, in order.
@@ -52,61 +56,13 @@ func (g *Generator) Next() (graph.Path, bool) {
 			return graph.Path{}, false
 		}
 		g.produced = append(g.produced, first)
-		g.seen[graph.PathKey(first)] = true
+		g.ys.seen.Add(first)
 		heap.Init(&g.candidates)
 		return first, true
 	}
 	// Deviate from the most recently produced path, then pop the best
 	// candidate accumulated so far.
-	prev := g.produced[len(g.produced)-1]
-	for j := 0; j < prev.Len(); j++ {
-		spur := prev.Vertices[j]
-		rootVerts := prev.Vertices[:j+1]
-
-		banEdges := make(map[graph.EdgeID]bool)
-		if g.opts != nil {
-			for e := range g.opts.ForbiddenEdges {
-				banEdges[e] = true
-			}
-		}
-		for _, p := range g.produced {
-			if p.Len() > j && samePrefix(p.Vertices, rootVerts) {
-				if e, ok := g.view.EdgeBetween(p.Vertices[j], p.Vertices[j+1]); ok {
-					banEdges[e] = true
-				}
-			}
-		}
-		banVerts := make(map[graph.VertexID]bool)
-		if g.opts != nil {
-			for u := range g.opts.ForbiddenVertices {
-				banVerts[u] = true
-			}
-		}
-		for _, u := range rootVerts[:j] {
-			banVerts[u] = true
-		}
-
-		spurOpts := &Options{ForbiddenVertices: banVerts, ForbiddenEdges: banEdges}
-		if g.opts != nil {
-			spurOpts.Weight = g.opts.Weight
-		}
-		spurPath, ok := ShortestPath(g.view, spur, g.t, spurOpts)
-		if !ok {
-			continue
-		}
-		rootPath := graph.Path{Vertices: append([]graph.VertexID(nil), rootVerts...)}
-		rootPath.Dist = pathDist(g.view, rootPath.Vertices, g.opts)
-		total, err := rootPath.Concat(spurPath)
-		if err != nil || !total.IsSimple() {
-			continue
-		}
-		key := graph.PathKey(total)
-		if g.seen[key] {
-			continue
-		}
-		g.seen[key] = true
-		heap.Push(&g.candidates, total)
-	}
+	g.ys.deviate(g.view, g.t, g.produced, g.opts, &g.candidates)
 	if g.candidates.Len() == 0 {
 		g.exhausted = true
 		return graph.Path{}, false

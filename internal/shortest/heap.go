@@ -21,6 +21,12 @@ func newVertexHeap(capHint int) *vertexHeap {
 
 func (h *vertexHeap) len() int { return len(h.vs) }
 
+// reset empties the heap while keeping its backing arrays for reuse.
+func (h *vertexHeap) reset() {
+	h.vs = h.vs[:0]
+	h.ps = h.ps[:0]
+}
+
 func (h *vertexHeap) push(v graph.VertexID, p float64) {
 	h.vs = append(h.vs, v)
 	h.ps = append(h.ps, p)

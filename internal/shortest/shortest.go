@@ -13,6 +13,7 @@ package shortest
 
 import (
 	"math"
+	"sync"
 
 	"kspdg/internal/graph"
 )
@@ -91,69 +92,138 @@ func Dijkstra(v graph.WeightedView, s graph.VertexID, opts *Options) *Tree {
 
 // ShortestPath computes one shortest path from s to t under opts.  The search
 // stops as soon as t is settled.  The second return value is false if t is
-// unreachable.
+// unreachable.  The search runs on pooled scratch state, so only the
+// returned path itself allocates.
 func ShortestPath(v graph.WeightedView, s, t graph.VertexID, opts *Options) (graph.Path, bool) {
 	if s == t {
 		return graph.Path{Vertices: []graph.VertexID{s}}, true
 	}
-	tree := dijkstra(v, s, t, opts)
-	return tree.PathTo(t)
+	sc := getScratch(v.NumVertices())
+	sc.run(v, s, t, opts)
+	p, ok := sc.pathTo(s, t)
+	putScratch(sc)
+	return p, ok
 }
 
 // ShortestDistance returns only the shortest distance from s to t, or +Inf if
-// t is unreachable.
+// t is unreachable.  Like ShortestPath it runs on pooled scratch state; it
+// never allocates.
 func ShortestDistance(v graph.WeightedView, s, t graph.VertexID, opts *Options) float64 {
 	if s == t {
 		return 0
 	}
-	tree := dijkstra(v, s, t, opts)
-	return tree.Dist[t]
+	sc := getScratch(v.NumVertices())
+	sc.run(v, s, t, opts)
+	d := sc.dist[t]
+	putScratch(sc)
+	return d
 }
 
-// dijkstra runs Dijkstra's algorithm from s.  If target is a valid vertex the
-// search terminates once target is settled (its distance is then exact);
-// distances of unsettled vertices are upper bounds in that case.
+// dijkstra runs Dijkstra's algorithm from s into a freshly allocated Tree.
+// If target is a valid vertex the search terminates once target is settled
+// (its distance is then exact); distances of unsettled vertices are upper
+// bounds in that case.
 func dijkstra(v graph.WeightedView, s, target graph.VertexID, opts *Options) *Tree {
-	n := v.NumVertices()
+	sc := getScratch(v.NumVertices())
+	sc.run(v, s, target, opts)
 	t := &Tree{
 		Source:     s,
-		Dist:       make([]float64, n),
-		Parent:     make([]graph.VertexID, n),
-		ParentEdge: make([]graph.EdgeID, n),
+		Dist:       append([]float64(nil), sc.dist...),
+		Parent:     append([]graph.VertexID(nil), sc.parent...),
+		ParentEdge: append([]graph.EdgeID(nil), sc.parentEdge...),
 	}
-	inf := math.Inf(1)
-	for i := range t.Dist {
-		t.Dist[i] = inf
-		t.Parent[i] = graph.NoVertex
-		t.ParentEdge[i] = graph.NoEdge
-	}
-	weight := opts.weightFn(v)
-	t.Dist[s] = 0
+	putScratch(sc)
+	return t
+}
 
-	pq := newVertexHeap(n)
+// searchScratch is the reusable working state of one Dijkstra search.  Yen's
+// algorithm runs O(k·len) searches per call and the engine's refine step runs
+// Yen per subgraph per pair, so allocating this state per search dominated
+// the query path's allocation profile; a sync.Pool amortises it to zero in
+// steady state.
+type searchScratch struct {
+	dist       []float64
+	parent     []graph.VertexID
+	parentEdge []graph.EdgeID
+	settled    []bool
+	heap       vertexHeap
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(searchScratch) }}
+
+func getScratch(n int) *searchScratch {
+	sc := scratchPool.Get().(*searchScratch)
+	if cap(sc.dist) < n {
+		sc.dist = make([]float64, n)
+		sc.parent = make([]graph.VertexID, n)
+		sc.parentEdge = make([]graph.EdgeID, n)
+		sc.settled = make([]bool, n)
+	}
+	sc.dist = sc.dist[:n]
+	sc.parent = sc.parent[:n]
+	sc.parentEdge = sc.parentEdge[:n]
+	sc.settled = sc.settled[:n]
+	inf := math.Inf(1)
+	for i := 0; i < n; i++ {
+		sc.dist[i] = inf
+		sc.parent[i] = graph.NoVertex
+		sc.parentEdge[i] = graph.NoEdge
+		sc.settled[i] = false
+	}
+	sc.heap.reset()
+	return sc
+}
+
+func putScratch(sc *searchScratch) { scratchPool.Put(sc) }
+
+// run executes the Dijkstra loop over the scratch arrays.
+func (sc *searchScratch) run(v graph.WeightedView, s, target graph.VertexID, opts *Options) {
+	weight := opts.weightFn(v)
+	sc.dist[s] = 0
+	pq := &sc.heap
 	pq.push(s, 0)
-	settled := make([]bool, n)
 	for pq.len() > 0 {
 		u, du := pq.pop()
-		if settled[u] {
+		if sc.settled[u] {
 			continue
 		}
-		settled[u] = true
+		sc.settled[u] = true
 		if u == target {
 			break
 		}
 		for _, a := range v.Neighbors(u) {
-			if settled[a.To] || opts.vertexForbidden(a.To) || opts.edgeForbidden(a.Edge) {
+			if sc.settled[a.To] || opts.vertexForbidden(a.To) || opts.edgeForbidden(a.Edge) {
 				continue
 			}
 			nd := du + weight(a.Edge)
-			if nd < t.Dist[a.To] {
-				t.Dist[a.To] = nd
-				t.Parent[a.To] = u
-				t.ParentEdge[a.To] = a.Edge
+			if nd < sc.dist[a.To] {
+				sc.dist[a.To] = nd
+				sc.parent[a.To] = u
+				sc.parentEdge[a.To] = a.Edge
 				pq.push(a.To, nd)
 			}
 		}
 	}
-	return t
+}
+
+// pathTo reconstructs the shortest path from s to t out of the scratch
+// arrays, allocating exactly the returned vertex slice.
+func (sc *searchScratch) pathTo(s, t graph.VertexID) (graph.Path, bool) {
+	if math.IsInf(sc.dist[t], 1) {
+		return graph.Path{}, false
+	}
+	depth := 0
+	for u := t; u != graph.NoVertex; u = sc.parent[u] {
+		depth++
+		if u == s {
+			break
+		}
+	}
+	verts := make([]graph.VertexID, depth)
+	i := depth - 1
+	for u := t; i >= 0; u = sc.parent[u] {
+		verts[i] = u
+		i--
+	}
+	return graph.Path{Vertices: verts, Dist: sc.dist[t]}, true
 }

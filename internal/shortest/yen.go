@@ -6,6 +6,109 @@ import (
 	"kspdg/internal/graph"
 )
 
+// yenScratch is the reusable per-call working state of Yen's deviation loop:
+// the ban maps rebuilt for every spur vertex, the candidate vertex buffer, and
+// the dedup set.  Reusing it turns the former per-spur map and key-string
+// allocations into cleared-map writes.
+type yenScratch struct {
+	banVerts   map[graph.VertexID]bool
+	banEdges   map[graph.EdgeID]bool
+	seen       graph.PathSet
+	totalBuf   []graph.VertexID
+	prefixDist []float64
+}
+
+func newYenScratch() *yenScratch {
+	return &yenScratch{
+		banVerts: make(map[graph.VertexID]bool),
+		banEdges: make(map[graph.EdgeID]bool),
+	}
+}
+
+// resetBans clears the ban maps and seeds them from the caller's options.
+func (ys *yenScratch) resetBans(opts *Options) {
+	clear(ys.banVerts)
+	clear(ys.banEdges)
+	if opts != nil {
+		for u := range opts.ForbiddenVertices {
+			ys.banVerts[u] = true
+		}
+		for e := range opts.ForbiddenEdges {
+			ys.banEdges[e] = true
+		}
+	}
+}
+
+// fillPrefixDist computes the cumulative distance of every prefix of verts
+// under the search metric, so each spur iteration reads its root distance in
+// O(1) instead of re-walking the root path.
+func (ys *yenScratch) fillPrefixDist(v graph.WeightedView, verts []graph.VertexID, opts *Options) {
+	weight := opts.weightFn(v)
+	ys.prefixDist = append(ys.prefixDist[:0], 0)
+	for i := 0; i+1 < len(verts); i++ {
+		d := ys.prefixDist[i]
+		if e, ok := v.EdgeBetween(verts[i], verts[i+1]); ok {
+			d += weight(e)
+		}
+		ys.prefixDist = append(ys.prefixDist, d)
+	}
+}
+
+// deviate runs one round of Yen's deviation step: for every spur vertex of
+// prev, search a spur path avoiding the produced paths' deviation edges, and
+// push every new simple candidate onto the heap.  produced must contain prev
+// as its last element.
+func (ys *yenScratch) deviate(v graph.WeightedView, t graph.VertexID, produced []graph.Path, opts *Options, candidates *pathHeap) {
+	prev := produced[len(produced)-1]
+	ys.fillPrefixDist(v, prev.Vertices, opts)
+	spurOpts := &Options{ForbiddenVertices: ys.banVerts, ForbiddenEdges: ys.banEdges}
+	if opts != nil {
+		spurOpts.Weight = opts.Weight
+	}
+	for j := 0; j < prev.Len(); j++ {
+		spur := prev.Vertices[j]
+		rootVerts := prev.Vertices[:j+1]
+
+		ys.resetBans(opts)
+		// Ban the edge that each already-accepted path with the same root
+		// prefix takes out of the spur node, and the root vertices (except
+		// the spur node) so the spur path cannot loop back into the root.
+		for _, p := range produced {
+			if p.Len() > j && samePrefix(p.Vertices, rootVerts) {
+				if e, ok := v.EdgeBetween(p.Vertices[j], p.Vertices[j+1]); ok {
+					ys.banEdges[e] = true
+				}
+			}
+		}
+		for _, u := range rootVerts[:j] {
+			ys.banVerts[u] = true
+		}
+
+		spurPath, ok := ShortestPath(v, spur, t, spurOpts)
+		if !ok {
+			continue
+		}
+		// The root vertices (minus the spur node) were forbidden during the
+		// spur search, so the joined path is simple by construction; the scan
+		// is a cheap guard that costs no allocation, unlike the map-backed
+		// IsSimple it replaces.
+		if seqIntersects(rootVerts[:j], spurPath.Vertices) {
+			continue
+		}
+		ys.totalBuf = append(ys.totalBuf[:0], rootVerts...)
+		ys.totalBuf = append(ys.totalBuf, spurPath.Vertices[1:]...)
+		// Dedup before allocating: a duplicate candidate costs nothing.
+		if !ys.seen.AddSeq(ys.totalBuf) {
+			continue
+		}
+		total := graph.Path{
+			Vertices: append([]graph.VertexID(nil), ys.totalBuf...),
+			Dist:     ys.prefixDist[j] + spurPath.Dist,
+		}
+		heap.Push(candidates, total)
+	}
+}
+
 // Yen computes up to k shortest loopless (simple) paths from s to t in
 // ascending order of distance, following Yen's classic deviation algorithm
 // [Yen 1971].  Fewer than k paths are returned if the graph does not contain
@@ -27,65 +130,13 @@ func Yen(v graph.WeightedView, s, t graph.VertexID, k int, opts *Options) []grap
 		return nil
 	}
 	result := []graph.Path{first}
-	seen := map[string]bool{graph.PathKey(first): true}
+	ys := newYenScratch()
+	ys.seen.Add(first)
 	candidates := &pathHeap{}
 	heap.Init(candidates)
 
 	for len(result) < k {
-		prev := result[len(result)-1]
-		// Deviate from every spur node of the previously found path.
-		for j := 0; j < prev.Len(); j++ {
-			spur := prev.Vertices[j]
-			rootVerts := prev.Vertices[:j+1]
-
-			banEdges := make(map[graph.EdgeID]bool)
-			if opts != nil {
-				for e := range opts.ForbiddenEdges {
-					banEdges[e] = true
-				}
-			}
-			// Ban the edge that each already-accepted path with the same
-			// root prefix takes out of the spur node.
-			for _, p := range result {
-				if p.Len() > j && samePrefix(p.Vertices, rootVerts) {
-					if e, ok := v.EdgeBetween(p.Vertices[j], p.Vertices[j+1]); ok {
-						banEdges[e] = true
-					}
-				}
-			}
-			// Ban the root path vertices (except the spur node) so the spur
-			// path cannot loop back into the root.
-			banVerts := make(map[graph.VertexID]bool)
-			if opts != nil {
-				for u := range opts.ForbiddenVertices {
-					banVerts[u] = true
-				}
-			}
-			for _, u := range rootVerts[:j] {
-				banVerts[u] = true
-			}
-
-			spurOpts := &Options{ForbiddenVertices: banVerts, ForbiddenEdges: banEdges}
-			if opts != nil {
-				spurOpts.Weight = opts.Weight
-			}
-			spurPath, ok := ShortestPath(v, spur, t, spurOpts)
-			if !ok {
-				continue
-			}
-			rootPath := graph.Path{Vertices: append([]graph.VertexID(nil), rootVerts...)}
-			rootPath.Dist = pathDist(v, rootPath.Vertices, opts)
-			total, err := rootPath.Concat(spurPath)
-			if err != nil || !total.IsSimple() {
-				continue
-			}
-			key := graph.PathKey(total)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			heap.Push(candidates, total)
-		}
+		ys.deviate(v, t, result, opts, candidates)
 		if candidates.Len() == 0 {
 			break
 		}
@@ -108,18 +159,17 @@ func samePrefix(p, prefix []graph.VertexID) bool {
 	return true
 }
 
-// pathDist sums the weights along a vertex sequence under opts.
-func pathDist(v graph.WeightedView, verts []graph.VertexID, opts *Options) float64 {
-	weight := opts.weightFn(v)
-	var d float64
-	for i := 0; i+1 < len(verts); i++ {
-		e, ok := v.EdgeBetween(verts[i], verts[i+1])
-		if !ok {
-			return 0
+// seqIntersects reports whether any vertex of a appears in b.  Paths are
+// short (tens of vertices), so the quadratic scan beats building a set.
+func seqIntersects(a, b []graph.VertexID) bool {
+	for _, u := range a {
+		for _, w := range b {
+			if u == w {
+				return true
+			}
 		}
-		d += weight(e)
 	}
-	return d
+	return false
 }
 
 // pathHeap is a min-heap of candidate paths ordered by ComparePaths.
