@@ -65,6 +65,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -74,6 +75,7 @@ import (
 	"kspdg/internal/dtlp"
 	"kspdg/internal/gateway"
 	"kspdg/internal/graph"
+	"kspdg/internal/metrics"
 	"kspdg/internal/partition"
 	"kspdg/internal/rpcbatch"
 	"kspdg/internal/serve"
@@ -118,6 +120,8 @@ func main() {
 		httpRate   = flag.Float64("http-rate", 100, "per-API-key admission rate in requests/second on the HTTP API (negative disables)")
 		httpBurst  = flag.Int("http-burst", 0, "per-API-key token-bucket burst (0 = the rate)")
 		httpTmout  = flag.Duration("http-timeout", 30*time.Second, "default per-request deadline applied when clients send no Request-Timeout-Ms header (0 = none)")
+		workerPar  = flag.Int("worker-parallelism", 0, "partial-KSP executor width: goroutines one request's pairs (and heavy pairs' per-subgraph searches) fan out across on a worker, or in the master's local refine step (0 = GOMAXPROCS, 1 = sequential)")
+		updatePar  = flag.Int("update-parallelism", 0, "goroutines refreshing affected subgraphs per weight-update batch (0 = GOMAXPROCS, 1 = serial; master mode)")
 	)
 	flag.Parse()
 
@@ -152,7 +156,7 @@ func main() {
 			_, p := deriveDataset(*dataset, *scaleName, *z)
 			part = p
 		}
-		runWorker(part, *workerID, *numWorkers, *replicas, *listen)
+		runWorker(part, *workerID, *numWorkers, *replicas, *listen, *workerPar)
 	case "master":
 		runMaster(masterConfig{
 			dataset:    *dataset,
@@ -185,6 +189,8 @@ func main() {
 			httpRate:   *httpRate,
 			httpBurst:  *httpBurst,
 			httpTmout:  *httpTmout,
+			workerPar:  *workerPar,
+			updatePar:  *updatePar,
 		})
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want worker or master)", *mode))
@@ -229,7 +235,7 @@ func parseScale(name string) (workload.Scale, error) {
 // assignment), the shared replica table above that — every process derives
 // the same table from the same flags, so the master's failover routing and
 // the workers' ownership agree without coordination.
-func runWorker(part *partition.Partition, workerID, numWorkers, replicas int, listen string) {
+func runWorker(part *partition.Partition, workerID, numWorkers, replicas int, listen string, parallelism int) {
 	if numWorkers < 1 || workerID < 0 || workerID >= numWorkers {
 		fatal(fmt.Errorf("invalid worker id %d of %d", workerID, numWorkers))
 	}
@@ -251,11 +257,13 @@ func runWorker(part *partition.Partition, workerID, numWorkers, replicas int, li
 	// A standalone worker maintains its own copy of the weights; incoming
 	// update batches must be applied locally.
 	worker.EnableLocalApply()
+	worker.SetParallelism(parallelism)
 	srv, err := cluster.Serve(listen, worker)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("kspd worker %d: serving %d subgraphs on %s\n", workerID, len(owned), srv.Addr())
+	fmt.Printf("kspd worker %d: serving %d subgraphs on %s (parallelism %d)\n",
+		workerID, len(owned), srv.Addr(), resolveParallelism(parallelism))
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
@@ -292,6 +300,8 @@ type masterConfig struct {
 	httpRate       float64
 	httpBurst      int
 	httpTmout      time.Duration
+	workerPar      int
+	updatePar      int
 }
 
 // runMaster obtains the graph, partition and DTLP index — warm-started from
@@ -353,6 +363,22 @@ func runMaster(cfg masterConfig) {
 			fatal(err)
 		}
 		fmt.Printf("kspd master: snapshot written to %s at epoch %d\n", cfg.dataDir, epoch)
+	}
+
+	// Sharded write-path maintenance (no-op at 0: GOMAXPROCS is the default).
+	index.SetUpdateParallelism(cfg.updatePar)
+
+	// Metrics shared between the batching transport and the HTTP gateway:
+	// every flushed partial-KSP batch feeds the per-pair latency histogram,
+	// one observation per pair it carried.
+	reg := metrics.NewRegistry()
+	pairLat := reg.Histogram("kspd_rpc_pair_seconds",
+		"Partial-KSP round-trip latency per pair (each shipped pair observes its batch's latency).", nil)
+	cfg.batch.Observe = func(pairs int, d time.Duration) {
+		s := d.Seconds()
+		for i := 0; i < pairs; i++ {
+			pairLat.Observe(s)
+		}
 	}
 
 	var provider core.PartialProvider
@@ -429,7 +455,7 @@ func runMaster(cfg masterConfig) {
 		Workers:       cfg.conc,
 		Broadcast:     broadcast,
 		SnapshotEvery: cfg.snapEvery,
-		Engine:        core.Options{MaxIterations: cfg.maxIter, StallWindow: cfg.stallWin},
+		Engine:        core.Options{MaxIterations: cfg.maxIter, StallWindow: cfg.stallWin, Parallelism: cfg.workerPar},
 	}
 	if st != nil {
 		srvOpts.Store = st
@@ -438,7 +464,7 @@ func runMaster(cfg masterConfig) {
 	defer srv.Close()
 
 	if cfg.httpAddr != "" {
-		runHTTP(cfg, srv, index, st, member)
+		runHTTP(cfg, srv, index, st, member, reg)
 		return
 	}
 
@@ -488,12 +514,14 @@ func runMaster(cfg masterConfig) {
 // — stop accepting HTTP, finish in-flight requests, drain the query pool,
 // and write a final snapshot when persistence is configured — so a rolling
 // restart loses neither queries nor durability.
-func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.Store, member *cluster.Membership) {
+func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.Store, member *cluster.Membership, reg *metrics.Registry) {
 	gw := gateway.New(srv, gateway.Options{
-		Rate:           cfg.httpRate,
-		Burst:          cfg.httpBurst,
-		DefaultTimeout: cfg.httpTmout,
-		Membership:     member,
+		Rate:              cfg.httpRate,
+		Burst:             cfg.httpBurst,
+		DefaultTimeout:    cfg.httpTmout,
+		Membership:        member,
+		Registry:          reg,
+		WorkerParallelism: resolveParallelism(cfg.workerPar),
 	})
 	ln, err := net.Listen("tcp", cfg.httpAddr)
 	if err != nil {
@@ -541,6 +569,15 @@ func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.S
 		}
 		fmt.Printf("kspd master: final snapshot written to %s at epoch %d\n", cfg.dataDir, epoch)
 	}
+}
+
+// resolveParallelism reports the effective executor width for a configured
+// value (0 means GOMAXPROCS, matching Worker.SetParallelism).
+func resolveParallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func bestDist(res core.Result) float64 {

@@ -152,6 +152,7 @@ var registry = []experiment{
 	{"fig46", "Relative speedups vs number of servers (Figure 46)", (*Suite).Fig46},
 	{"loadbalance", "Per-worker load spread (Section 6.6)", (*Suite).LoadBalance},
 	{"rpc", "Serialized vs pipelined vs batched master-worker transport", (*Suite).RPCTransports},
+	{"scaling", "Queries/s vs worker parallelism on the batched rpc workload", (*Suite).Scaling},
 	{"gateway", "HTTP gateway latency percentiles under open-loop Poisson load", (*Suite).GatewayBench},
 	{"ablation-vfrag", "Ablation: vfrag bound vs edge-count bound (DESIGN.md #1)", (*Suite).AblationVfrag},
 	{"ablation-mfptree", "Ablation: EP-Index vs MFP-tree compression (DESIGN.md #3)", (*Suite).AblationMFPTree},

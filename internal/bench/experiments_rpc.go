@@ -36,7 +36,9 @@ func (s *Suite) RPCTransports() (*Table, error) {
 	}
 	elapsed := make(map[string]time.Duration)
 	for _, mode := range []string{"serialized", "pipelined", "batched"} {
-		el, st, err := s.runRPCMode(mode)
+		// Parallelism 0: each worker's executor defaults to GOMAXPROCS, the
+		// deployment default (see the scaling experiment for the sweep).
+		el, st, err := s.runRPCMode(mode, 0)
 		if err != nil {
 			return nil, fmt.Errorf("transport %s: %w", mode, err)
 		}
@@ -56,7 +58,9 @@ func (s *Suite) RPCTransports() (*Table, error) {
 }
 
 // runRPCMode deploys one transport mode end to end and replays the workload.
-func (s *Suite) runRPCMode(mode string) (time.Duration, serve.Stats, error) {
+// parallelism is each worker's partial-KSP executor width and the index's
+// update sharding width (0 = GOMAXPROCS).
+func (s *Suite) runRPCMode(mode string, parallelism int) (time.Duration, serve.Stats, error) {
 	ds, err := workload.BuiltinDataset("NY", s.Scale)
 	if err != nil {
 		return 0, serve.Stats{}, err
@@ -70,7 +74,7 @@ func (s *Suite) runRPCMode(mode string) (time.Duration, serve.Stats, error) {
 	if err != nil {
 		return 0, serve.Stats{}, err
 	}
-	index, err := dtlp.Build(part, dtlp.Config{Xi: s.Xi})
+	index, err := dtlp.Build(part, dtlp.Config{Xi: s.Xi, UpdateParallelism: parallelism})
 	if err != nil {
 		return 0, serve.Stats{}, err
 	}
@@ -98,6 +102,7 @@ func (s *Suite) runRPCMode(mode string) (time.Duration, serve.Stats, error) {
 		}
 		worker := cluster.NewWorker(w, part, owned)
 		worker.SetViewResolver(index.ViewAt)
+		worker.SetParallelism(parallelism)
 		srv, err := cluster.Serve("127.0.0.1:0", worker)
 		if err != nil {
 			shutdown()

@@ -37,6 +37,12 @@ type Config struct {
 	// Batch tunes the cross-query coalescing of partial-KSP requests (see
 	// rpcbatch.Options).  Zero values use the rpcbatch defaults.
 	Batch rpcbatch.Options
+	// Parallelism is each worker's partial-KSP executor width: the number of
+	// goroutines one request's pairs (and heavy pairs' per-subgraph
+	// searches) fan out across.  Zero means GOMAXPROCS; 1 forces the
+	// sequential path (right for 1-CPU hosts).  Results are identical at any
+	// width (see Worker.SetParallelism).
+	Parallelism int
 }
 
 // Stats aggregates the communication and load counters of a cluster run.
@@ -102,8 +108,11 @@ func New(index *dtlp.Index, cfg Config) (*Cluster, error) {
 	for w := 0; w < cfg.NumWorkers; w++ {
 		worker := NewWorker(w, part, table.OwnedBy(w))
 		// In-process workers share the master's index, so they can serve
-		// epoch-pinned requests from the retained views.
+		// epoch-pinned requests from the retained views and report real
+		// EP-Index touched-path counts for update batches.
 		worker.SetViewResolver(index.ViewAt)
+		worker.SetTouchedCounter(index.PathsCrossing)
+		worker.SetParallelism(cfg.Parallelism)
 		c.workers = append(c.workers, worker)
 	}
 	// One outbound batching queue per worker, shared by every engine built on

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/testutil"
+)
+
+// TestWorkerParallelMatchesSequential requires the parallel executor to
+// produce byte-identical responses to the sequential path, for every
+// combination of pair fan-out and heavy-pair inner fan-out.
+func TestWorkerParallelMatchesSequential(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]partition.SubgraphID, p.NumSubgraphs())
+	for i := range all {
+		all[i] = partition.SubgraphID(i)
+	}
+	// Every co-located boundary pair, plus one trivial same-vertex pair:
+	// pairs sharing several subgraphs exercise the dedup merge and the inner
+	// per-subgraph fan-out.
+	boundary := p.BoundaryVertices()
+	var pairs []core.PairRequest
+	for i, a := range boundary {
+		for _, b := range boundary[i+1:] {
+			if len(p.CommonSubgraphs(a, b)) > 0 {
+				pairs = append(pairs, core.PairRequest{A: a, B: b})
+			}
+		}
+	}
+	if len(pairs) < 2 {
+		t.Skip("need at least two co-located boundary pairs")
+	}
+	pairs = append(pairs, core.PairRequest{A: boundary[0], B: boundary[0]})
+
+	epoch := x.CurrentView().Epoch()
+	reqs := []PartialKSPRequest{
+		{Pairs: pairs, K: 3},
+		{Pairs: pairs, K: 3, Epoch: epoch, HasEpoch: true},
+		{Pairs: pairs[:1], K: 3}, // single heavy pair: whole budget goes inner
+	}
+	newWorker := func(par int) *Worker {
+		w := NewWorker(0, p, all)
+		w.SetViewResolver(x.ViewAt)
+		w.SetParallelism(par)
+		return w
+	}
+	for _, req := range reqs {
+		want := newWorker(1).HandlePartialKSP(req)
+		for _, par := range []int{2, 4, 8} {
+			got := newWorker(par).HandlePartialKSP(req)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parallelism %d diverges on %d pairs (k=%d, pinned=%v):\n got %+v\nwant %+v",
+					par, len(req.Pairs), req.K, req.HasEpoch, got.Flat, want.Flat)
+			}
+		}
+	}
+}
+
+// TestLocalProviderParallelMatchesSequential mirrors the worker check for the
+// single-process provider, including its inner per-subgraph fan-out.
+func TestLocalProviderParallelMatchesSequential(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p, err := partition.PartitionGraph(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := p.BoundaryVertices()
+	var pairs []core.PairRequest
+	for i, a := range boundary {
+		for _, b := range boundary[i+1:] {
+			if len(p.CommonSubgraphs(a, b)) > 0 {
+				pairs = append(pairs, core.PairRequest{A: a, B: b})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		t.Skip("no co-located boundary pairs")
+	}
+	want, err := core.NewLocalProvider(p, 1).PartialKSP(pairs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		for _, sub := range [][]core.PairRequest{pairs, pairs[:1]} {
+			got, err := core.NewLocalProvider(p, par).PartialKSP(sub, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pr := range sub {
+				if !pathsEqual(got[pr], want[pr]) {
+					t.Fatalf("parallelism %d diverges for pair %v:\n got %v\nwant %v", par, pr, got[pr], want[pr])
+				}
+			}
+		}
+	}
+}
+
+func pathsEqual(a, b []graph.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Dist != b[i].Dist || !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"kspdg/internal/core"
 	"kspdg/internal/dtlp"
@@ -15,6 +17,12 @@ import (
 // epoch is unknown (see dtlp.Index.ViewAt).
 type ViewResolver func(epoch uint64) *dtlp.IndexView
 
+// TouchedCounter reports how many bounding paths a weight-update batch
+// touches (EP-Index entries for the updated edges).  The in-process cluster
+// wires it to dtlp.Index.PathsCrossing; standalone workers without an index
+// leave it unset and report zero.
+type TouchedCounter func(batch []graph.WeightUpdate) int
+
 // Worker is one SubgraphBolt host: it owns a subset of the partition's
 // subgraphs (and their first-level DTLP data, which lives in the shared
 // dtlp.Index in the in-process deployment) and answers partial-KSP and
@@ -23,11 +31,17 @@ type Worker struct {
 	id         int
 	part       *partition.Partition
 	owned      map[partition.SubgraphID]bool
-	views      ViewResolver // nil: serve live weights only
-	applyLocal bool         // standalone worker: apply updates to its own partition copy
+	views      ViewResolver   // nil: serve live weights only
+	touched    TouchedCounter // nil: report zero paths touched
+	applyLocal bool           // standalone worker: apply updates to its own partition copy
+	par        int            // partial-KSP executor width; 0 = GOMAXPROCS
 
-	mu    sync.Mutex
-	stats StatsResponse
+	// Load counters are atomics: with the parallel executor several request
+	// goroutines bump them concurrently, and a shared mutex would serialize
+	// exactly the path the executor parallelizes.
+	requestsServed  atomic.Int64
+	pairsServed     atomic.Int64
+	updatesReceived atomic.Int64
 }
 
 // NewWorker creates a worker owning the given subgraphs of part.
@@ -40,7 +54,6 @@ func NewWorker(id int, part *partition.Partition, owned []partition.SubgraphID) 
 	for _, sg := range owned {
 		w.owned[sg] = true
 	}
-	w.stats = StatsResponse{Worker: id, Subgraphs: len(owned)}
 	return w
 }
 
@@ -67,9 +80,33 @@ func (w *Worker) Owns(id partition.SubgraphID) bool { return w.owned[id] }
 // leave it unset and always serve their latest state.
 func (w *Worker) SetViewResolver(r ViewResolver) { w.views = r }
 
+// SetTouchedCounter wires the EP-Index accounting used by HandleWeightUpdate
+// to report real paths-touched counts instead of zero.
+func (w *Worker) SetTouchedCounter(f TouchedCounter) { w.touched = f }
+
+// SetParallelism sets the width of the worker's partial-KSP executor: the
+// maximum number of goroutines one request's pairs (and, for heavy pairs,
+// their per-subgraph searches) fan out across.  Zero (the default) means
+// GOMAXPROCS; 1 forces the sequential path.  Not safe to call concurrently
+// with request handling.
+func (w *Worker) SetParallelism(n int) { w.par = n }
+
+// parallelism resolves the configured executor width.
+func (w *Worker) parallelism() int {
+	if w.par > 0 {
+		return w.par
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // HandlePartialKSP computes the partial k shortest paths for every requested
 // pair, restricted to the subgraphs this worker owns.  Pairs whose common
 // subgraphs are all hosted elsewhere produce empty results.
+//
+// With parallelism > 1 the pairs fan out across a bounded goroutine pool;
+// each pair's paths land in a result slot indexed by its request position and
+// are appended to the flat encoding serially in request order, so the
+// response is byte-identical to the sequential one.
 func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 	var view *dtlp.IndexView
 	if req.HasEpoch && w.views != nil {
@@ -84,24 +121,70 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 		// not be treated as frozen at the requested epoch.
 		ServedEpoch: view != nil,
 	}
-	for i, pr := range req.Pairs {
-		paths := w.partialForPair(view, pr, req.K)
-		resp.Flat.Counts[i] = int32(len(paths))
-		for _, p := range paths {
-			resp.Flat.appendPath(p)
+	par := w.parallelism()
+	if par <= 1 {
+		for i, pr := range req.Pairs {
+			paths := w.partialForPair(view, pr, req.K, 1)
+			resp.Flat.Counts[i] = int32(len(paths))
+			for _, p := range paths {
+				resp.Flat.appendPath(p)
+			}
+		}
+	} else {
+		// Split the budget: pairs get the outer lanes, and whatever width is
+		// left over per pair goes to its per-subgraph searches.  A request
+		// with fewer pairs than lanes pushes the surplus inward, so a single
+		// heavy pair still uses the whole budget.
+		inner := par / len(req.Pairs)
+		if inner < 1 {
+			inner = 1
+		}
+		outer := par
+		if outer > len(req.Pairs) {
+			outer = len(req.Pairs)
+		}
+		results := make([][]graph.Path, len(req.Pairs))
+		if outer <= 1 {
+			for i, pr := range req.Pairs {
+				results[i] = w.partialForPair(view, pr, req.K, inner)
+			}
+		} else {
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			for g := 0; g < outer; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range jobs {
+						results[i] = w.partialForPair(view, req.Pairs[i], req.K, inner)
+					}
+				}()
+			}
+			for i := range req.Pairs {
+				jobs <- i
+			}
+			close(jobs)
+			wg.Wait()
+		}
+		for i, paths := range results {
+			resp.Flat.Counts[i] = int32(len(paths))
+			for _, p := range paths {
+				resp.Flat.appendPath(p)
+			}
 		}
 	}
-	w.mu.Lock()
-	w.stats.RequestsServed++
-	w.stats.PairsServed += len(req.Pairs)
-	w.mu.Unlock()
+	w.requestsServed.Add(1)
+	w.pairsServed.Add(int64(len(req.Pairs)))
 	return resp
 }
 
 // partialForPair mirrors core.PartialKSPForPair but only searches subgraphs
 // owned by this worker.  With a non-nil view the searches read the epoch's
-// frozen weights; otherwise they read the live subgraph weights.
-func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k int) []graph.Path {
+// frozen weights; otherwise they read the live subgraph weights.  inner is
+// the width available for this pair's per-subgraph searches; results are
+// merged in subgraph-id order through the same dedup set and sort as the
+// sequential path, so the answer is identical either way.
+func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k, inner int) []graph.Path {
 	if pr.A == pr.B {
 		return []graph.Path{{Vertices: []graph.VertexID{pr.A}}}
 	}
@@ -111,6 +194,9 @@ func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k int
 		if w.owned[id] {
 			nOwned++
 		}
+	}
+	if inner > 1 && nOwned > 1 {
+		return w.partialForPairParallel(view, pr, k, inner, ids, nOwned)
 	}
 	var merged []graph.Path
 	var seen graph.PathSet
@@ -148,6 +234,76 @@ func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k int
 	return merged
 }
 
+// partialForPairParallel fans the pair's owned-subgraph Yen searches across
+// up to inner goroutines.  Each search fills a slot indexed by the subgraph's
+// position in ids; the slots are then merged sequentially in that order
+// through the dedup set, which is exactly the order the sequential loop
+// visits — and since cross-subgraph duplicates are byte-identical paths, the
+// merged result matches the sequential one bit for bit.
+func (w *Worker) partialForPairParallel(view *dtlp.IndexView, pr core.PairRequest, k, inner int, ids []partition.SubgraphID, nOwned int) []graph.Path {
+	ownedIDs := make([]partition.SubgraphID, 0, nOwned)
+	for _, id := range ids {
+		if w.owned[id] {
+			ownedIDs = append(ownedIDs, id)
+		}
+	}
+	perSub := make([][]graph.Path, len(ownedIDs))
+	searchOne := func(j int) {
+		id := ownedIDs[j]
+		sub := w.part.Subgraph(id)
+		la, okA := sub.ToLocal(pr.A)
+		lb, okB := sub.ToLocal(pr.B)
+		if !okA || !okB {
+			return
+		}
+		var weights graph.WeightedView = sub.Local
+		if view != nil {
+			weights = view.SubgraphWeights(id)
+		}
+		lps := shortest.Yen(weights, la, lb, k, nil)
+		gps := make([]graph.Path, 0, len(lps))
+		for _, lp := range lps {
+			gps = append(gps, sub.GlobalPath(lp))
+		}
+		perSub[j] = gps
+	}
+	g := inner
+	if g > len(ownedIDs) {
+		g = len(ownedIDs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				searchOne(j)
+			}
+		}()
+	}
+	for j := range ownedIDs {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	var merged []graph.Path
+	var seen graph.PathSet
+	for _, gps := range perSub {
+		for _, gp := range gps {
+			if !seen.Add(gp) {
+				continue
+			}
+			merged = append(merged, gp)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return graph.ComparePaths(merged[i], merged[j]) < 0 })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
 // EnableLocalApply makes HandleWeightUpdate apply incoming batches to the
 // worker's own partition copy.  Standalone (TCP) workers need this because no
 // one else maintains their weights; in-process workers must leave it off — the
@@ -161,21 +317,34 @@ func (w *Worker) EnableLocalApply() { w.applyLocal = true }
 // actual index maintenance is done once by the shared dtlp.Index (see
 // Cluster.ApplyUpdates); the worker only accounts for the load it would
 // carry.
+//
+// PathsTouched reports the number of bounding paths whose stored distance
+// this batch adjusts — the EP-Index entries of the updated edges — when a
+// TouchedCounter is wired (see SetTouchedCounter); workers without index
+// access report zero rather than a made-up number.
 func (w *Worker) HandleWeightUpdate(req WeightUpdateRequest) WeightUpdateResponse {
-	w.mu.Lock()
-	w.stats.UpdatesReceived += len(req.Updates)
-	w.mu.Unlock()
+	w.updatesReceived.Add(int64(len(req.Updates)))
+	// Bounding path structure is immutable, so the count is the same before
+	// and after the weights land.
+	touched := 0
+	if w.touched != nil {
+		touched = w.touched(req.Updates)
+	}
 	if w.applyLocal {
 		if _, err := w.part.ApplyUpdates(req.Updates); err != nil {
 			return WeightUpdateResponse{Err: err.Error()}
 		}
 	}
-	return WeightUpdateResponse{PathsTouched: len(req.Updates)}
+	return WeightUpdateResponse{PathsTouched: touched}
 }
 
 // HandleStats returns the worker's load counters.
 func (w *Worker) HandleStats(StatsRequest) StatsResponse {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.stats
+	return StatsResponse{
+		Worker:          w.id,
+		Subgraphs:       len(w.owned),
+		PairsServed:     int(w.pairsServed.Load()),
+		RequestsServed:  int(w.requestsServed.Load()),
+		UpdatesReceived: int(w.updatesReceived.Load()),
+	}
 }

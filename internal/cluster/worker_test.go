@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"kspdg/internal/core"
+	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
 	"kspdg/internal/testutil"
@@ -80,13 +81,46 @@ func TestWorkerWeightUpdateAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := NewWorker(0, p, nil)
-	resp := w.HandleWeightUpdate(WeightUpdateRequest{Updates: []graph.WeightUpdate{{Edge: 0, NewWeight: 2}, {Edge: 1, NewWeight: 3}}})
-	if resp.PathsTouched != 2 {
-		t.Errorf("PathsTouched = %d", resp.PathsTouched)
+	x, err := dtlp.Build(p, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if st := w.HandleStats(StatsRequest{}); st.UpdatesReceived != 2 {
+	// Pick the edge the most bounding paths cross, so the real count is
+	// nonzero and visibly different from the batch size the field used to
+	// misreport.
+	probe, crossings := graph.EdgeID(-1), 0
+	for e := 0; e < g.NumEdges(); e++ {
+		if n := x.PathsCrossing([]graph.WeightUpdate{{Edge: graph.EdgeID(e), NewWeight: 2}}); n > crossings {
+			probe, crossings = graph.EdgeID(e), n
+		}
+	}
+	if probe < 0 {
+		t.Fatal("no edge crossed by a bounding path")
+	}
+	updates := []graph.WeightUpdate{{Edge: probe, NewWeight: 2}}
+	want := x.PathsCrossing(updates)
+	if want != crossings || want < 1 {
+		t.Fatalf("PathsCrossing = %d, want %d >= 1", want, crossings)
+	}
+
+	w := NewWorker(0, p, nil)
+	w.SetTouchedCounter(x.PathsCrossing)
+	resp := w.HandleWeightUpdate(WeightUpdateRequest{Updates: updates})
+	if resp.PathsTouched != want {
+		t.Errorf("PathsTouched = %d, want EP-Index count %d", resp.PathsTouched, want)
+	}
+	if want > 1 && resp.PathsTouched == len(updates) {
+		t.Errorf("PathsTouched = batch size %d; must report touched paths, not updates", len(updates))
+	}
+	if st := w.HandleStats(StatsRequest{}); st.UpdatesReceived != 1 {
 		t.Errorf("UpdatesReceived = %d", st.UpdatesReceived)
+	}
+
+	// Without index access the worker reports zero instead of a fabricated
+	// count.
+	bare := NewWorker(1, p, nil)
+	if resp := bare.HandleWeightUpdate(WeightUpdateRequest{Updates: updates}); resp.PathsTouched != 0 {
+		t.Errorf("counterless PathsTouched = %d, want 0", resp.PathsTouched)
 	}
 }
 

@@ -108,10 +108,21 @@ func (lp *LocalProvider) partialKSP(pairs []PairRequest, k int, weights subgraph
 		return out, nil
 	}
 	par := lp.Parallelism
-	if par <= 1 || len(pairs) == 1 {
+	if par <= 1 {
 		for _, pr := range pairs {
-			out[pr] = partialKSPForPair(lp.part, pr, k, weights)
+			out[pr] = partialKSPForPairInner(lp.part, pr, k, weights, 1)
 		}
+		return out, nil
+	}
+	// Split the budget like cluster.Worker: pairs take the outer lanes, and
+	// the leftover width per pair fans out that pair's per-subgraph searches,
+	// so a single heavy pair still uses the whole budget.
+	inner := par / len(pairs)
+	if inner < 1 {
+		inner = 1
+	}
+	if len(pairs) == 1 {
+		out[pairs[0]] = partialKSPForPairInner(lp.part, pairs[0], k, weights, inner)
 		return out, nil
 	}
 	var mu sync.Mutex
@@ -122,7 +133,7 @@ func (lp *LocalProvider) partialKSP(pairs []PairRequest, k int, weights subgraph
 		go func() {
 			defer wg.Done()
 			for pr := range jobs {
-				paths := partialKSPForPair(lp.part, pr, k, weights)
+				paths := partialKSPForPairInner(lp.part, pr, k, weights, inner)
 				mu.Lock()
 				out[pr] = paths
 				mu.Unlock()
@@ -157,10 +168,23 @@ func PartialKSPForPairView(iv *dtlp.IndexView, pr PairRequest, k int) []graph.Pa
 var pairSeenPool = sync.Pool{New: func() interface{} { return new(graph.PathSet) }}
 
 func partialKSPForPair(part *partition.Partition, pr PairRequest, k int, weights subgraphWeightsFn) []graph.Path {
+	return partialKSPForPairInner(part, pr, k, weights, 1)
+}
+
+// partialKSPForPairInner is partialKSPForPair with an inner-parallelism
+// budget: when inner > 1 and the endpoints share several subgraphs, the
+// per-subgraph Yen searches fan out across up to inner goroutines.  Results
+// fill slots indexed by the subgraph's position in CommonSubgraphs and merge
+// sequentially in that order through the same dedup set and sort as the
+// serial loop, so the answer is bit-identical either way.
+func partialKSPForPairInner(part *partition.Partition, pr PairRequest, k int, weights subgraphWeightsFn, inner int) []graph.Path {
 	if pr.A == pr.B {
 		return []graph.Path{{Vertices: []graph.VertexID{pr.A}}}
 	}
 	ids := part.CommonSubgraphs(pr.A, pr.B)
+	if inner > 1 && len(ids) > 1 {
+		return partialKSPForPairParallel(part, pr, k, weights, inner, ids)
+	}
 	var merged []graph.Path
 	var seen *graph.PathSet
 	if len(ids) > 1 {
@@ -186,6 +210,63 @@ func partialKSPForPair(part *partition.Partition, pr PairRequest, k int, weights
 	if len(ids) > 1 {
 		sort.Slice(merged, func(i, j int) bool { return graph.ComparePaths(merged[i], merged[j]) < 0 })
 	}
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// partialKSPForPairParallel runs one pair's per-subgraph searches on up to
+// inner goroutines (see partialKSPForPairInner for the determinism argument).
+func partialKSPForPairParallel(part *partition.Partition, pr PairRequest, k int, weights subgraphWeightsFn, inner int, ids []partition.SubgraphID) []graph.Path {
+	perSub := make([][]graph.Path, len(ids))
+	searchOne := func(j int) {
+		sub := part.Subgraph(ids[j])
+		la, okA := sub.ToLocal(pr.A)
+		lb, okB := sub.ToLocal(pr.B)
+		if !okA || !okB {
+			return
+		}
+		lps := shortest.Yen(weights(ids[j]), la, lb, k, nil)
+		gps := make([]graph.Path, 0, len(lps))
+		for _, lp := range lps {
+			gps = append(gps, sub.GlobalPath(lp))
+		}
+		perSub[j] = gps
+	}
+	g := inner
+	if g > len(ids) {
+		g = len(ids)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				searchOne(j)
+			}
+		}()
+	}
+	for j := range ids {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	seen := pairSeenPool.Get().(*graph.PathSet)
+	seen.Reset()
+	defer pairSeenPool.Put(seen)
+	var merged []graph.Path
+	for _, gps := range perSub {
+		for _, gp := range gps {
+			if !seen.Add(gp) {
+				continue
+			}
+			merged = append(merged, gp)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return graph.ComparePaths(merged[i], merged[j]) < 0 })
 	if len(merged) > k {
 		merged = merged[:k]
 	}

@@ -39,6 +39,7 @@ package dtlp
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +60,11 @@ type Config struct {
 	// Parallelism is the number of goroutines used to index subgraphs during
 	// construction.  Zero means GOMAXPROCS.
 	Parallelism int
+	// UpdateParallelism is the number of goroutines ApplyUpdates uses to
+	// apply edge deltas and refresh bounds across affected subgraphs.  Zero
+	// means GOMAXPROCS; 1 forces the serial path.  Sharding happens inside
+	// the single-writer lock, so it changes wall-clock time, never results.
+	UpdateParallelism int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -110,6 +116,29 @@ type Index struct {
 	view      atomic.Pointer[IndexView]
 	viewMu    sync.Mutex
 	recent    []*IndexView
+
+	// updatePar is the ApplyUpdates sharding width (see
+	// Config.UpdateParallelism); atomic so SetUpdateParallelism can retune a
+	// live index without racing the writer.
+	updatePar atomic.Int32
+}
+
+// SetUpdateParallelism retunes the ApplyUpdates sharding width at runtime
+// (recovered indexes are built without a Config, so the flag-driven knob in
+// cmd/kspd lands here).  n <= 0 restores the GOMAXPROCS default.
+func (x *Index) SetUpdateParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	x.updatePar.Store(int32(n))
+}
+
+// updateParallelism resolves the effective sharding width.
+func (x *Index) updateParallelism() int {
+	if n := int(x.updatePar.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Build constructs the DTLP index for the given partition.  Subgraphs are
@@ -126,6 +155,7 @@ func Build(part *partition.Partition, cfg Config) (*Index, error) {
 		subs:     make([]*SubgraphIndex, part.NumSubgraphs()),
 		pairSubs: make(map[PairKey][]partition.SubgraphID),
 	}
+	x.SetUpdateParallelism(cfg.UpdateParallelism)
 
 	// Index each subgraph (first level): bounding paths, EP-Index, LBDs.
 	type job struct{ id partition.SubgraphID }
@@ -323,7 +353,7 @@ func (x *Index) withinSubgraphDistance(s, t graph.VertexID, at weightsAt) float6
 // batch has been published atomically (see CurrentView).  Queries running
 // against previously obtained views are unaffected.
 func (x *Index) ApplyUpdates(batch []graph.WeightUpdate) error {
-	_, err := x.ApplyUpdatesEpoch(batch)
+	_, err := x.ApplyUpdatesStats(batch)
 	return err
 }
 
@@ -331,63 +361,177 @@ func (x *Index) ApplyUpdates(batch []graph.WeightUpdate) error {
 // batch (or the current epoch for an empty batch).  The persistence layer
 // uses it to tag WAL records with the exact epoch their batch produced.
 func (x *Index) ApplyUpdatesEpoch(batch []graph.WeightUpdate) (uint64, error) {
+	st, err := x.ApplyUpdatesStats(batch)
+	return st.Epoch, err
+}
+
+// UpdateStats reports the maintenance work one update batch performed.
+type UpdateStats struct {
+	// Epoch is the epoch published for the batch (or the current epoch for
+	// an empty batch).
+	Epoch uint64
+	// PathsTouched counts the bounding path distance adjustments the batch
+	// caused: one per (updated edge, bounding path crossing it) EP-Index
+	// entry with a nonzero delta.
+	PathsTouched int
+	// SubgraphsAffected counts the subgraphs whose bounds were refreshed.
+	SubgraphsAffected int
+	// PairsChanged counts the distinct boundary pairs whose skeleton weight
+	// was recomputed because some subgraph's LBD for them changed.
+	PairsChanged int
+}
+
+// ApplyUpdatesStats is ApplyUpdates returning per-batch maintenance
+// statistics (published epoch, bounding paths touched, subgraphs refreshed,
+// skeleton pairs recomputed).
+//
+// Maintenance is sharded: edge deltas are grouped per subgraph (preserving
+// batch order within each group, so floating-point accumulation matches the
+// serial path exactly) and the per-subgraph applyEdgeDelta+refreshBounds work
+// runs on up to UpdateParallelism goroutines — each subgraph's first-level
+// state is independent, which is what the paper exploits by assigning
+// subgraphs to different SubgraphBolts.  Skeleton weights are then recomputed
+// serially from the deterministically sorted union of changed pairs; since
+// every subgraph whose LBD changed reports the pair itself, computing MBDs
+// after all refreshes yields the same final weights as the serial
+// interleaving.  Epoch publication stays atomic and single-writer.
+func (x *Index) ApplyUpdatesStats(batch []graph.WeightUpdate) (UpdateStats, error) {
 	if len(batch) == 0 {
-		return x.CurrentView().Epoch(), nil
+		return UpdateStats{Epoch: x.CurrentView().Epoch()}, nil
 	}
 	x.writeMu.Lock()
 	defer x.writeMu.Unlock()
 	// Capture pre-update weights to derive the deltas used for incremental
-	// bounding path distance maintenance.
+	// bounding path distance maintenance, grouped per owning subgraph in
+	// batch order.
 	type pendingDelta struct {
-		sub   partition.SubgraphID
 		local graph.EdgeID
 		delta float64
 	}
-	deltas := make([]pendingDelta, 0, len(batch))
+	perSub := make(map[partition.SubgraphID][]pendingDelta)
 	numEdges := x.part.Parent().NumEdges()
 	for _, u := range batch {
 		if u.Edge < 0 || int(u.Edge) >= numEdges {
-			return 0, fmt.Errorf("dtlp: update for edge %d outside [0,%d)", u.Edge, numEdges)
+			return UpdateStats{}, fmt.Errorf("dtlp: update for edge %d outside [0,%d)", u.Edge, numEdges)
 		}
 		loc := x.part.Locate(u.Edge)
 		if loc.Subgraph == partition.NoSubgraph {
-			return 0, fmt.Errorf("dtlp: update for edge %d not covered by partition", u.Edge)
+			return UpdateStats{}, fmt.Errorf("dtlp: update for edge %d not covered by partition", u.Edge)
 		}
 		old := x.part.Subgraph(loc.Subgraph).Local.Weight(loc.LocalEdge)
-		deltas = append(deltas, pendingDelta{sub: loc.Subgraph, local: loc.LocalEdge, delta: u.NewWeight - old})
+		if delta := u.NewWeight - old; delta != 0 {
+			perSub[loc.Subgraph] = append(perSub[loc.Subgraph], pendingDelta{local: loc.LocalEdge, delta: delta})
+		}
 	}
 	// Push new weights into the subgraph local graphs.
 	if _, err := x.part.ApplyUpdates(batch); err != nil {
-		return 0, err
+		return UpdateStats{}, err
 	}
-	// Update bounding path distances through the EP-Index and collect the
-	// affected subgraphs.
-	affected := make(map[partition.SubgraphID]bool)
-	for _, d := range deltas {
-		if d.delta == 0 {
+	affectedIDs := make([]partition.SubgraphID, 0, len(perSub))
+	for id := range perSub {
+		affectedIDs = append(affectedIDs, id)
+	}
+	sort.Slice(affectedIDs, func(i, j int) bool { return affectedIDs[i] < affectedIDs[j] })
+	// Shard the EP-Index distance adjustments and bound refreshes across the
+	// affected subgraphs.  refreshOne touches only subgraph-local state (and
+	// reads the already-updated local weights), so the shards are disjoint.
+	changed := make([][]PairKey, len(affectedIDs))
+	touchedPer := make([]int, len(affectedIDs))
+	refreshOne := func(i int) {
+		si := x.subs[affectedIDs[i]]
+		touched := 0
+		for _, d := range perSub[affectedIDs[i]] {
+			touched += si.applyEdgeDelta(d.local, d.delta)
+		}
+		touchedPer[i] = touched
+		changed[i] = si.refreshBounds()
+	}
+	if par := x.updateParallelism(); par <= 1 || len(affectedIDs) <= 1 {
+		for i := range affectedIDs {
+			refreshOne(i)
+		}
+	} else {
+		if par > len(affectedIDs) {
+			par = len(affectedIDs)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for g := 0; g < par; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					refreshOne(i)
+				}
+			}()
+		}
+		for i := range affectedIDs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	st := UpdateStats{SubgraphsAffected: len(affectedIDs)}
+	for _, t := range touchedPer {
+		st.PathsTouched += t
+	}
+	// Recompute the skeleton weights for every pair whose LBD changed in some
+	// subgraph.  The union is sorted (and deduplicated) so the write order is
+	// deterministic regardless of which goroutine finished first; the MBDs
+	// themselves are order-independent minima over the refreshed LBDs.
+	directed := x.part.Parent().Directed()
+	var changedPairs []PairKey
+	for i, id := range affectedIDs {
+		si := x.subs[id]
+		for _, localPair := range changed[i] {
+			changedPairs = append(changedPairs, si.globalPairKey(localPair, directed))
+		}
+	}
+	sort.Slice(changedPairs, func(i, j int) bool {
+		if changedPairs[i].A != changedPairs[j].A {
+			return changedPairs[i].A < changedPairs[j].A
+		}
+		return changedPairs[i].B < changedPairs[j].B
+	})
+	var prev PairKey
+	for i, gk := range changedPairs {
+		if i > 0 && gk == prev {
 			continue
 		}
-		x.subs[d.sub].applyEdgeDelta(d.local, d.delta)
-		affected[d.sub] = true
-	}
-	// Refresh bound distances and LBDs in each affected subgraph, then update
-	// the skeleton edge weights for pairs whose MBD changed.
-	directed := x.part.Parent().Directed()
-	for id := range affected {
-		si := x.subs[id]
-		changed := si.refreshBounds()
-		for _, localPair := range changed {
-			gk := si.globalPairKey(localPair, directed)
-			mbd := x.MBD(gk.A, gk.B)
-			if err := x.skeleton.SetWeight(gk, mbd); err != nil {
-				return 0, err
-			}
+		prev = gk
+		st.PairsChanged++
+		mbd := x.MBD(gk.A, gk.B)
+		if err := x.skeleton.SetWeight(gk, mbd); err != nil {
+			return UpdateStats{}, err
 		}
 	}
 	// Publish the next epoch: re-snapshot only the touched subgraphs, share
 	// everything else with the previous view.
+	affected := make(map[partition.SubgraphID]bool, len(affectedIDs))
+	for _, id := range affectedIDs {
+		affected[id] = true
+	}
 	nv := x.publishView(affected)
-	return nv.epoch, nil
+	st.Epoch = nv.epoch
+	return st, nil
+}
+
+// PathsCrossing counts the EP-Index entries of the batch's edges: the number
+// of bounding path distance adjustments applying the batch would perform
+// (duplicate edges in the batch count each time, mirroring ApplyUpdates).
+// Bounding path structure is immutable after construction, so the count is
+// safe to take concurrently with queries and updates.  Edges outside the
+// partition count zero.
+func (x *Index) PathsCrossing(batch []graph.WeightUpdate) int {
+	n := 0
+	for _, u := range batch {
+		loc := x.part.Locate(u.Edge)
+		if loc.Subgraph == partition.NoSubgraph {
+			continue
+		}
+		n += len(x.subs[loc.Subgraph].epIndex[loc.LocalEdge])
+	}
+	return n
 }
 
 // Stats summarises index size for the construction-cost experiments

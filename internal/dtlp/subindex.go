@@ -211,13 +211,15 @@ func (si *SubgraphIndex) globalPairKey(local PairKey, directed bool) PairKey {
 }
 
 // applyEdgeDelta adjusts the actual distance of every bounding path crossing
-// the local edge e by delta and marks the unit-weight cache dirty.  Called by
-// Index.ApplyUpdates after the subgraph's local weight has been updated.
-func (si *SubgraphIndex) applyEdgeDelta(e graph.EdgeID, delta float64) {
+// the local edge e by delta and marks the unit-weight cache dirty, returning
+// the number of paths touched.  Called by Index.ApplyUpdates after the
+// subgraph's local weight has been updated.
+func (si *SubgraphIndex) applyEdgeDelta(e graph.EdgeID, delta float64) int {
 	for _, bp := range si.epIndex[e] {
 		bp.Dist += delta
 	}
 	si.unitsDirty = true
+	return len(si.epIndex[e])
 }
 
 // refreshBounds recomputes the bound distance of every bounding path and the

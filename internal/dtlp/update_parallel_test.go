@@ -1,0 +1,92 @@
+package dtlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+	"kspdg/internal/testutil"
+)
+
+// TestApplyUpdatesStatsTouchedCount asserts that the reported PathsTouched is
+// the real EP-Index count for the batch's edges, not the batch size.
+func TestApplyUpdatesStatsTouchedCount(t *testing.T) {
+	g, _, x := buildPaperIndex(t, 2)
+	var batch []graph.WeightUpdate
+	for e := graph.EdgeID(0); int(e) < g.NumEdges(); e++ {
+		// Delta is always nonzero, so every EP-Index entry of every batch
+		// edge is adjusted and PathsCrossing predicts the count exactly.
+		batch = append(batch, graph.WeightUpdate{Edge: e, NewWeight: g.Weight(e) + 1})
+	}
+	want := x.PathsCrossing(batch)
+	if want <= 0 {
+		t.Fatalf("PathsCrossing = %d, want > 0", want)
+	}
+	st, err := x.ApplyUpdatesStats(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PathsTouched != want {
+		t.Errorf("PathsTouched = %d, want EP-Index count %d", st.PathsTouched, want)
+	}
+	if st.PathsTouched == len(batch) {
+		t.Errorf("PathsTouched equals batch size %d; the count must come from the EP-Index", len(batch))
+	}
+	if st.SubgraphsAffected <= 0 {
+		t.Errorf("SubgraphsAffected = %d, want > 0", st.SubgraphsAffected)
+	}
+	if st.Epoch == 0 {
+		t.Errorf("Epoch = 0, want the published epoch")
+	}
+}
+
+// TestApplyUpdatesShardedMatchesSerial drives two identical indexes — one
+// refreshing serially, one with a wide shard pool — through the same update
+// rounds and requires identical maintenance stats, LBDs and MBDs after every
+// round.
+func TestApplyUpdatesShardedMatchesSerial(t *testing.T) {
+	build := func(par int) (*graph.Graph, *Index) {
+		rng := rand.New(rand.NewSource(7))
+		g := testutil.RandomConnected(rng, 120, 80)
+		p, err := partition.PartitionGraph(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := Build(p, Config{Xi: 2, UpdateParallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, x
+	}
+	gSerial, serial := build(1)
+	gPar, par := build(8)
+
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 4; round++ {
+		batch := testutil.PerturbWeights(t, gSerial, rng, 0.4, 0.6, 0.05)
+		if err := gPar.ApplyUpdates(batch); err != nil {
+			t.Fatal(err)
+		}
+		stS, err := serial.ApplyUpdatesStats(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stP, err := par.ApplyUpdatesStats(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stS != stP {
+			t.Fatalf("round %d: stats diverge: serial %+v, sharded %+v", round, stS, stP)
+		}
+		boundary := serial.Partition().BoundaryVertices()
+		for i, a := range boundary {
+			for _, b := range boundary[i+1:] {
+				mS, mP := serial.MBD(a, b), par.MBD(a, b)
+				if mS != mP {
+					t.Fatalf("round %d: MBD(%d,%d) diverges: serial %v, sharded %v", round, a, b, mS, mP)
+				}
+			}
+		}
+	}
+}

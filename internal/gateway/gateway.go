@@ -67,6 +67,11 @@ type Options struct {
 	// Membership, when set, exports worker health states on /healthz and
 	// /metrics (kspd passes the replicated provider's failure detector).
 	Membership *cluster.Membership
+	// WorkerParallelism, when positive, is exported as the
+	// kspd_worker_parallelism gauge: the partial-KSP executor width the
+	// deployment runs its workers at (kspd passes the resolved
+	// -worker-parallelism value).
+	WorkerParallelism int
 	// now overrides the rate limiter's clock in tests.
 	now func() time.Time
 }
@@ -668,6 +673,12 @@ func (g *Gateway) registerMetrics() {
 		stats(func(s serve.Stats) int64 { return s.HedgeWins }))
 	r.CounterFunc("kspd_hedge_drops_total", "Duplicate hedge-race replies discarded.",
 		stats(func(s serve.Stats) int64 { return s.HedgeDrops }))
+	if g.opts.WorkerParallelism > 0 {
+		par := float64(g.opts.WorkerParallelism)
+		r.GaugeFunc("kspd_worker_parallelism",
+			"Partial-KSP executor width per worker (goroutines one request fans out across).",
+			func() float64 { return par })
+	}
 	if g.opts.Membership != nil {
 		r.GaugeVecFunc("kspd_workers", "Worker count by membership health state.",
 			"state", []string{"up", "suspect", "down"}, func() []float64 {

@@ -60,6 +60,12 @@ type Options struct {
 	// lifetime of an epoch.  Requests without an epoch pin (live weights)
 	// are never cached.  Zero means 4096; negative disables.
 	CacheCapacity int
+	// Observe, when non-nil, is called once per shipped batch with the
+	// number of pairs it carried and the round-trip latency of the worker
+	// call (successful or not).  The serve layer uses it to feed the
+	// per-pair RPC latency histogram.  It runs on the flush goroutine and
+	// must be safe for concurrent use and cheap.
+	Observe func(pairs int, d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -317,7 +323,14 @@ func (b *Batcher) flushLocked(bu *bucket) {
 	b.flushes.Add(1)
 	go func() {
 		defer b.flushes.Done()
+		var start time.Time
+		if b.opts.Observe != nil {
+			start = time.Now()
+		}
 		paths, pinned, err := b.send(bu.order, bu.key.k, bu.key.epoch, bu.key.hasEpoch)
+		if b.opts.Observe != nil {
+			b.opts.Observe(len(bu.order), time.Since(start))
+		}
 		b.mu.Lock()
 		for _, pr := range bu.order {
 			fk := flightKey{pair: pr, batchKey: bu.key}

@@ -2,6 +2,7 @@ package shortest
 
 import (
 	"container/heap"
+	"sync"
 
 	"kspdg/internal/graph"
 )
@@ -24,6 +25,13 @@ func newYenScratch() *yenScratch {
 		banEdges: make(map[graph.EdgeID]bool),
 	}
 }
+
+// yenScratchPool recycles scratch state across Yen calls.  Parallel partial
+// searches (one goroutine per pair or per subgraph) each Get their own
+// scratch, so no two in-flight searches ever share buffers.  The ban maps are
+// cleared by resetBans at every spur iteration and the vertex buffers
+// self-truncate, so only the dedup set needs an explicit reset on reuse.
+var yenScratchPool = sync.Pool{New: func() interface{} { return newYenScratch() }}
 
 // resetBans clears the ban maps and seeds them from the caller's options.
 func (ys *yenScratch) resetBans(opts *Options) {
@@ -130,7 +138,9 @@ func Yen(v graph.WeightedView, s, t graph.VertexID, k int, opts *Options) []grap
 		return nil
 	}
 	result := []graph.Path{first}
-	ys := newYenScratch()
+	ys := yenScratchPool.Get().(*yenScratch)
+	ys.seen.Reset()
+	defer yenScratchPool.Put(ys)
 	ys.seen.Add(first)
 	candidates := &pathHeap{}
 	heap.Init(candidates)
