@@ -47,11 +47,18 @@
 //	kspd -mode master -dataset NY -scale tiny -num-workers 2 -replicas 2 -hedge-after 5ms \
 //	    -connect 127.0.0.1:7001,127.0.0.1:7002 -queries 50 -k 3 -update-batches 3
 //
+// Topology mutations: -closures and -incidents weave road closures (an edge
+// is deleted, later a new edge reopens between the same endpoints) and
+// incidents (an edge is deleted while traffic spikes around it) into the
+// scenario.  Each topology batch rebuilds only the touched subgraphs and is
+// broadcast to every worker; with -replicas > 1 topology is rejected (the
+// replica table is not extendable live yet).
+//
 // HTTP service: with -http the master skips the scenario replay and serves
 // the JSON API (see internal/gateway: /v1/ksp, /v1/ksp/stream, /v1/updates,
-// /healthz, /metrics) until SIGINT/SIGTERM, then drains the listener and the
-// query pool and — with -data-dir — writes a final snapshot.  -tls-cert and
-// -tls-key upgrade the listener to HTTPS:
+// /v1/topology, /healthz, /metrics) until SIGINT/SIGTERM, then drains the
+// listener and the query pool and — with -data-dir — writes a final snapshot.
+// -tls-cert and -tls-key upgrade the listener to HTTPS:
 //
 //	kspd -mode master -dataset NY -scale tiny -http 127.0.0.1:8080 -http-rate 200
 //	curl -s -X POST 127.0.0.1:8080/v1/ksp -d '{"source":3,"target":100,"k":2}'
@@ -98,6 +105,8 @@ func main() {
 		k          = flag.Int("k", 2, "k shortest paths per query (master mode)")
 		seed       = flag.Int64("seed", 42, "workload seed")
 		batches    = flag.Int("update-batches", 2, "weight-update batches interleaved with the queries (master mode)")
+		closures   = flag.Int("closures", 0, "road closure/reopen pairs woven into the scenario: an edge is deleted and later reinserted between the same endpoints (master mode)")
+		incidents  = flag.Int("incidents", 0, "road incidents woven into the scenario: an edge is deleted and traffic spikes on the streets around it (master mode)")
 		alpha      = flag.Float64("alpha", 0.2, "fraction of edges perturbed per update batch")
 		tau        = flag.Float64("tau", 0.3, "relative weight variation per update batch")
 		conc       = flag.Int("concurrency", 0, "query worker pool size (0 = GOMAXPROCS)")
@@ -168,6 +177,8 @@ func main() {
 			k:          *k,
 			seed:       *seed,
 			batches:    *batches,
+			closures:   *closures,
+			incidents:  *incidents,
 			alpha:      *alpha,
 			tau:        *tau,
 			conc:       *conc,
@@ -279,6 +290,8 @@ type masterConfig struct {
 	k              int
 	seed           int64
 	batches        int
+	closures       int
+	incidents      int
 	alpha          float64
 	tau            float64
 	conc           int
@@ -383,6 +396,7 @@ func runMaster(cfg masterConfig) {
 
 	var provider core.PartialProvider
 	var broadcast func([]graph.WeightUpdate) error
+	var broadcastTopo func(graph.TopologyUpdate) error
 	var member *cluster.Membership
 	if cfg.connect != "" {
 		copts := cluster.ClientOptions{PoolSize: cfg.pool}
@@ -448,14 +462,35 @@ func runMaster(cfg masterConfig) {
 			}
 			return nil
 		}
+		if cfg.replicas > 1 {
+			// The replica table routes partial-KSP batches by subgraph; it is
+			// derived once from the pre-topology partition and failover-aware
+			// extension is not wired up yet, so topology mutations are
+			// rejected instead of silently leaving new subgraphs unrouted.
+			broadcastTopo = func(graph.TopologyUpdate) error {
+				return fmt.Errorf("kspd: topology updates over a replicated transport (-replicas > 1) are not supported; restart the fleet on the new graph instead")
+			}
+		} else {
+			nw := len(remotes)
+			broadcastTopo = func(up graph.TopologyUpdate) error {
+				req := cluster.TopologyUpdateRequest{Update: up, NumWorkers: nw, Factor: 1}
+				for _, rw := range remotes {
+					if _, err := rw.ApplyTopology(req); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
 	} else {
 		fmt.Println("kspd master: no -connect given, running the refine step locally")
 	}
 	srvOpts := serve.Options{
-		Workers:       cfg.conc,
-		Broadcast:     broadcast,
-		SnapshotEvery: cfg.snapEvery,
-		Engine:        core.Options{MaxIterations: cfg.maxIter, StallWindow: cfg.stallWin, Parallelism: cfg.workerPar},
+		Workers:           cfg.conc,
+		Broadcast:         broadcast,
+		BroadcastTopology: broadcastTopo,
+		SnapshotEvery:     cfg.snapEvery,
+		Engine:            core.Options{MaxIterations: cfg.maxIter, StallWindow: cfg.stallWin, Parallelism: cfg.workerPar},
 	}
 	if st != nil {
 		srvOpts.Store = st
@@ -469,6 +504,15 @@ func runMaster(cfg masterConfig) {
 	}
 
 	sc := workload.GenerateMixed(g, cfg.queries, cfg.batches, cfg.k, cfg.alpha, cfg.tau, cfg.seed)
+	if cfg.closures > 0 || cfg.incidents > 0 {
+		sc = workload.InjectRoadEvents(g, sc, workload.RoadEventsConfig{
+			Closures:  cfg.closures,
+			Incidents: cfg.incidents,
+			Seed:      cfg.seed + 7,
+		})
+		fmt.Printf("kspd master: injected %d topology events (%d closures, %d incidents)\n",
+			sc.NumTopologyBatches(), cfg.closures, cfg.incidents)
+	}
 	report, err := srv.RunScenario(sc)
 	if err != nil {
 		fatal(err)
@@ -486,9 +530,13 @@ func runMaster(cfg masterConfig) {
 		}
 	}
 	stats := srv.Stats()
-	fmt.Printf("kspd master: %d queries (k=%d) + %d update batches in %v, avg %.2f iterations/query\n",
-		len(report.Results), cfg.k, report.BatchesApplied, report.Elapsed.Round(time.Millisecond),
+	fmt.Printf("kspd master: %d queries (k=%d) + %d update batches + %d topology batches in %v, avg %.2f iterations/query\n",
+		len(report.Results), cfg.k, report.BatchesApplied, report.TopologyApplied, report.Elapsed.Round(time.Millisecond),
 		float64(totalIter)/float64(max(len(report.Results), 1)))
+	if stats.TopologyBatches > 0 {
+		fmt.Printf("kspd master: %d subgraph rebuilds across %d topology batches\n",
+			stats.SubgraphsRebuilt, stats.TopologyBatches)
+	}
 	fmt.Printf("kspd master: epoch %d, %d cache hits, %d coalesced, %d edge updates applied, %d periodic snapshots\n",
 		stats.Epoch, stats.CacheHits, stats.Coalesced, stats.UpdatesApplied, stats.Snapshots)
 	if stats.NonConverged > 0 {

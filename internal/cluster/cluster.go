@@ -53,6 +53,7 @@ type Stats struct {
 	BytesSent       int64
 	QueriesHandled  int64
 	UpdatesRouted   int64
+	TopologyBatches int64 // topology batches broadcast to the workers
 	RPCBatches      int64 // coalesced partial-KSP batches shipped to workers
 	PairsCoalesced  int64 // pairs that shared a batch with another query's pairs
 	DedupHits       int64 // pairs answered by an identical pending pair
@@ -69,7 +70,6 @@ type Stats struct {
 type Cluster struct {
 	cfg   Config
 	index *dtlp.Index
-	part  *partition.Partition
 
 	workers  []*Worker
 	table    *ReplicaTable
@@ -79,7 +79,13 @@ type Cluster struct {
 	bytes    atomic.Int64
 	queries  atomic.Int64
 	updates  atomic.Int64
+	topology atomic.Int64
 }
+
+// part resolves the current partition through the index: topology batches
+// replace the partition, so the cluster must never cache the construction-time
+// pointer for routing.
+func (c *Cluster) part() *partition.Partition { return c.index.Partition() }
 
 // New builds an in-process cluster over an existing DTLP index.  Subgraphs
 // are assigned to workers by a greedy least-loaded policy on vertex counts,
@@ -96,7 +102,6 @@ func New(index *dtlp.Index, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:   cfg,
 		index: index,
-		part:  part,
 	}
 
 	// Least-loaded assignment, rank by rank when replication is on.
@@ -145,7 +150,7 @@ func (c *Cluster) workerSender(w int) rpcbatch.Sender {
 func (c *Cluster) routePair(pr core.PairRequest) []int {
 	var ws []int
 	seen := make(map[int]bool)
-	for _, id := range c.part.CommonSubgraphs(pr.A, pr.B) {
+	for _, id := range c.part().CommonSubgraphs(pr.A, pr.B) {
 		w := c.table.Primary(id)
 		if !seen[w] {
 			seen[w] = true
@@ -192,8 +197,9 @@ func (c *Cluster) ApplyUpdates(batch []graph.WeightUpdate) error {
 		return nil
 	}
 	perWorker := make(map[int][]graph.WeightUpdate)
+	part := c.part()
 	for _, u := range batch {
-		loc := c.part.Locate(u.Edge)
+		loc := part.Locate(u.Edge)
 		if loc.Subgraph == partition.NoSubgraph {
 			return fmt.Errorf("cluster: update for unpartitioned edge %d", u.Edge)
 		}
@@ -211,6 +217,54 @@ func (c *Cluster) ApplyUpdates(batch []graph.WeightUpdate) error {
 		c.updates.Add(int64(len(ups)))
 	}
 	return c.index.ApplyUpdates(batch)
+}
+
+// ApplyTopology applies a batch of topology mutations (edge and vertex
+// inserts and deletes) to the cluster: the shared index derives the new
+// graph and partition and rebuilds only the touched subgraph indexes (see
+// dtlp.Index.ApplyTopology), the replica table is extended round-robin for
+// any subgraphs the batch opened, and the batch is broadcast to every worker
+// — topology can reshape routing anywhere, so unlike weight updates there is
+// no per-subgraph addressing.  Each worker then has the new partition and
+// its (possibly grown) ownership installed atomically.
+func (c *Cluster) ApplyTopology(up graph.TopologyUpdate) (dtlp.TopologyStats, error) {
+	st, err := c.index.ApplyTopologyStats(up)
+	if err != nil {
+		return st, err
+	}
+	return st, c.BroadcastTopology(up)
+}
+
+// BroadcastTopology distributes a topology batch the shared index has already
+// applied: the replica table is extended round-robin over any subgraphs the
+// batch opened, the batch is forwarded to every worker, and the new partition
+// plus each worker's (possibly grown) ownership is installed atomically.
+// Serve layers that front an in-process cluster wire this as
+// serve.Options.BroadcastTopology — the serve writer applies the batch to the
+// index, so only the distribution step remains; ApplyTopology composes both
+// steps for standalone cluster users.
+func (c *Cluster) BroadcastTopology(up graph.TopologyUpdate) error {
+	if up.IsZero() {
+		return nil
+	}
+	newPart := c.index.Partition()
+	c.table.Extend(newPart.NumSubgraphs())
+	req := TopologyUpdateRequest{
+		Update:     up,
+		NumWorkers: len(c.workers),
+		Factor:     c.table.Factor(),
+	}
+	for i, w := range c.workers {
+		c.account(req)
+		resp := w.HandleTopologyUpdate(req)
+		c.account(resp)
+		if resp.Err != "" {
+			return fmt.Errorf("cluster: worker %d failed to apply topology batch: %s", i, resp.Err)
+		}
+		w.SetPartition(newPart, c.table.OwnedBy(i))
+	}
+	c.topology.Add(1)
+	return nil
 }
 
 // ProcessBatch processes a batch of queries with the configured number of
@@ -251,16 +305,17 @@ func (c *Cluster) ProcessBatch(queries []workload.Query, k int, opts core.Option
 func (c *Cluster) Stats() Stats {
 	bst := c.provider.BatchStats()
 	st := Stats{
-		Workers:        len(c.workers),
-		ReplicaFactor:  c.table.Factor(),
-		MessagesSent:   c.messages.Load(),
-		BytesSent:      c.bytes.Load(),
-		QueriesHandled: c.queries.Load(),
-		UpdatesRouted:  c.updates.Load(),
-		RPCBatches:     bst.Batches,
-		PairsCoalesced: bst.Coalesced,
-		DedupHits:      bst.DedupHits,
-		PairCacheHits:  bst.CacheHits,
+		Workers:         len(c.workers),
+		ReplicaFactor:   c.table.Factor(),
+		MessagesSent:    c.messages.Load(),
+		BytesSent:       c.bytes.Load(),
+		QueriesHandled:  c.queries.Load(),
+		UpdatesRouted:   c.updates.Load(),
+		TopologyBatches: c.topology.Load(),
+		RPCBatches:      bst.Batches,
+		PairsCoalesced:  bst.Coalesced,
+		DedupHits:       bst.DedupHits,
+		PairCacheHits:   bst.CacheHits,
 	}
 	for _, w := range c.workers {
 		ws := w.HandleStats(StatsRequest{})

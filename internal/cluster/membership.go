@@ -19,6 +19,8 @@ const (
 	StateDown
 )
 
+// String returns the state's lower-case name as exposed on /metrics
+// (kspd_workers{state="..."}) and in healthz worker counts.
 func (s WorkerState) String() string {
 	switch s {
 	case StateUp:

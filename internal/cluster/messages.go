@@ -169,6 +169,38 @@ type WeightUpdateResponse struct {
 	Err string
 }
 
+// TopologyUpdateRequest delivers a batch of topology mutations (edge and
+// vertex inserts and deletes) to a worker.  Unlike weight updates, which are
+// routed only to the workers owning the affected subgraphs, topology batches
+// are broadcast to every worker: a batch can reshape the partition (move
+// boundary status, open subgraphs), and every worker must route future pairs
+// against the same structure.
+type TopologyUpdateRequest struct {
+	Update graph.TopologyUpdate
+	// NumWorkers and Factor let a standalone worker derive ownership of the
+	// subgraphs this batch opens without coordination: new subgraph s is
+	// hosted by workers (s+r) mod NumWorkers for replica ranks r < Factor.
+	// A zero NumWorkers (legacy master) assigns nothing new.
+	NumWorkers int
+	Factor     int
+}
+
+// TopologyUpdateResponse acknowledges a topology batch.
+type TopologyUpdateResponse struct {
+	// InsertedEdges are the global ids the worker assigned to the batch's
+	// inserts, in order.  The id assignment is deterministic (appended past
+	// the current edge count), so every worker and the master agree on it;
+	// masters can cross-check the echo to detect divergence.
+	InsertedEdges []graph.EdgeID
+	// DeletedEdges are the sorted global ids of all edges the batch removed,
+	// including edges removed because an endpoint vertex was deleted.
+	DeletedEdges []graph.EdgeID
+	// Err reports a failure applying the batch on a standalone worker; the
+	// master must treat it as a failed broadcast (the worker's structure can
+	// no longer be assumed to match the master's).
+	Err string
+}
+
 // StatsRequest asks a worker for its load counters.
 type StatsRequest struct{}
 
@@ -179,6 +211,9 @@ type StatsResponse struct {
 	PairsServed     int
 	RequestsServed  int
 	UpdatesReceived int
+	// TopologyBatches counts topology broadcasts received.  Legacy workers
+	// never set the field; it decodes as zero.
+	TopologyBatches int
 }
 
 // envelope is the tagged union used on the TCP wire.
@@ -194,6 +229,7 @@ type envelope struct {
 	ID       uint64
 	Partial  *PartialKSPRequest
 	Update   *WeightUpdateRequest
+	Topology *TopologyUpdateRequest
 	Stats    *StatsRequest
 	Shutdown bool
 	// Ping is a health-check probe: the server answers with Pong and does no
@@ -205,12 +241,13 @@ type envelope struct {
 
 type replyEnvelope struct {
 	// ID echoes the request's ID (zero for legacy lock-step requests).
-	ID      uint64
-	Err     string
-	Partial *PartialKSPResponse
-	Update  *WeightUpdateResponse
-	Stats   *StatsResponse
-	Pong    bool
+	ID       uint64
+	Err      string
+	Partial  *PartialKSPResponse
+	Update   *WeightUpdateResponse
+	Topology *TopologyUpdateResponse
+	Stats    *StatsResponse
+	Pong     bool
 }
 
 func init() {

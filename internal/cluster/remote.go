@@ -171,6 +171,9 @@ func (s *Server) dispatch(env envelope) replyEnvelope {
 	case env.Update != nil:
 		resp := s.worker.HandleWeightUpdate(*env.Update)
 		reply.Update = &resp
+	case env.Topology != nil:
+		resp := s.worker.HandleTopologyUpdate(*env.Topology)
+		reply.Topology = &resp
 	case env.Stats != nil:
 		resp := s.worker.HandleStats(*env.Stats)
 		reply.Stats = &resp
@@ -589,6 +592,28 @@ func (rw *RemoteWorker) ApplyUpdates(updates []graph.WeightUpdate) (WeightUpdate
 		return *reply.Update, fmt.Errorf("cluster: worker failed to apply updates: %s", reply.Update.Err)
 	}
 	return *reply.Update, nil
+}
+
+// ApplyTopology sends a topology batch to the remote worker.  Unlike weight
+// updates, topology batches are NOT idempotent: a re-delivered batch (the
+// transport retries within the attempt budget when a reply is lost) appends
+// its inserts a second time.  Batches containing deletes fail loudly on
+// re-delivery — deleting an already-dead edge is an error — and the echoed
+// InsertedEdges let the master detect an id-shifted double apply.  A master
+// observing either signal, or a transport error, must treat the worker's
+// structure as diverged and resync it (restart from a snapshot).
+func (rw *RemoteWorker) ApplyTopology(req TopologyUpdateRequest) (TopologyUpdateResponse, error) {
+	reply, err := rw.roundTrip(envelope{Topology: &req})
+	if err != nil {
+		return TopologyUpdateResponse{}, err
+	}
+	if reply.Topology == nil {
+		return TopologyUpdateResponse{}, errors.New("cluster: missing topology response (pre-topology worker?)")
+	}
+	if reply.Topology.Err != "" {
+		return *reply.Topology, fmt.Errorf("cluster: worker failed to apply topology batch: %s", reply.Topology.Err)
+	}
+	return *reply.Topology, nil
 }
 
 // Stats fetches the remote worker's load counters.

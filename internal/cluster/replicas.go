@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"kspdg/internal/partition"
 )
@@ -17,6 +18,10 @@ import (
 type ReplicaTable struct {
 	factor  int
 	workers int
+	// mu guards replicas: Extend appends rows for subgraphs opened by
+	// topology batches while concurrent queries read the table for routing.
+	// Existing rows are never mutated, only the outer slice grows.
+	mu sync.RWMutex
 	// replicas[sg] lists the workers hosting subgraph sg, primary first.
 	replicas [][]int
 }
@@ -100,22 +105,32 @@ func (rt *ReplicaTable) Factor() int { return rt.factor }
 func (rt *ReplicaTable) NumWorkers() int { return rt.workers }
 
 // NumSubgraphs returns the number of subgraphs in the table.
-func (rt *ReplicaTable) NumSubgraphs() int { return len(rt.replicas) }
+func (rt *ReplicaTable) NumSubgraphs() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.replicas)
+}
 
 // Replicas returns the workers hosting subgraph id, primary first.  The
 // returned slice is the table's own; callers must not mutate it.
 func (rt *ReplicaTable) Replicas(id partition.SubgraphID) []int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	return rt.replicas[id]
 }
 
 // Primary returns the primary worker of subgraph id.
 func (rt *ReplicaTable) Primary(id partition.SubgraphID) int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	return rt.replicas[id][0]
 }
 
 // OwnedBy returns every subgraph hosted by worker w at any replica rank, in
 // ascending order — the partition set a worker process loads at startup.
 func (rt *ReplicaTable) OwnedBy(w int) []partition.SubgraphID {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	var out []partition.SubgraphID
 	for sg, ws := range rt.replicas {
 		if containsWorker(ws, w) {
@@ -123,4 +138,22 @@ func (rt *ReplicaTable) OwnedBy(w int) []partition.SubgraphID {
 		}
 	}
 	return out
+}
+
+// Extend grows the table to numSubgraphs rows for subgraphs opened by
+// topology batches.  New subgraph s is assigned round-robin: workers
+// (s+r) mod NumWorkers for replica ranks r < Factor.  The rule is a pure
+// function of (s, worker count, factor), so standalone workers derive the
+// same assignment from the broadcast batch without seeing the table (see
+// Worker.HandleTopologyUpdate).  Extend never reassigns existing rows.
+func (rt *ReplicaTable) Extend(numSubgraphs int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for sg := len(rt.replicas); sg < numSubgraphs; sg++ {
+		ws := make([]int, 0, rt.factor)
+		for r := 0; r < rt.factor; r++ {
+			ws = append(ws, (sg+r)%rt.workers)
+		}
+		rt.replicas = append(rt.replicas, ws)
+	}
 }

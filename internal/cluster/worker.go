@@ -25,12 +25,11 @@ type TouchedCounter func(batch []graph.WeightUpdate) int
 
 // Worker is one SubgraphBolt host: it owns a subset of the partition's
 // subgraphs (and their first-level DTLP data, which lives in the shared
-// dtlp.Index in the in-process deployment) and answers partial-KSP and
-// weight-update requests for them.
+// dtlp.Index in the in-process deployment) and answers partial-KSP,
+// weight-update and topology-update requests for them.
 type Worker struct {
 	id         int
-	part       *partition.Partition
-	owned      map[partition.SubgraphID]bool
+	state      atomic.Pointer[workerState]
 	views      ViewResolver   // nil: serve live weights only
 	touched    TouchedCounter // nil: report zero paths touched
 	applyLocal bool           // standalone worker: apply updates to its own partition copy
@@ -42,28 +41,53 @@ type Worker struct {
 	requestsServed  atomic.Int64
 	pairsServed     atomic.Int64
 	updatesReceived atomic.Int64
+	topologyBatches atomic.Int64
+}
+
+// workerState bundles the partition and the ownership set so a topology
+// update replaces both in one atomic pointer swap: a request handler loads
+// the state once and sees a consistent pair, never a new partition with an
+// old ownership map or vice versa.
+type workerState struct {
+	part  *partition.Partition
+	owned map[partition.SubgraphID]bool
 }
 
 // NewWorker creates a worker owning the given subgraphs of part.
 func NewWorker(id int, part *partition.Partition, owned []partition.SubgraphID) *Worker {
-	w := &Worker{
-		id:    id,
-		part:  part,
-		owned: make(map[partition.SubgraphID]bool, len(owned)),
-	}
-	for _, sg := range owned {
-		w.owned[sg] = true
-	}
+	w := &Worker{id: id}
+	w.installState(part, owned)
 	return w
+}
+
+// installState builds and publishes a workerState from an ownership list.
+func (w *Worker) installState(part *partition.Partition, owned []partition.SubgraphID) {
+	m := make(map[partition.SubgraphID]bool, len(owned))
+	for _, sg := range owned {
+		m[sg] = true
+	}
+	w.state.Store(&workerState{part: part, owned: m})
+}
+
+// SetPartition atomically replaces the worker's partition and ownership set.
+// The in-process cluster calls it after a topology batch: the shared index
+// already derived the new partition, and the worker only needs to route
+// future requests against it (and any subgraphs the batch newly assigned).
+func (w *Worker) SetPartition(part *partition.Partition, owned []partition.SubgraphID) {
+	w.installState(part, owned)
 }
 
 // ID returns the worker's identifier.
 func (w *Worker) ID() int { return w.id }
 
+// Partition returns the partition the worker currently serves.
+func (w *Worker) Partition() *partition.Partition { return w.state.Load().part }
+
 // Owned returns the subgraphs this worker hosts.
 func (w *Worker) Owned() []partition.SubgraphID {
-	out := make([]partition.SubgraphID, 0, len(w.owned))
-	for id := range w.owned {
+	owned := w.state.Load().owned
+	out := make([]partition.SubgraphID, 0, len(owned))
+	for id := range owned {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -71,7 +95,7 @@ func (w *Worker) Owned() []partition.SubgraphID {
 }
 
 // Owns reports whether the worker hosts subgraph id.
-func (w *Worker) Owns(id partition.SubgraphID) bool { return w.owned[id] }
+func (w *Worker) Owns(id partition.SubgraphID) bool { return w.state.Load().owned[id] }
 
 // SetViewResolver enables epoch-pinned request handling: requests carrying an
 // epoch are answered from that epoch's weight snapshots when the resolver can
@@ -180,7 +204,9 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 
 // partialForPair mirrors core.PartialKSPForPair but only searches subgraphs
 // owned by this worker.  With a non-nil view the searches read the epoch's
-// frozen weights; otherwise they read the live subgraph weights.  inner is
+// frozen weights over the partition of that epoch's generation (topology
+// batches replace the partition, so an epoch pin freezes structure as well
+// as weights); otherwise they read the worker's live state.  inner is
 // the width available for this pair's per-subgraph searches; results are
 // merged in subgraph-id order through the same dedup set and sort as the
 // sequential path, so the answer is identical either way.
@@ -188,15 +214,20 @@ func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k, in
 	if pr.A == pr.B {
 		return []graph.Path{{Vertices: []graph.VertexID{pr.A}}}
 	}
-	ids := w.part.CommonSubgraphs(pr.A, pr.B)
+	st := w.state.Load()
+	part := st.part
+	if view != nil {
+		part = view.Partition()
+	}
+	ids := part.CommonSubgraphs(pr.A, pr.B)
 	nOwned := 0
 	for _, id := range ids {
-		if w.owned[id] {
+		if st.owned[id] {
 			nOwned++
 		}
 	}
 	if inner > 1 && nOwned > 1 {
-		return w.partialForPairParallel(view, pr, k, inner, ids, nOwned)
+		return w.partialForPairParallel(view, part, st.owned, pr, k, inner, ids, nOwned)
 	}
 	var merged []graph.Path
 	var seen graph.PathSet
@@ -204,10 +235,10 @@ func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k, in
 	// merged from several owned subgraphs need the dedup set and the sort.
 	dedup := nOwned > 1
 	for _, id := range ids {
-		if !w.owned[id] {
+		if !st.owned[id] {
 			continue
 		}
-		sub := w.part.Subgraph(id)
+		sub := part.Subgraph(id)
 		la, okA := sub.ToLocal(pr.A)
 		lb, okB := sub.ToLocal(pr.B)
 		if !okA || !okB {
@@ -240,17 +271,17 @@ func (w *Worker) partialForPair(view *dtlp.IndexView, pr core.PairRequest, k, in
 // through the dedup set, which is exactly the order the sequential loop
 // visits — and since cross-subgraph duplicates are byte-identical paths, the
 // merged result matches the sequential one bit for bit.
-func (w *Worker) partialForPairParallel(view *dtlp.IndexView, pr core.PairRequest, k, inner int, ids []partition.SubgraphID, nOwned int) []graph.Path {
+func (w *Worker) partialForPairParallel(view *dtlp.IndexView, part *partition.Partition, owned map[partition.SubgraphID]bool, pr core.PairRequest, k, inner int, ids []partition.SubgraphID, nOwned int) []graph.Path {
 	ownedIDs := make([]partition.SubgraphID, 0, nOwned)
 	for _, id := range ids {
-		if w.owned[id] {
+		if owned[id] {
 			ownedIDs = append(ownedIDs, id)
 		}
 	}
 	perSub := make([][]graph.Path, len(ownedIDs))
 	searchOne := func(j int) {
 		id := ownedIDs[j]
-		sub := w.part.Subgraph(id)
+		sub := part.Subgraph(id)
 		la, okA := sub.ToLocal(pr.A)
 		lb, okB := sub.ToLocal(pr.B)
 		if !okA || !okB {
@@ -331,20 +362,69 @@ func (w *Worker) HandleWeightUpdate(req WeightUpdateRequest) WeightUpdateRespons
 		touched = w.touched(req.Updates)
 	}
 	if w.applyLocal {
-		if _, err := w.part.ApplyUpdates(req.Updates); err != nil {
+		if _, err := w.state.Load().part.ApplyUpdates(req.Updates); err != nil {
 			return WeightUpdateResponse{Err: err.Error()}
 		}
 	}
 	return WeightUpdateResponse{PathsTouched: touched}
 }
 
+// HandleTopologyUpdate ingests a topology batch.  In-process workers share
+// the master's index — the shared dtlp.Index applies the batch exactly once
+// and the master installs the derived partition via SetPartition — so they
+// only account for the broadcast.  Standalone workers (see EnableLocalApply)
+// derive the new graph and partition themselves, copy-on-write, and extend
+// their ownership to any subgraphs the batch opened using the deterministic
+// round-robin rule carried by the request: new subgraph s is hosted by
+// workers (s+r) mod NumWorkers for replica ranks r < Factor.  Every process
+// computes the same rule from the same batch, so the fleet's ownership stays
+// consistent without coordination.
+func (w *Worker) HandleTopologyUpdate(req TopologyUpdateRequest) TopologyUpdateResponse {
+	w.topologyBatches.Add(1)
+	if !w.applyLocal {
+		return TopologyUpdateResponse{}
+	}
+	st := w.state.Load()
+	newParent, inserted, deleted, err := st.part.Parent().ApplyTopology(req.Update)
+	if err != nil {
+		return TopologyUpdateResponse{Err: err.Error()}
+	}
+	newPart, _, err := st.part.ApplyTopology(newParent, req.Update, inserted, deleted)
+	if err != nil {
+		return TopologyUpdateResponse{Err: err.Error()}
+	}
+	owned := make(map[partition.SubgraphID]bool, len(st.owned))
+	for id := range st.owned {
+		owned[id] = true
+	}
+	if req.NumWorkers > 0 {
+		factor := req.Factor
+		if factor < 1 {
+			factor = 1
+		}
+		if factor > req.NumWorkers {
+			factor = req.NumWorkers
+		}
+		for sg := st.part.NumSubgraphs(); sg < newPart.NumSubgraphs(); sg++ {
+			for r := 0; r < factor; r++ {
+				if (sg+r)%req.NumWorkers == w.id {
+					owned[partition.SubgraphID(sg)] = true
+				}
+			}
+		}
+	}
+	w.state.Store(&workerState{part: newPart, owned: owned})
+	return TopologyUpdateResponse{InsertedEdges: inserted, DeletedEdges: deleted}
+}
+
 // HandleStats returns the worker's load counters.
 func (w *Worker) HandleStats(StatsRequest) StatsResponse {
 	return StatsResponse{
 		Worker:          w.id,
-		Subgraphs:       len(w.owned),
+		Subgraphs:       len(w.state.Load().owned),
 		PairsServed:     int(w.pairsServed.Load()),
 		RequestsServed:  int(w.requestsServed.Load()),
 		UpdatesReceived: int(w.updatesReceived.Load()),
+		TopologyBatches: int(w.topologyBatches.Load()),
 	}
 }

@@ -75,15 +75,18 @@ func NewLocalProvider(part *partition.Partition, parallelism int) *LocalProvider
 	return &LocalProvider{part: part, Parallelism: parallelism}
 }
 
-// PartialKSP implements PartialProvider against the live subgraph weights.
+// PartialKSP implements PartialProvider against the live subgraph weights of
+// the partition the provider was constructed over.
 func (lp *LocalProvider) PartialKSP(pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error) {
-	return lp.partialKSP(pairs, k, liveSubgraphWeights(lp.part))
+	return lp.partialKSP(lp.part, pairs, k, liveSubgraphWeights(lp.part))
 }
 
 // PartialKSPView implements ViewProvider: every subgraph search reads the
-// weights frozen in the epoch view.
+// weights frozen in the epoch view, over the partition of that epoch's
+// generation (topology updates replace the partition, so the view's own
+// partition — not the construction-time one — is authoritative).
 func (lp *LocalProvider) PartialKSPView(iv *dtlp.IndexView, pairs []PairRequest, k int) (map[PairRequest][]graph.Path, error) {
-	return lp.partialKSP(pairs, k, iv.SubgraphWeights)
+	return lp.partialKSP(iv.Partition(), pairs, k, iv.SubgraphWeights)
 }
 
 // subgraphWeightsFn resolves the weighted view a subgraph search should run
@@ -99,7 +102,7 @@ func liveSubgraphWeights(part *partition.Partition) subgraphWeightsFn {
 	}
 }
 
-func (lp *LocalProvider) partialKSP(pairs []PairRequest, k int, weights subgraphWeightsFn) (map[PairRequest][]graph.Path, error) {
+func (lp *LocalProvider) partialKSP(part *partition.Partition, pairs []PairRequest, k int, weights subgraphWeightsFn) (map[PairRequest][]graph.Path, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
@@ -110,7 +113,7 @@ func (lp *LocalProvider) partialKSP(pairs []PairRequest, k int, weights subgraph
 	par := lp.Parallelism
 	if par <= 1 {
 		for _, pr := range pairs {
-			out[pr] = partialKSPForPairInner(lp.part, pr, k, weights, 1)
+			out[pr] = partialKSPForPairInner(part, pr, k, weights, 1)
 		}
 		return out, nil
 	}
@@ -122,7 +125,7 @@ func (lp *LocalProvider) partialKSP(pairs []PairRequest, k int, weights subgraph
 		inner = 1
 	}
 	if len(pairs) == 1 {
-		out[pairs[0]] = partialKSPForPairInner(lp.part, pairs[0], k, weights, inner)
+		out[pairs[0]] = partialKSPForPairInner(part, pairs[0], k, weights, inner)
 		return out, nil
 	}
 	var mu sync.Mutex
@@ -133,7 +136,7 @@ func (lp *LocalProvider) partialKSP(pairs []PairRequest, k int, weights subgraph
 		go func() {
 			defer wg.Done()
 			for pr := range jobs {
-				paths := partialKSPForPairInner(lp.part, pr, k, weights, inner)
+				paths := partialKSPForPairInner(part, pr, k, weights, inner)
 				mu.Lock()
 				out[pr] = paths
 				mu.Unlock()

@@ -1,0 +1,36 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDifferentialTopology sweeps the topology-mutation lane across both
+// graph flavours and three seeds: every run covers at least four topology
+// epochs (a delete severing a previously returned top-k path, an insert
+// creating a strictly shorter alternative, and two randomized mixed batches),
+// auditing against an exact Yen oracle rebuilt on the replaced parent graph
+// after each one.  Runs under -race in CI.
+func TestDifferentialTopology(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for seed := int64(1); seed <= 3; seed++ {
+			p := TopologyParams{Directed: directed, Seed: seed * 37}
+			t.Run(fmt.Sprintf("directed=%v/seed=%d", directed, seed), func(t *testing.T) {
+				CheckTopology(t, p)
+			})
+		}
+	}
+}
+
+// TestDifferentialTopologyRecover is the durability variant: the whole run
+// persists through a store (base snapshot + interleaved weight/topology WAL),
+// then crashes and recovers, and every audited query must reproduce its live
+// distances bit for bit on the recovered index.
+func TestDifferentialTopologyRecover(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		p := TopologyParams{Directed: directed, Seed: 101, Recover: true}
+		t.Run(fmt.Sprintf("directed=%v", directed), func(t *testing.T) {
+			CheckTopology(t, p)
+		})
+	}
+}

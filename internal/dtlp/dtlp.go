@@ -94,23 +94,38 @@ func MakePairKey(a, b graph.VertexID, directed bool) PairKey {
 	return PairKey{A: a, B: b}
 }
 
-// Index is the DTLP index over a partitioned graph.
-type Index struct {
-	cfg  Config
-	part *partition.Partition
-
+// generation bundles the structural state of the index that a topology
+// mutation replaces wholesale: the partition, the per-subgraph first-level
+// indexes, the skeleton graph, and the pair->subgraph map.  All four are
+// immutable in structure once a generation is published (weight updates
+// mutate weights inside them, but never the structure), so readers pin a
+// generation with a single atomic load and epoch views keep their generation
+// alive for as long as they are referenced.
+type generation struct {
+	part     *partition.Partition
 	subs     []*SubgraphIndex
 	skeleton *Skeleton
-
-	mu       sync.RWMutex
 	pairSubs map[PairKey][]partition.SubgraphID // subgraphs contributing a finite LBD for the pair
+}
 
-	// Epoch view machinery: writeMu serializes ApplyUpdates (the single
-	// writer), view holds the most recently published IndexView, and recent
-	// retains a window of past views so queries can be audited against the
-	// exact epoch they ran on.  epochBase is the epoch of the first published
-	// view: 0 for a freshly built index, the snapshot epoch for a recovered
-	// one (see Importer.Finish), so epochs continue across restarts.
+// Index is the DTLP index over a partitioned graph.
+type Index struct {
+	cfg Config
+
+	// gen is the current structural generation.  Weight updates mutate the
+	// current generation in place (weights only); topology updates derive and
+	// atomically install a new one.  Epoch views pin the generation they were
+	// published from, so queries on old epochs keep resolving the partition
+	// and skeleton that existed at that epoch.
+	gen atomic.Pointer[generation]
+
+	// Epoch view machinery: writeMu serializes ApplyUpdates and ApplyTopology
+	// (the single writer), view holds the most recently published IndexView,
+	// and recent retains a window of past views so queries can be audited
+	// against the exact epoch they ran on.  epochBase is the epoch of the
+	// first published view: 0 for a freshly built index, the snapshot epoch
+	// for a recovered one (see Importer.Finish), so epochs continue across
+	// restarts.
 	epochBase uint64
 	writeMu   sync.Mutex
 	view      atomic.Pointer[IndexView]
@@ -149,13 +164,12 @@ func Build(part *partition.Partition, cfg Config) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	x := &Index{
-		cfg:      cfg,
-		part:     part,
-		subs:     make([]*SubgraphIndex, part.NumSubgraphs()),
-		pairSubs: make(map[PairKey][]partition.SubgraphID),
-	}
+	x := &Index{cfg: cfg}
 	x.SetUpdateParallelism(cfg.UpdateParallelism)
+	g := &generation{
+		part: part,
+		subs: make([]*SubgraphIndex, part.NumSubgraphs()),
+	}
 
 	// Index each subgraph (first level): bounding paths, EP-Index, LBDs.
 	type job struct{ id partition.SubgraphID }
@@ -173,7 +187,7 @@ func Build(part *partition.Partition, cfg Config) (*Index, error) {
 					errOnce.Do(func() { buildErr = err })
 					continue
 				}
-				x.subs[j.id] = si
+				g.subs[j.id] = si
 			}
 		}()
 	}
@@ -186,55 +200,76 @@ func Build(part *partition.Partition, cfg Config) (*Index, error) {
 		return nil, buildErr
 	}
 
-	// Record which subgraphs contribute to each boundary pair.
-	directed := part.Parent().Directed()
-	for _, si := range x.subs {
-		for key := range si.pairs {
-			gk := si.globalPairKey(key, directed)
-			x.pairSubs[gk] = append(x.pairSubs[gk], si.sub.ID)
-		}
-	}
-
-	// Second level: skeleton graph with MBD edge weights.
-	skel, err := buildSkeleton(part, x.mbdAll(directed), directed)
-	if err != nil {
+	// Record which subgraphs contribute to each boundary pair, then build the
+	// second level: the skeleton graph with MBD edge weights.
+	if err := g.finishStructure(); err != nil {
 		return nil, err
 	}
-	x.skeleton = skel
+	x.gen.Store(g)
 	x.publishView(nil) // epoch 0: the construction-time weights
 	return x, nil
+}
+
+// finishStructure derives the generation state that is a pure function of the
+// partition and the per-subgraph indexes: the pair->subgraph map and the
+// skeleton graph.  Registration iterates pairs in sorted order so the derived
+// structures are deterministic.
+func (g *generation) finishStructure() error {
+	directed := g.part.Parent().Directed()
+	g.pairSubs = make(map[PairKey][]partition.SubgraphID)
+	for _, si := range g.subs {
+		keys := make([]PairKey, 0, len(si.pairs))
+		for k := range si.pairs {
+			keys = append(keys, k)
+		}
+		sortPairKeys(keys)
+		for _, key := range keys {
+			gk := si.globalPairKey(key, directed)
+			g.pairSubs[gk] = append(g.pairSubs[gk], si.sub.ID)
+		}
+	}
+	skel, err := buildSkeleton(g.part, g.mbdAll(), directed)
+	if err != nil {
+		return err
+	}
+	g.skeleton = skel
+	return nil
 }
 
 // Config returns the configuration the index was built with.
 func (x *Index) Config() Config { return x.cfg }
 
-// Partition returns the partition the index was built over.
-func (x *Index) Partition() *partition.Partition { return x.part }
+// Partition returns the current partition of the index.  Topology updates
+// replace the partition; callers that must stay consistent with a specific
+// epoch should resolve it through that epoch's IndexView instead.
+func (x *Index) Partition() *partition.Partition { return x.gen.Load().part }
 
-// Skeleton returns the skeleton graph Gλ (second index level).
-func (x *Index) Skeleton() *Skeleton { return x.skeleton }
+// Skeleton returns the current skeleton graph Gλ (second index level).
+func (x *Index) Skeleton() *Skeleton { return x.gen.Load().skeleton }
 
-// SubgraphIndex returns the first-level index of one subgraph.
-func (x *Index) SubgraphIndex(id partition.SubgraphID) *SubgraphIndex { return x.subs[id] }
+// SubgraphIndex returns the current first-level index of one subgraph.
+func (x *Index) SubgraphIndex(id partition.SubgraphID) *SubgraphIndex { return x.gen.Load().subs[id] }
 
 // LBD returns the lower bound distance between global boundary vertices a and
 // b within subgraph id, or +Inf if the pair is not indexed there.
 func (x *Index) LBD(id partition.SubgraphID, a, b graph.VertexID) float64 {
-	return x.subs[id].LBDGlobal(a, b)
+	return x.gen.Load().subs[id].LBDGlobal(a, b)
 }
 
 // MBD returns the minimum lower bound distance between global boundary
 // vertices a and b across all subgraphs containing both, or +Inf if no
 // subgraph indexes the pair.
 func (x *Index) MBD(a, b graph.VertexID) float64 {
-	directed := x.part.Parent().Directed()
-	key := MakePairKey(a, b, directed)
-	x.mu.RLock()
-	subs := x.pairSubs[key]
-	x.mu.RUnlock()
+	return x.gen.Load().mbd(a, b)
+}
+
+// mbd computes the minimum lower bound distance of one boundary pair within
+// this generation.
+func (g *generation) mbd(a, b graph.VertexID) float64 {
+	key := MakePairKey(a, b, g.part.Parent().Directed())
 	best := inf()
-	for _, id := range subs {
-		if d := x.subs[id].LBDGlobal(a, b); d < best {
+	for _, id := range g.pairSubs[key] {
+		if d := g.subs[id].LBDGlobal(a, b); d < best {
 			best = d
 		}
 	}
@@ -242,12 +277,12 @@ func (x *Index) MBD(a, b graph.VertexID) float64 {
 }
 
 // mbdAll computes the MBD of every indexed boundary pair.
-func (x *Index) mbdAll(directed bool) map[PairKey]float64 {
+func (g *generation) mbdAll() map[PairKey]float64 {
 	out := make(map[PairKey]float64)
-	for key, subs := range x.pairSubs {
+	for key, subs := range g.pairSubs {
 		best := inf()
 		for _, id := range subs {
-			if d := x.subs[id].LBDGlobal(key.A, key.B); d < best {
+			if d := g.subs[id].LBDGlobal(key.A, key.B); d < best {
 				best = d
 			}
 		}
@@ -255,7 +290,6 @@ func (x *Index) mbdAll(directed bool) map[PairKey]float64 {
 			out[key] = best
 		}
 	}
-	_ = directed
 	return out
 }
 
@@ -264,8 +298,8 @@ func (x *Index) mbdAll(directed bool) map[PairKey]float64 {
 type weightsAt func(partition.SubgraphID) graph.WeightedView
 
 // liveWeights reads each subgraph's live local graph.
-func (x *Index) liveWeights(id partition.SubgraphID) graph.WeightedView {
-	return x.part.Subgraph(id).Local
+func (g *generation) liveWeights(id partition.SubgraphID) graph.WeightedView {
+	return g.part.Subgraph(id).Local
 }
 
 // BoundaryLowerBounds returns, for an arbitrary (possibly non-boundary)
@@ -278,13 +312,14 @@ func (x *Index) liveWeights(id partition.SubgraphID) graph.WeightedView {
 // a valid (and the tightest possible) lower bound for the first/last segment
 // of any path leaving the subgraph through a boundary vertex.
 func (x *Index) BoundaryLowerBounds(v graph.VertexID) map[graph.VertexID]float64 {
-	return x.boundaryLowerBounds(v, x.liveWeights)
+	g := x.gen.Load()
+	return g.boundaryLowerBounds(v, g.liveWeights)
 }
 
-func (x *Index) boundaryLowerBounds(v graph.VertexID, at weightsAt) map[graph.VertexID]float64 {
+func (g *generation) boundaryLowerBounds(v graph.VertexID, at weightsAt) map[graph.VertexID]float64 {
 	out := make(map[graph.VertexID]float64)
-	for _, id := range x.part.SubgraphsOf(v) {
-		for bv, d := range x.subs[id].boundaryDistancesFrom(v, at(id)) {
+	for _, id := range g.part.SubgraphsOf(v) {
+		for bv, d := range g.subs[id].boundaryDistancesFrom(v, at(id)) {
 			if cur, ok := out[bv]; !ok || d < cur {
 				out[bv] = d
 			}
@@ -298,16 +333,17 @@ func (x *Index) boundaryLowerBounds(v graph.VertexID, at weightsAt) map[graph.Ve
 // bound on the within-subgraph distance travelling from b to v.  For
 // undirected graphs it equals BoundaryLowerBounds.
 func (x *Index) BoundaryLowerBoundsTo(v graph.VertexID) map[graph.VertexID]float64 {
-	return x.boundaryLowerBoundsTo(v, x.liveWeights)
+	g := x.gen.Load()
+	return g.boundaryLowerBoundsTo(v, g.liveWeights)
 }
 
-func (x *Index) boundaryLowerBoundsTo(v graph.VertexID, at weightsAt) map[graph.VertexID]float64 {
-	if !x.part.Parent().Directed() {
-		return x.boundaryLowerBounds(v, at)
+func (g *generation) boundaryLowerBoundsTo(v graph.VertexID, at weightsAt) map[graph.VertexID]float64 {
+	if !g.part.Parent().Directed() {
+		return g.boundaryLowerBounds(v, at)
 	}
 	out := make(map[graph.VertexID]float64)
-	for _, id := range x.part.SubgraphsOf(v) {
-		for bv, d := range x.subs[id].boundaryDistancesTo(v, at(id)) {
+	for _, id := range g.part.SubgraphsOf(v) {
+		for bv, d := range g.subs[id].boundaryDistancesTo(v, at(id)) {
 			if cur, ok := out[bv]; !ok || d < cur {
 				out[bv] = d
 			}
@@ -321,13 +357,14 @@ func (x *Index) boundaryLowerBoundsTo(v graph.VertexID, at weightsAt) map[graph.
 // subgraph contains both vertices.  KSP-DG uses it to attach a direct edge
 // between two non-boundary query endpoints that share a subgraph.
 func (x *Index) WithinSubgraphDistance(s, t graph.VertexID) float64 {
-	return x.withinSubgraphDistance(s, t, x.liveWeights)
+	g := x.gen.Load()
+	return g.withinSubgraphDistance(s, t, g.liveWeights)
 }
 
-func (x *Index) withinSubgraphDistance(s, t graph.VertexID, at weightsAt) float64 {
+func (g *generation) withinSubgraphDistance(s, t graph.VertexID, at weightsAt) float64 {
 	best := inf()
-	for _, id := range x.part.CommonSubgraphs(s, t) {
-		sub := x.part.Subgraph(id)
+	for _, id := range g.part.CommonSubgraphs(s, t) {
+		sub := g.part.Subgraph(id)
 		ls, okS := sub.ToLocal(s)
 		lt, okT := sub.ToLocal(t)
 		if !okS || !okT {
@@ -401,6 +438,7 @@ func (x *Index) ApplyUpdatesStats(batch []graph.WeightUpdate) (UpdateStats, erro
 	}
 	x.writeMu.Lock()
 	defer x.writeMu.Unlock()
+	g := x.gen.Load()
 	// Capture pre-update weights to derive the deltas used for incremental
 	// bounding path distance maintenance, grouped per owning subgraph in
 	// batch order.
@@ -409,22 +447,22 @@ func (x *Index) ApplyUpdatesStats(batch []graph.WeightUpdate) (UpdateStats, erro
 		delta float64
 	}
 	perSub := make(map[partition.SubgraphID][]pendingDelta)
-	numEdges := x.part.Parent().NumEdges()
+	numEdges := g.part.Parent().NumEdges()
 	for _, u := range batch {
 		if u.Edge < 0 || int(u.Edge) >= numEdges {
 			return UpdateStats{}, fmt.Errorf("dtlp: update for edge %d outside [0,%d)", u.Edge, numEdges)
 		}
-		loc := x.part.Locate(u.Edge)
+		loc := g.part.Locate(u.Edge)
 		if loc.Subgraph == partition.NoSubgraph {
 			return UpdateStats{}, fmt.Errorf("dtlp: update for edge %d not covered by partition", u.Edge)
 		}
-		old := x.part.Subgraph(loc.Subgraph).Local.Weight(loc.LocalEdge)
+		old := g.part.Subgraph(loc.Subgraph).Local.Weight(loc.LocalEdge)
 		if delta := u.NewWeight - old; delta != 0 {
 			perSub[loc.Subgraph] = append(perSub[loc.Subgraph], pendingDelta{local: loc.LocalEdge, delta: delta})
 		}
 	}
 	// Push new weights into the subgraph local graphs.
-	if _, err := x.part.ApplyUpdates(batch); err != nil {
+	if _, err := g.part.ApplyUpdates(batch); err != nil {
 		return UpdateStats{}, err
 	}
 	affectedIDs := make([]partition.SubgraphID, 0, len(perSub))
@@ -438,7 +476,7 @@ func (x *Index) ApplyUpdatesStats(batch []graph.WeightUpdate) (UpdateStats, erro
 	changed := make([][]PairKey, len(affectedIDs))
 	touchedPer := make([]int, len(affectedIDs))
 	refreshOne := func(i int) {
-		si := x.subs[affectedIDs[i]]
+		si := g.subs[affectedIDs[i]]
 		touched := 0
 		for _, d := range perSub[affectedIDs[i]] {
 			touched += si.applyEdgeDelta(d.local, d.delta)
@@ -479,10 +517,10 @@ func (x *Index) ApplyUpdatesStats(batch []graph.WeightUpdate) (UpdateStats, erro
 	// subgraph.  The union is sorted (and deduplicated) so the write order is
 	// deterministic regardless of which goroutine finished first; the MBDs
 	// themselves are order-independent minima over the refreshed LBDs.
-	directed := x.part.Parent().Directed()
+	directed := g.part.Parent().Directed()
 	var changedPairs []PairKey
 	for i, id := range affectedIDs {
-		si := x.subs[id]
+		si := g.subs[id]
 		for _, localPair := range changed[i] {
 			changedPairs = append(changedPairs, si.globalPairKey(localPair, directed))
 		}
@@ -500,8 +538,8 @@ func (x *Index) ApplyUpdatesStats(batch []graph.WeightUpdate) (UpdateStats, erro
 		}
 		prev = gk
 		st.PairsChanged++
-		mbd := x.MBD(gk.A, gk.B)
-		if err := x.skeleton.SetWeight(gk, mbd); err != nil {
+		mbd := g.mbd(gk.A, gk.B)
+		if err := g.skeleton.SetWeight(gk, mbd); err != nil {
 			return UpdateStats{}, err
 		}
 	}
@@ -523,13 +561,18 @@ func (x *Index) ApplyUpdatesStats(batch []graph.WeightUpdate) (UpdateStats, erro
 // safe to take concurrently with queries and updates.  Edges outside the
 // partition count zero.
 func (x *Index) PathsCrossing(batch []graph.WeightUpdate) int {
+	g := x.gen.Load()
+	numEdges := g.part.Parent().NumEdges()
 	n := 0
 	for _, u := range batch {
-		loc := x.part.Locate(u.Edge)
+		if u.Edge < 0 || int(u.Edge) >= numEdges {
+			continue
+		}
+		loc := g.part.Locate(u.Edge)
 		if loc.Subgraph == partition.NoSubgraph {
 			continue
 		}
-		n += len(x.subs[loc.Subgraph].epIndex[loc.LocalEdge])
+		n += len(g.subs[loc.Subgraph].epIndex[loc.LocalEdge])
 	}
 	return n
 }
@@ -548,13 +591,14 @@ type Stats struct {
 
 // Stats returns size statistics of the index.
 func (x *Index) Stats() Stats {
+	g := x.gen.Load()
 	st := Stats{
-		NumSubgraphs:        x.part.NumSubgraphs(),
-		NumBoundaryVertices: len(x.part.BoundaryVertices()),
-		SkeletonVertices:    x.skeleton.NumVertices(),
-		SkeletonEdges:       x.skeleton.NumEdges(),
+		NumSubgraphs:        g.part.NumSubgraphs(),
+		NumBoundaryVertices: len(g.part.BoundaryVertices()),
+		SkeletonVertices:    g.skeleton.NumVertices(),
+		SkeletonEdges:       g.skeleton.NumEdges(),
 	}
-	for _, si := range x.subs {
+	for _, si := range g.subs {
 		st.NumBoundingPaths += si.numPaths
 		st.EPIndexEntries += si.epEntries
 		st.ApproxBytes += si.approxBytes()

@@ -15,8 +15,11 @@ import (
 var subgraphBuilds atomic.Int64
 
 // SubgraphBuildCount returns the number of subgraph index constructions
-// (bounding path enumerations) performed by this process.  Import/recovery
-// must not increase it; Build increases it once per subgraph.
+// (bounding path enumerations) performed by this process.  Import never
+// increases it; Build increases it once per subgraph, and ApplyTopology once
+// per touched subgraph — so recovery stays enumeration-free only up to the
+// first topology record in the WAL, whose replay re-runs the same
+// incremental rebuilds the original apply did.
 func SubgraphBuildCount() int64 { return subgraphBuilds.Load() }
 
 // PathRecord is the serializable form of one bounding path: everything the
@@ -61,7 +64,7 @@ func (x *Index) ExportState(fn func(st ExportedState) error) error {
 		Epoch: view.Epoch(),
 		View:  view,
 		Paths: func(visit func(sub partition.SubgraphID, rec PathRecord) error) error {
-			for id, si := range x.subs {
+			for id, si := range view.gen.subs {
 				keys := make([]PairKey, 0, len(si.pairs))
 				for k := range si.pairs {
 					keys = append(keys, k)
@@ -211,32 +214,15 @@ func (imp *Importer) Finish(epoch uint64) (*Index, error) {
 		return nil, fmt.Errorf("dtlp: import already finished")
 	}
 	imp.finished = true
-	x := &Index{
-		cfg:      imp.cfg,
-		part:     imp.part,
-		subs:     imp.subs,
-		pairSubs: make(map[PairKey][]partition.SubgraphID),
-	}
-	for _, si := range x.subs {
+	x := &Index{cfg: imp.cfg}
+	g := &generation{part: imp.part, subs: imp.subs}
+	for _, si := range g.subs {
 		si.refreshBounds()
 	}
-	directed := imp.part.Parent().Directed()
-	for _, si := range x.subs {
-		keys := make([]PairKey, 0, len(si.pairs))
-		for k := range si.pairs {
-			keys = append(keys, k)
-		}
-		sortPairKeys(keys)
-		for _, key := range keys {
-			gk := si.globalPairKey(key, directed)
-			x.pairSubs[gk] = append(x.pairSubs[gk], si.sub.ID)
-		}
-	}
-	skel, err := buildSkeleton(imp.part, x.mbdAll(directed), directed)
-	if err != nil {
+	if err := g.finishStructure(); err != nil {
 		return nil, err
 	}
-	x.skeleton = skel
+	x.gen.Store(g)
 	x.epochBase = epoch
 	x.publishView(nil)
 	return x, nil

@@ -264,7 +264,7 @@ func (si *SubgraphIndex) rebuildUnitsIfDirty() {
 	}
 	g := si.sub.Local
 	n := g.NumEdges()
-	if cap(si.sortedUnits) < n {
+	if cap(si.sortedUnits) < n || cap(si.prefixFrags) < n+1 {
 		si.sortedUnits = make([]unitEntry, n)
 		si.prefixFrags = make([]float64, n+1)
 		si.prefixCost = make([]float64, n+1)

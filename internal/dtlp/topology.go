@@ -1,0 +1,140 @@
+package dtlp
+
+import (
+	"sync"
+
+	"kspdg/internal/graph"
+	"kspdg/internal/partition"
+)
+
+// TopologyStats reports the maintenance work one topology batch performed.
+type TopologyStats struct {
+	// Epoch is the epoch published for the batch (or the current epoch for
+	// an empty batch).
+	Epoch uint64
+	// InsertedEdges are the global ids assigned to the batch's InsertEdges,
+	// in order.  Nil for an empty batch.
+	InsertedEdges []graph.EdgeID
+	// DeletedEdges are the sorted global ids of all edges the batch removed,
+	// including edges deleted because an endpoint vertex was deleted.
+	DeletedEdges []graph.EdgeID
+	// SubgraphsRebuilt counts the subgraphs whose bounding paths and EP-Index
+	// were re-enumerated — the incremental-maintenance cost of the batch.
+	SubgraphsRebuilt int
+	// SubgraphsTotal is the subgraph count after the batch, for reference.
+	SubgraphsTotal int
+}
+
+// ApplyTopology ingests a batch of topology mutations: it derives a new
+// parent graph and partition (copy-on-write; see graph.Graph.ApplyTopology
+// and partition.Partition.ApplyTopology), re-enumerates bounding paths and
+// EP-Index entries only for the subgraphs the batch touched, rebuilds the
+// skeleton graph, and publishes the result as a normal epoch so the
+// snapshot-isolated read path observes it exactly like a weight batch.
+// Queries running against earlier epochs keep the old generation alive and
+// are completely unaffected.
+//
+// ApplyTopology shares the single-writer lock with ApplyUpdates, so topology
+// and weight batches serialize against each other in arrival order.
+func (x *Index) ApplyTopology(up graph.TopologyUpdate) error {
+	_, err := x.ApplyTopologyStats(up)
+	return err
+}
+
+// ApplyTopologyEpoch is ApplyTopology returning the epoch published for the
+// batch (or the current epoch for an empty batch).
+func (x *Index) ApplyTopologyEpoch(up graph.TopologyUpdate) (uint64, error) {
+	st, err := x.ApplyTopologyStats(up)
+	return st.Epoch, err
+}
+
+// ApplyTopologyStats is ApplyTopology returning per-batch maintenance
+// statistics.  Touched-subgraph rebuilds are sharded across up to
+// UpdateParallelism goroutines; each rebuild is independent of the others, so
+// the sharding changes wall-clock time, never results.
+func (x *Index) ApplyTopologyStats(up graph.TopologyUpdate) (TopologyStats, error) {
+	if up.IsZero() {
+		return TopologyStats{Epoch: x.CurrentView().Epoch()}, nil
+	}
+	x.writeMu.Lock()
+	defer x.writeMu.Unlock()
+	old := x.gen.Load()
+
+	newParent, inserted, deleted, err := old.part.Parent().ApplyTopology(up)
+	if err != nil {
+		return TopologyStats{}, err
+	}
+	newPart, touched, err := old.part.ApplyTopology(newParent, up, inserted, deleted)
+	if err != nil {
+		return TopologyStats{}, err
+	}
+
+	// Rebuild the first-level index of every touched subgraph; everything
+	// else is shared with the previous generation (the partition shares the
+	// corresponding *Subgraph values, so the old indexes stay valid).
+	subs := make([]*SubgraphIndex, newPart.NumSubgraphs())
+	copy(subs, old.subs)
+	var rebuildErr error
+	var errOnce sync.Once
+	rebuild := func(id partition.SubgraphID) {
+		si, err := buildSubgraphIndex(newPart.Subgraph(id), x.cfg)
+		if err != nil {
+			errOnce.Do(func() { rebuildErr = err })
+			return
+		}
+		subs[id] = si
+	}
+	if par := x.updateParallelism(); par <= 1 || len(touched) <= 1 {
+		for _, id := range touched {
+			rebuild(id)
+		}
+	} else {
+		if par > len(touched) {
+			par = len(touched)
+		}
+		jobs := make(chan partition.SubgraphID)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for id := range jobs {
+					rebuild(id)
+				}
+			}()
+		}
+		for _, id := range touched {
+			jobs <- id
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	if rebuildErr != nil {
+		return TopologyStats{}, rebuildErr
+	}
+
+	// Boundary membership and cross-subgraph minima can shift globally, so
+	// the pair->subgraph map and the skeleton are rebuilt wholesale (both are
+	// cheap relative to bounding-path enumeration and fully deterministic).
+	ng := &generation{part: newPart, subs: subs}
+	if err := ng.finishStructure(); err != nil {
+		return TopologyStats{}, err
+	}
+
+	// Publish: install the generation, then publish the next epoch view.
+	// Untouched subgraphs share their weight snapshots with the previous
+	// epoch exactly like a weight batch.
+	x.gen.Store(ng)
+	affected := make(map[partition.SubgraphID]bool, len(touched))
+	for _, id := range touched {
+		affected[id] = true
+	}
+	nv := x.publishView(affected)
+	return TopologyStats{
+		Epoch:            nv.epoch,
+		InsertedEdges:    inserted,
+		DeletedEdges:     deleted,
+		SubgraphsRebuilt: len(touched),
+		SubgraphsTotal:   newPart.NumSubgraphs(),
+	}, nil
+}

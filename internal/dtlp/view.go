@@ -23,6 +23,7 @@ const viewRetention = 32
 // while newer epochs are being published.
 type IndexView struct {
 	x     *Index
+	gen   *generation // the structural generation this epoch belongs to
 	epoch uint64
 	skel  *graph.Snapshot   // skeleton graph weights at this epoch
 	subs  []*graph.Snapshot // per-subgraph local weights, indexed by SubgraphID
@@ -35,15 +36,16 @@ func (v *IndexView) Epoch() uint64 { return v.epoch }
 // Index returns the index this view was published from.
 func (v *IndexView) Index() *Index { return v.x }
 
-// Partition returns the partition the index was built over.  The partition's
-// topology and vertex/edge mappings are immutable, so sharing it across
-// epochs is safe; only its weights evolve, and those are captured by the
-// per-subgraph snapshots of this view.
-func (v *IndexView) Partition() *partition.Partition { return v.x.part }
+// Partition returns the partition as of this view's epoch.  A partition's
+// vertex/edge mappings are immutable (topology updates install a new
+// partition in a new generation), so the returned value stays consistent
+// with this view's weight snapshots no matter what is published later.
+func (v *IndexView) Partition() *partition.Partition { return v.gen.part }
 
-// Skeleton returns the skeleton for id translation.  Topology and id mappings
-// are immutable; weight reads must go through SkeletonWeights instead.
-func (v *IndexView) Skeleton() *Skeleton { return v.x.skeleton }
+// Skeleton returns the skeleton of this view's generation for id translation.
+// Its topology and id mappings are immutable; weight reads must go through
+// SkeletonWeights instead.
+func (v *IndexView) Skeleton() *Skeleton { return v.gen.skeleton }
 
 // SkeletonWeights returns the skeleton graph weights frozen at this epoch.
 func (v *IndexView) SkeletonWeights() *graph.Snapshot { return v.skel }
@@ -58,7 +60,10 @@ func (v *IndexView) SubgraphWeights(id partition.SubgraphID) *graph.Snapshot {
 // through the owning subgraph's snapshot (the partition is edge-disjoint, so
 // every edge has exactly one owner).
 func (v *IndexView) GlobalWeight(e graph.EdgeID) float64 {
-	loc := v.x.part.Locate(e)
+	if e < 0 || int(e) >= v.gen.part.Parent().NumEdges() {
+		return math.Inf(1)
+	}
+	loc := v.gen.part.Locate(e)
 	if loc.Subgraph == partition.NoSubgraph {
 		return math.Inf(1)
 	}
@@ -76,7 +81,7 @@ func (v *IndexView) epochWeights(id partition.SubgraphID) graph.WeightedView {
 // subgraph from u to every boundary vertex of that subgraph.  It is the
 // epoch-consistent counterpart of Index.BoundaryLowerBounds.
 func (v *IndexView) BoundaryLowerBounds(u graph.VertexID) map[graph.VertexID]float64 {
-	return v.x.boundaryLowerBounds(u, v.epochWeights)
+	return v.gen.boundaryLowerBounds(u, v.epochWeights)
 }
 
 // BoundaryLowerBoundsTo is the directed counterpart of BoundaryLowerBounds:
@@ -84,37 +89,42 @@ func (v *IndexView) BoundaryLowerBounds(u graph.VertexID) map[graph.VertexID]flo
 // distance at this epoch travelling from b to u.  For undirected graphs it
 // equals BoundaryLowerBounds.
 func (v *IndexView) BoundaryLowerBoundsTo(u graph.VertexID) map[graph.VertexID]float64 {
-	return v.x.boundaryLowerBoundsTo(u, v.epochWeights)
+	return v.gen.boundaryLowerBoundsTo(u, v.epochWeights)
 }
 
 // WithinSubgraphDistance returns the smallest shortest-path distance from s to
 // t at this epoch measured inside any single subgraph containing both, or
 // +Inf if no subgraph contains both vertices.
 func (v *IndexView) WithinSubgraphDistance(s, t graph.VertexID) float64 {
-	return v.x.withinSubgraphDistance(s, t, v.epochWeights)
+	return v.gen.withinSubgraphDistance(s, t, v.epochWeights)
 }
 
-// publishView builds and atomically publishes the next epoch view.  Only the
-// subgraphs in affected are re-snapshotted; everything else is shared with
-// the previous view (copy-on-write).  Callers must hold x.writeMu.
+// publishView builds and atomically publishes the next epoch view for the
+// current generation.  Only the subgraphs in affected are re-snapshotted;
+// everything else is shared with the previous view (copy-on-write).  When a
+// topology update grew the subgraph list, the new tail is always snapshotted.
+// Callers must hold x.writeMu.
 func (x *Index) publishView(affected map[partition.SubgraphID]bool) *IndexView {
 	prev := x.view.Load()
+	gen := x.gen.Load()
 	nv := &IndexView{
 		x:    x,
-		skel: x.skeleton.g.Snapshot(),
-		subs: make([]*graph.Snapshot, len(x.subs)),
+		gen:  gen,
+		skel: gen.skeleton.g.Snapshot(),
+		subs: make([]*graph.Snapshot, len(gen.subs)),
 	}
 	if prev != nil {
 		nv.epoch = prev.epoch + 1
-		copy(nv.subs, prev.subs)
 	} else {
 		nv.epoch = x.epochBase
 	}
 	for id := range nv.subs {
 		sid := partition.SubgraphID(id)
-		if prev == nil || affected[sid] {
-			nv.subs[id] = x.part.Subgraph(sid).Local.Snapshot()
+		if prev != nil && id < len(prev.subs) && !affected[sid] {
+			nv.subs[id] = prev.subs[id]
+			continue
 		}
+		nv.subs[id] = gen.part.Subgraph(sid).Local.Snapshot()
 	}
 	x.view.Store(nv)
 

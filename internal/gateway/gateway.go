@@ -12,13 +12,16 @@
 //	GET  /v1/ksp/stream  the same query streamed as NDJSON, paths emitted as
 //	                     the engine settles them
 //	POST /v1/updates     a batched edge-weight update
+//	POST /v1/topology    a batched topology mutation (edge/vertex insert
+//	                     and delete) with incremental index maintenance
 //	GET  /healthz        liveness + epoch + worker membership counts
 //	GET  /metrics        Prometheus text exposition
 //
-// Status codes: 400 malformed/out-of-range input, 404 unknown route, 410 a
-// pinned epoch aged out of the retention window, 429 rate limited (with
-// Retry-After), 503 admission queue full, 504 deadline expired (shed while
-// queued, or mid-execution).
+// Status codes: 400 malformed/out-of-range input, 404 unknown route, 409 a
+// topology delete referenced an already-deleted edge, 410 a pinned epoch aged
+// out of the retention window, 429 rate limited (with Retry-After), 503
+// admission queue full, 504 deadline expired (shed while queued, or
+// mid-execution).
 package gateway
 
 import (
@@ -29,6 +32,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"kspdg/internal/cluster"
@@ -61,6 +65,12 @@ type Options struct {
 	// MaxUpdateBatch bounds the updates accepted per /v1/updates call
 	// (zero: 65536).
 	MaxUpdateBatch int
+	// MaxTopologyBatch bounds the total mutation count (added vertices +
+	// inserted edges + deleted edges + deleted vertices) accepted per
+	// /v1/topology call (zero: 4096).  Topology batches rebuild bounding
+	// paths for every touched subgraph, so they are orders of magnitude more
+	// expensive than weight updates and get a tighter default.
+	MaxTopologyBatch int
 	// Registry receives the gateway's metrics and serves /metrics.  Nil
 	// creates a private registry.
 	Registry *metrics.Registry
@@ -94,6 +104,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxUpdateBatch <= 0 {
 		o.MaxUpdateBatch = 65536
+	}
+	if o.MaxTopologyBatch <= 0 {
+		o.MaxTopologyBatch = 4096
 	}
 	if o.Registry == nil {
 		o.Registry = metrics.NewRegistry()
@@ -147,6 +160,7 @@ func New(srv *serve.Server, opts Options) *Gateway {
 	g.mux.Handle("POST /v1/ksp", g.admitted("/v1/ksp", g.handleQuery))
 	g.mux.Handle("GET /v1/ksp/stream", g.admitted("/v1/ksp/stream", g.handleStream))
 	g.mux.Handle("POST /v1/updates", g.admitted("/v1/updates", g.handleUpdates))
+	g.mux.Handle("POST /v1/topology", g.admitted("/v1/topology", g.handleTopology))
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.Handle("GET /metrics", g.reg.Handler())
 	return g
@@ -582,6 +596,126 @@ func (g *Gateway) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ---- topology ----
+
+type insertEdgeJSON struct {
+	U      int64   `json:"u"`
+	V      int64   `json:"v"`
+	Weight float64 `json:"weight"`
+}
+
+type topologyRequest struct {
+	AddVertices    int              `json:"add_vertices,omitempty"`
+	InsertEdges    []insertEdgeJSON `json:"insert_edges,omitempty"`
+	DeleteEdges    []int64          `json:"delete_edges,omitempty"`
+	DeleteVertices []int64          `json:"delete_vertices,omitempty"`
+}
+
+type topologyResponse struct {
+	Epoch uint64 `json:"epoch"`
+	// InsertedEdges are the global edge ids assigned to insert_edges, in
+	// request order; clients reference them in later weight updates and
+	// deletes.  DeletedEdges are the sorted ids of every edge the batch
+	// removed, including edges removed because an endpoint was deleted.
+	InsertedEdges    []graph.EdgeID `json:"inserted_edges"`
+	DeletedEdges     []graph.EdgeID `json:"deleted_edges"`
+	SubgraphsRebuilt int            `json:"subgraphs_rebuilt"`
+}
+
+func (g *Gateway) handleTopology(w http.ResponseWriter, r *http.Request) {
+	var req topologyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return
+	}
+	size := req.AddVertices + len(req.InsertEdges) + len(req.DeleteEdges) + len(req.DeleteVertices)
+	if size == 0 {
+		writeError(w, http.StatusBadRequest, "empty topology batch")
+		return
+	}
+	if req.AddVertices < 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("add_vertices must be non-negative, got %d", req.AddVertices))
+		return
+	}
+	if size > g.opts.MaxTopologyBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("topology batch of %d mutations exceeds the %d limit", size, g.opts.MaxTopologyBatch))
+		return
+	}
+	// Validation runs against the pre-batch graph exactly like the engine's
+	// own checks, so malformed input fails with 400 before touching the
+	// writer path.  Inserted endpoints may reference vertices this same
+	// batch adds.
+	parent := g.srv.Index().Partition().Parent()
+	numV := int64(parent.NumVertices()) + int64(req.AddVertices)
+	numE := int64(parent.NumEdges())
+	up := graph.TopologyUpdate{AddVertices: req.AddVertices}
+	for i, e := range req.InsertEdges {
+		if e.U < 0 || e.U >= numV || e.V < 0 || e.V >= numV {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("insert_edges[%d] endpoints (%d,%d) outside [0,%d)", i, e.U, e.V, numV))
+			return
+		}
+		if e.U == e.V {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("insert_edges[%d] is a self-loop on vertex %d", i, e.U))
+			return
+		}
+		if e.Weight <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("insert_edges[%d]: weight must be positive, got %v", i, e.Weight))
+			return
+		}
+		up.InsertEdges = append(up.InsertEdges, graph.Edge{
+			U: graph.VertexID(e.U), V: graph.VertexID(e.V), Weight: e.Weight,
+		})
+	}
+	for i, e := range req.DeleteEdges {
+		if e < 0 || e >= numE {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("delete_edges[%d] id %d outside [0,%d)", i, e, numE))
+			return
+		}
+		up.DeleteEdges = append(up.DeleteEdges, graph.EdgeID(e))
+	}
+	for i, v := range req.DeleteVertices {
+		if v < 0 || v >= numV {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("delete_vertices[%d] id %d outside [0,%d)", i, v, numV))
+			return
+		}
+		up.DeleteVertices = append(up.DeleteVertices, graph.VertexID(v))
+	}
+	// The epoch, edge-id assignments and rebuild count come from the apply
+	// itself, so a client interleaved with concurrent writers attributes its
+	// own batch exactly (mirrors /v1/updates).  Deleting an already-dead edge
+	// is a state conflict, not malformed input, so it surfaces as 409.
+	st, err := g.srv.ApplyTopologyStats(up)
+	if err != nil {
+		if strings.Contains(err.Error(), "already deleted") {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ins := st.InsertedEdges
+	if ins == nil {
+		ins = []graph.EdgeID{}
+	}
+	del := st.DeletedEdges
+	if del == nil {
+		del = []graph.EdgeID{}
+	}
+	writeJSON(w, http.StatusOK, topologyResponse{
+		Epoch:            st.Epoch,
+		InsertedEdges:    ins,
+		DeletedEdges:     del,
+		SubgraphsRebuilt: st.SubgraphsRebuilt,
+	})
+}
+
 type healthResponse struct {
 	Status  string         `json:"status"`
 	Epoch   uint64         `json:"epoch"`
@@ -655,6 +789,11 @@ func (g *Gateway) registerMetrics() {
 		stats(func(s serve.Stats) int64 { return s.UpdateBatches }))
 	r.CounterFunc("kspd_updates_applied_total", "Individual edge-weight updates applied.",
 		stats(func(s serve.Stats) int64 { return s.UpdatesApplied }))
+	r.CounterFunc("kspd_topology_batches_total", "Topology mutation batches applied.",
+		stats(func(s serve.Stats) int64 { return s.TopologyBatches }))
+	r.CounterFunc("kspd_subgraphs_rebuilt_total",
+		"Subgraph index rebuilds performed by topology batches (incremental maintenance cost).",
+		stats(func(s serve.Stats) int64 { return s.SubgraphsRebuilt }))
 	r.CounterFunc("kspd_snapshots_total", "Periodic index snapshots written.",
 		stats(func(s serve.Stats) int64 { return s.Snapshots }))
 	r.CounterFunc("kspd_rpc_batches_total", "Coalesced partial-KSP batches shipped to workers.",

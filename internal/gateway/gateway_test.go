@@ -54,7 +54,7 @@ func newHarness(tb testing.TB, gwOpts Options) *harness {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	srv := serve.New(index, cl.Provider(), serve.Options{Workers: 4})
+	srv := serve.New(index, cl.Provider(), serve.Options{Workers: 4, BroadcastTopology: cl.BroadcastTopology})
 	gw := New(srv, gwOpts)
 	ts := httptest.NewServer(gw)
 	h := &harness{g: ds.Graph, index: index, cl: cl, srv: srv, gw: gw, ts: ts}
@@ -672,5 +672,127 @@ func TestUnknownRoute404(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTopologyEndpoint(t *testing.T) {
+	h := newHarness(t, Options{Rate: -1})
+	postTopo := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(h.ts.URL+"/v1/topology", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data
+	}
+	numV := h.g.NumVertices()
+	numE := h.g.NumEdges()
+
+	// Validation failures never publish an epoch.
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"malformed json", `{"insert_edges":`},
+		{"empty batch", `{}`},
+		{"negative add_vertices", `{"add_vertices":-1}`},
+		{"self loop", `{"insert_edges":[{"u":3,"v":3,"weight":1}]}`},
+		{"nonpositive weight", `{"insert_edges":[{"u":3,"v":4,"weight":0}]}`},
+		{"endpoint out of range", fmt.Sprintf(`{"insert_edges":[{"u":3,"v":%d,"weight":1}]}`, numV)},
+		{"delete edge out of range", fmt.Sprintf(`{"delete_edges":[%d]}`, numE)},
+		{"delete vertex out of range", fmt.Sprintf(`{"delete_vertices":[%d]}`, numV)},
+	} {
+		if resp, data := postTopo(tc.body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, data)
+		}
+	}
+	if epoch := h.srv.Stats().Epoch; epoch != 0 {
+		t.Fatalf("rejected topology batches advanced the epoch to %d", epoch)
+	}
+
+	// A valid batch: a fresh vertex wired to vertex 3 plus a direct cheap
+	// shortcut 3->100, deleting edge 0.  Endpoints may reference the vertex
+	// added by the same batch (id numV).
+	resp, data := postTopo(fmt.Sprintf(
+		`{"add_vertices":1,"insert_edges":[{"u":3,"v":%d,"weight":1},{"u":3,"v":100,"weight":0.25}],"delete_edges":[0]}`, numV))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topology batch status %d: %s", resp.StatusCode, data)
+	}
+	var tr struct {
+		Epoch            uint64  `json:"epoch"`
+		InsertedEdges    []int64 `json:"inserted_edges"`
+		DeletedEdges     []int64 `json:"deleted_edges"`
+		SubgraphsRebuilt int     `json:"subgraphs_rebuilt"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("decoding topology response %s: %v", data, err)
+	}
+	if tr.Epoch != 1 {
+		t.Errorf("topology epoch = %d, want 1", tr.Epoch)
+	}
+	if len(tr.InsertedEdges) != 2 || tr.InsertedEdges[0] != int64(numE) {
+		t.Errorf("inserted_edges = %v, want ids from %d", tr.InsertedEdges, numE)
+	}
+	if len(tr.DeletedEdges) != 1 || tr.DeletedEdges[0] != 0 {
+		t.Errorf("deleted_edges = %v, want [0]", tr.DeletedEdges)
+	}
+	if tr.SubgraphsRebuilt < 1 {
+		t.Errorf("subgraphs_rebuilt = %d, want >= 1", tr.SubgraphsRebuilt)
+	}
+
+	// Queries now answer against the mutated graph: the inserted shortcut is
+	// the new best 3->100 path.
+	qresp, qdata := h.postQuery(t, `{"source":3,"target":100,"k":1}`, nil)
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("post-topology query status %d: %s", qresp.StatusCode, qdata)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(qdata, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Epoch != 1 || len(qr.Paths) == 0 || qr.Paths[0].Distance > 0.25+1e-9 {
+		t.Fatalf("post-topology query = %+v, want epoch 1 and the 0.25 shortcut", qr)
+	}
+
+	// Deleting an already-deleted edge is a state conflict, not a validation
+	// failure: 409, and no epoch is published.
+	if resp, data := postTopo(`{"delete_edges":[0]}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double delete status %d (%s), want 409", resp.StatusCode, data)
+	}
+	if epoch := h.srv.Stats().Epoch; epoch != 1 {
+		t.Fatalf("conflicting batch advanced the epoch to %d", epoch)
+	}
+
+	// The write-path counters surface on /metrics.
+	mresp, err := http.Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"kspd_topology_batches_total 1",
+		"kspd_subgraphs_rebuilt_total",
+		`gateway_requests_total{route="/v1/topology",code="200"} 1`,
+		`gateway_requests_total{route="/v1/topology",code="409"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestTopologyBatchSizeLimit(t *testing.T) {
+	h := newHarness(t, Options{Rate: -1, MaxTopologyBatch: 2})
+	body := `{"delete_edges":[0,1,2]}`
+	resp, err := http.Post(h.ts.URL+"/v1/topology", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d (%s), want 400", resp.StatusCode, data)
 	}
 }

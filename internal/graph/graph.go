@@ -3,12 +3,18 @@
 // intersections, edges are road segments, and edge weights are travel times
 // that evolve over time (Definition 1 of the paper).
 //
-// The topology of a Graph (its vertices and edges) is immutable after
-// construction via a Builder; only edge weights change.  Weight updates are
-// applied through UpdateWeight / ApplyUpdates and are safe for concurrent use
-// with readers.  Queries that need a consistent view of the weights take a
-// Snapshot, which corresponds to the buffer G_curr described in Section 2 of
-// the paper.
+// The topology held by one Graph value is immutable: Snapshots alias its
+// adjacency lists, so vertices and edges are never added or removed in place.
+// Weight updates are applied through UpdateWeight / ApplyUpdates and are safe
+// for concurrent use with readers.  Queries that need a consistent view of
+// the weights take a Snapshot, which corresponds to the buffer G_curr
+// described in Section 2 of the paper.
+//
+// Topology still evolves, copy-on-write: ApplyTopology derives a new Graph
+// with a batch of vertex/edge inserts and deletes applied.  Ids are stable
+// across derivations — deleted edges remain as tombstones (EdgeAlive reports
+// false) and deleted vertices remain as isolated ids — so identifiers in
+// logs, WAL records, and client requests stay meaningful across epochs.
 package graph
 
 import (
@@ -55,9 +61,11 @@ type Edge struct {
 type Graph struct {
 	directed bool
 	numV     int
-	adj      [][]Arc     // adjacency lists, indexed by vertex
+	adj      [][]Arc     // adjacency lists (live edges only), indexed by vertex
 	ends     []Endpoints // edge id -> endpoints
 	initW    []float64   // initial weights w0 (fixed; defines vfrag counts)
+	alive    []bool      // edge tombstones; nil means every edge is alive
+	numLive  int         // number of live edges
 
 	mu      sync.RWMutex
 	weights []float64 // current weights, guarded by mu
@@ -70,6 +78,7 @@ type Builder struct {
 	directed bool
 	numV     int
 	edges    []Edge
+	dead     []EdgeID
 }
 
 // NewBuilder returns a Builder for a graph with n vertices numbered 0..n-1.
@@ -99,40 +108,44 @@ func (b *Builder) AddEdge(u, v VertexID, w float64) (EdgeID, error) {
 // NumEdges reports the number of edges added so far.
 func (b *Builder) NumEdges() int { return len(b.edges) }
 
+// MarkDead records that edge id, already added via AddEdge, is a tombstone:
+// the built graph keeps its endpoints and weights (so ids round-trip through
+// serialization) but excludes it from adjacency and rejects weight updates
+// on it.  Used when decoding snapshots of graphs that have seen topology
+// deletions.
+func (b *Builder) MarkDead(id EdgeID) error {
+	if id < 0 || int(id) >= len(b.edges) {
+		return fmt.Errorf("graph: MarkDead edge %d outside [0,%d)", id, len(b.edges))
+	}
+	b.dead = append(b.dead, id)
+	return nil
+}
+
 // Build constructs the Graph.  The Builder may be reused afterwards, but
 // edges added later do not affect already built graphs.
 func (b *Builder) Build() *Graph {
 	g := &Graph{
 		directed: b.directed,
 		numV:     b.numV,
-		adj:      make([][]Arc, b.numV),
 		ends:     make([]Endpoints, len(b.edges)),
 		initW:    make([]float64, len(b.edges)),
 		weights:  make([]float64, len(b.edges)),
 	}
-	// Count degrees first so adjacency slices are allocated exactly once.
-	deg := make([]int, b.numV)
-	for _, e := range b.edges {
-		deg[e.U]++
-		if !b.directed {
-			deg[e.V]++
-		}
-	}
-	for v := range g.adj {
-		if deg[v] > 0 {
-			g.adj[v] = make([]Arc, 0, deg[v])
-		}
-	}
 	for i, e := range b.edges {
-		id := EdgeID(i)
 		g.ends[i] = Endpoints{U: e.U, V: e.V}
 		g.initW[i] = e.Weight
 		g.weights[i] = e.Weight
-		g.adj[e.U] = append(g.adj[e.U], Arc{To: e.V, Edge: id})
-		if !b.directed {
-			g.adj[e.V] = append(g.adj[e.V], Arc{To: e.U, Edge: id})
+	}
+	if len(b.dead) > 0 {
+		g.alive = make([]bool, len(b.edges))
+		for i := range g.alive {
+			g.alive[i] = true
+		}
+		for _, id := range b.dead {
+			g.alive[id] = false
 		}
 	}
+	g.rebuildAdjacency()
 	return g
 }
 
@@ -142,8 +155,21 @@ func (g *Graph) Directed() bool { return g.directed }
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return g.numV }
 
-// NumEdges returns the number of edges.
+// NumEdges returns the number of edge ids, including tombstones of deleted
+// edges.  Use NumLiveEdges for the count of traversable edges.
 func (g *Graph) NumEdges() int { return len(g.ends) }
+
+// NumLiveEdges returns the number of live (non-deleted) edges.
+func (g *Graph) NumLiveEdges() int { return g.numLive }
+
+// EdgeAlive reports whether edge e exists and has not been deleted by a
+// topology update.
+func (g *Graph) EdgeAlive(e EdgeID) bool {
+	if e < 0 || int(e) >= len(g.ends) {
+		return false
+	}
+	return g.alive == nil || g.alive[e]
+}
 
 // Neighbors returns the adjacency list of v.  The returned slice is owned by
 // the graph and must not be modified.
@@ -205,6 +231,9 @@ func (g *Graph) UpdateWeight(e EdgeID, w float64) (float64, error) {
 	if e < 0 || int(e) >= len(g.ends) {
 		return 0, fmt.Errorf("graph: edge %d out of range [0,%d)", e, len(g.ends))
 	}
+	if !g.EdgeAlive(e) {
+		return 0, fmt.Errorf("graph: weight update on deleted edge %d", e)
+	}
 	g.mu.Lock()
 	delta := w - g.weights[e]
 	g.weights[e] = w
@@ -222,6 +251,9 @@ func (g *Graph) ApplyUpdates(batch []WeightUpdate) error {
 		}
 		if u.Edge < 0 || int(u.Edge) >= len(g.ends) {
 			return fmt.Errorf("graph: edge %d out of range [0,%d)", u.Edge, len(g.ends))
+		}
+		if !g.EdgeAlive(u.Edge) {
+			return fmt.Errorf("graph: weight update on deleted edge %d", u.Edge)
 		}
 	}
 	g.mu.Lock()
@@ -292,6 +324,9 @@ func (s *Snapshot) EdgeEndpoints(e EdgeID) Endpoints { return s.g.ends[e] }
 
 // EdgeBetween returns the edge connecting u and v, if any.
 func (s *Snapshot) EdgeBetween(u, v VertexID) (EdgeID, bool) { return s.g.EdgeBetween(u, v) }
+
+// EdgeAlive reports whether edge e exists and has not been deleted.
+func (s *Snapshot) EdgeAlive(e EdgeID) bool { return s.g.EdgeAlive(e) }
 
 // Graph returns the parent graph of this snapshot.
 func (s *Snapshot) Graph() *Graph { return s.g }

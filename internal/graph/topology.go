@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopologyUpdate describes a batch of topology mutations: vertex additions,
+// edge insertions, and edge/vertex deletions.  A batch is applied atomically
+// by ApplyTopology in a fixed order:
+//
+//  1. AddVertices new vertices are appended (ids NumVertices..NumVertices+AddVertices-1),
+//  2. DeleteVertices are removed by deleting every live edge incident to them,
+//  3. DeleteEdges are removed,
+//  4. InsertEdges are appended (ids NumEdges..NumEdges+len(InsertEdges)-1).
+//
+// Because deletions precede insertions, a batch may delete a vertex and then
+// insert a new edge touching it: the vertex is resurrected with only the new
+// edge.  Vertex ids are never reused or renumbered; a deleted vertex remains
+// a valid (isolated) id forever, and edge ids of deleted edges remain valid
+// tombstones (EdgeAlive reports false for them).
+type TopologyUpdate struct {
+	// AddVertices is the number of fresh vertices to append.
+	AddVertices int
+	// InsertEdges are new edges; Weight is both the initial weight w0
+	// (defining the edge's virtual-fragment count) and the current weight.
+	// Endpoints may reference vertices added by this same batch.
+	InsertEdges []Edge
+	// DeleteEdges lists edge ids to delete.  Each must be alive before the
+	// batch; duplicates within DeleteEdges are an error, but overlap with
+	// edges already covered by DeleteVertices is allowed.
+	DeleteEdges []EdgeID
+	// DeleteVertices lists vertices to delete.  Deleting a vertex deletes
+	// all live edges incident to it (in either direction); the vertex id
+	// itself persists as an isolated vertex.
+	DeleteVertices []VertexID
+}
+
+// IsZero reports whether the update contains no mutations.
+func (up *TopologyUpdate) IsZero() bool {
+	return up.AddVertices == 0 && len(up.InsertEdges) == 0 &&
+		len(up.DeleteEdges) == 0 && len(up.DeleteVertices) == 0
+}
+
+// ApplyTopology derives a new Graph from g with the batch applied.  The
+// receiver is left untouched (existing Snapshots alias its adjacency, so
+// topology is never mutated in place); callers swap the returned graph in as
+// the new parent.  It returns the ids of the inserted edges (in InsertEdges
+// order) and the sorted ids of all edges deleted by the batch, including
+// edges deleted via DeleteVertices expansion.
+//
+// Edge weights current at the time of the call carry over to the new graph;
+// a concurrent ApplyUpdates on g may or may not be visible, so callers that
+// need a strict ordering must serialize topology and weight batches (dtlp's
+// writer lock does).
+func (g *Graph) ApplyTopology(up TopologyUpdate) (ng *Graph, inserted, deleted []EdgeID, err error) {
+	if up.AddVertices < 0 {
+		return nil, nil, nil, fmt.Errorf("graph: negative AddVertices %d", up.AddVertices)
+	}
+	newNumV := g.numV + up.AddVertices
+	oldNumE := len(g.ends)
+	newNumE := oldNumE + len(up.InsertEdges)
+
+	// Validate against the pre-batch graph before building anything.
+	delVerts := make(map[VertexID]bool, len(up.DeleteVertices))
+	for _, v := range up.DeleteVertices {
+		if v < 0 || int(v) >= newNumV {
+			return nil, nil, nil, fmt.Errorf("graph: delete of vertex %d outside [0,%d)", v, newNumV)
+		}
+		delVerts[v] = true
+	}
+	explicit := make(map[EdgeID]bool, len(up.DeleteEdges))
+	for _, e := range up.DeleteEdges {
+		if e < 0 || int(e) >= oldNumE {
+			return nil, nil, nil, fmt.Errorf("graph: delete of edge %d outside [0,%d)", e, oldNumE)
+		}
+		if !g.EdgeAlive(e) {
+			return nil, nil, nil, fmt.Errorf("graph: edge %d already deleted", e)
+		}
+		if explicit[e] {
+			return nil, nil, nil, fmt.Errorf("graph: duplicate delete of edge %d", e)
+		}
+		explicit[e] = true
+	}
+	for i, e := range up.InsertEdges {
+		if e.U < 0 || int(e.U) >= newNumV || e.V < 0 || int(e.V) >= newNumV {
+			return nil, nil, nil, fmt.Errorf("graph: inserted edge %d (%d,%d) references vertex outside [0,%d)", i, e.U, e.V, newNumV)
+		}
+		if e.U == e.V {
+			return nil, nil, nil, fmt.Errorf("graph: inserted self-loop on vertex %d not allowed", e.U)
+		}
+		if e.Weight < 0 {
+			return nil, nil, nil, fmt.Errorf("graph: negative weight %g on inserted edge (%d,%d)", e.Weight, e.U, e.V)
+		}
+	}
+
+	// Freeze the current weights; the new graph starts from this view.
+	g.mu.RLock()
+	curW := make([]float64, newNumE)
+	copy(curW, g.weights)
+	version := g.version
+	g.mu.RUnlock()
+
+	alive := make([]bool, newNumE)
+	if g.alive == nil {
+		for i := 0; i < oldNumE; i++ {
+			alive[i] = true
+		}
+	} else {
+		copy(alive, g.alive)
+	}
+
+	// Vertex deletion expands to every live incident edge (both directions).
+	delSet := make(map[EdgeID]bool)
+	if len(delVerts) > 0 {
+		for e := 0; e < oldNumE; e++ {
+			if alive[e] && (delVerts[g.ends[e].U] || delVerts[g.ends[e].V]) {
+				delSet[EdgeID(e)] = true
+			}
+		}
+	}
+	for e := range explicit {
+		delSet[e] = true
+	}
+	deleted = make([]EdgeID, 0, len(delSet))
+	for e := range delSet {
+		alive[e] = false
+		deleted = append(deleted, e)
+	}
+	sort.Slice(deleted, func(i, j int) bool { return deleted[i] < deleted[j] })
+
+	ends := make([]Endpoints, newNumE)
+	copy(ends, g.ends)
+	initW := make([]float64, newNumE)
+	copy(initW, g.initW)
+	inserted = make([]EdgeID, len(up.InsertEdges))
+	for i, e := range up.InsertEdges {
+		id := EdgeID(oldNumE + i)
+		ends[id] = Endpoints{U: e.U, V: e.V}
+		initW[id] = e.Weight
+		curW[id] = e.Weight
+		alive[id] = true
+		inserted[i] = id
+	}
+
+	ng = &Graph{
+		directed: g.directed,
+		numV:     newNumV,
+		ends:     ends,
+		initW:    initW,
+		weights:  curW,
+		alive:    alive,
+		version:  version + 1,
+	}
+	ng.rebuildAdjacency()
+	return ng, inserted, deleted, nil
+}
+
+// rebuildAdjacency recomputes ng.adj and ng.numLive from the live edges.
+func (g *Graph) rebuildAdjacency() {
+	deg := make([]int, g.numV)
+	live := 0
+	for e, ends := range g.ends {
+		if g.alive != nil && !g.alive[e] {
+			continue
+		}
+		live++
+		deg[ends.U]++
+		if !g.directed {
+			deg[ends.V]++
+		}
+	}
+	g.adj = make([][]Arc, g.numV)
+	for v := range g.adj {
+		if deg[v] > 0 {
+			g.adj[v] = make([]Arc, 0, deg[v])
+		}
+	}
+	for e, ends := range g.ends {
+		if g.alive != nil && !g.alive[e] {
+			continue
+		}
+		id := EdgeID(e)
+		g.adj[ends.U] = append(g.adj[ends.U], Arc{To: ends.V, Edge: id})
+		if !g.directed {
+			g.adj[ends.V] = append(g.adj[ends.V], Arc{To: ends.U, Edge: id})
+		}
+	}
+	g.numLive = live
+}

@@ -394,6 +394,9 @@ func (p *Partition) Validate() error {
 			if seen[ge] {
 				return fmt.Errorf("edge %d assigned to more than one subgraph", ge)
 			}
+			if !p.parent.EdgeAlive(ge) {
+				return fmt.Errorf("deleted edge %d assigned to subgraph %d", ge, sg.ID)
+			}
 			seen[ge] = true
 			ends := p.parent.EdgeEndpoints(ge)
 			if !sg.Contains(ends.U) || !sg.Contains(ends.V) {
@@ -406,7 +409,7 @@ func (p *Partition) Validate() error {
 		}
 	}
 	for e, ok := range seen {
-		if !ok {
+		if !ok && p.parent.EdgeAlive(graph.EdgeID(e)) {
 			return fmt.Errorf("edge %d not assigned to any subgraph", e)
 		}
 	}

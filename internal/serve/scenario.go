@@ -21,6 +21,8 @@ type ScenarioReport struct {
 	Results []ScenarioResult
 	// BatchesApplied counts the update batches applied.
 	BatchesApplied int
+	// TopologyApplied counts the topology batches applied.
+	TopologyApplied int
 	// ChaosInjected counts the fault injections executed through
 	// Options.Chaos.
 	ChaosInjected int
@@ -71,6 +73,18 @@ func (s *Server) RunScenario(sc workload.MixedScenario) (ScenarioReport, error) 
 				return report, err
 			}
 			report.BatchesApplied++
+			continue
+		}
+		if ev.Topology != nil {
+			// Topology batches apply inline like weight batches: in-flight
+			// queries keep their pinned pre-mutation epoch while the next
+			// epoch's structure changes underneath them.
+			if err := s.ApplyTopology(*ev.Topology); err != nil {
+				wg.Wait()
+				report.Elapsed = time.Since(start)
+				return report, err
+			}
+			report.TopologyApplied++
 			continue
 		}
 		if ev.Chaos != nil && s.opts.Chaos != nil {

@@ -41,8 +41,11 @@ var ErrEpochEvicted = errors.New("serve: epoch evicted from the retention window
 // *store.Store implements it; serve depends only on this interface so the
 // persistence subsystem stays optional.
 type Persister interface {
-	// AppendBatch logs one applied batch under the epoch it produced.
+	// AppendBatch logs one applied weight batch under the epoch it produced.
 	AppendBatch(epoch uint64, batch []graph.WeightUpdate) error
+	// AppendTopology logs one applied topology batch under the epoch it
+	// produced, interleaved with weight batches in epoch order.
+	AppendTopology(epoch uint64, up graph.TopologyUpdate) error
 	// SaveSnapshot persists the index at its current epoch and returns that
 	// epoch.
 	SaveSnapshot(index *dtlp.Index) (uint64, error)
@@ -65,6 +68,12 @@ type Options struct {
 	// forward the batch to standalone workers that maintain their own weight
 	// copies; its error fails the ApplyUpdates call that triggered it.
 	Broadcast func(batch []graph.WeightUpdate) error
+	// BroadcastTopology, when set, forwards each applied topology batch to
+	// the deployment's workers after the master index has published it.
+	// Topology batches reach every worker (unlike per-subgraph weight
+	// routing) because an insert or delete can reshape routing anywhere; its
+	// error fails the ApplyTopology call that triggered it.
+	BroadcastTopology func(up graph.TopologyUpdate) error
 	// Store, when set, makes every applied batch durable: ApplyUpdates
 	// appends the batch to the write-ahead log under its exact epoch before
 	// returning, and a WAL append failure fails the call (the batch is
@@ -98,9 +107,15 @@ type Stats struct {
 	QueriesServed  int64 // completed queries, including cache hits
 	CacheHits      int64 // queries answered from the epoch-tagged cache
 	Coalesced      int64 // queries that joined an identical in-flight query
-	UpdateBatches  int64 // update batches applied
+	UpdateBatches  int64 // weight update batches applied
 	UpdatesApplied int64 // individual edge updates applied
 	Snapshots      int64 // periodic snapshots written through Options.Store
+	// TopologyBatches counts applied topology batches (edge/vertex inserts
+	// and deletes); SubgraphsRebuilt totals the subgraphs whose bounding
+	// paths were re-enumerated across those batches — the cumulative
+	// incremental-maintenance cost of the write path.
+	TopologyBatches  int64
+	SubgraphsRebuilt int64
 	// NonConverged counts successfully answered queries whose search was cut
 	// off while it still held fewer than k proven candidates: their paths may
 	// be silently truncated.  With the adaptive iteration budget in place
@@ -156,7 +171,6 @@ type Server struct {
 	index    *dtlp.Index
 	engine   *core.Engine
 	provider core.PartialProvider
-	parent   *graph.Graph
 	opts     Options
 
 	tasks   chan *task
@@ -179,6 +193,8 @@ type Server struct {
 	coalesced        atomic.Int64
 	batches          atomic.Int64
 	updates          atomic.Int64
+	topoBatches      atomic.Int64
+	subgraphsRebuilt atomic.Int64
 	snapshots        atomic.Int64
 	nonConverged     atomic.Int64
 	budgetTerminated atomic.Int64
@@ -249,7 +265,6 @@ func New(index *dtlp.Index, provider core.PartialProvider, opts Options) *Server
 		index:    index,
 		engine:   core.NewEngine(index, provider, engOpts),
 		provider: provider,
-		parent:   index.Partition().Parent(),
 		opts:     opts,
 		tasks:    make(chan *task, opts.QueueDepth),
 		cache:    make(map[queryKey]cacheEntry),
@@ -533,7 +548,10 @@ func (s *Server) ApplyUpdatesEpoch(batch []graph.WeightUpdate) (uint64, error) {
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	if err := s.parent.ApplyUpdates(batch); err != nil {
+	// The master graph is resolved through the index each time: topology
+	// batches replace it copy-on-write, so a pointer cached at construction
+	// would go stale after the first insert or delete.
+	if err := s.index.Partition().Parent().ApplyUpdates(batch); err != nil {
 		return 0, err
 	}
 	epoch, err := s.index.ApplyUpdatesEpoch(batch)
@@ -560,17 +578,87 @@ func (s *Server) ApplyUpdatesEpoch(batch []graph.WeightUpdate) (uint64, error) {
 	}
 	s.batches.Add(1)
 	s.updates.Add(int64(len(batch)))
-	if s.opts.Store != nil && s.opts.SnapshotEvery > 0 {
-		s.sinceSnapshot++
-		if s.sinceSnapshot >= s.opts.SnapshotEvery {
-			if _, err := s.opts.Store.SaveSnapshot(s.index); err != nil {
-				return epoch, fmt.Errorf("serve: periodic snapshot at epoch %d: %w", epoch, err)
-			}
-			s.sinceSnapshot = 0
-			s.snapshots.Add(1)
-		}
+	if err := s.maybeSnapshotLocked(epoch); err != nil {
+		return epoch, err
 	}
 	return epoch, nil
+}
+
+// ApplyTopology applies one batch of topology mutations (edge/vertex inserts
+// and deletes): the index derives the new master graph and partition
+// copy-on-write, rebuilds only the touched subgraphs, and publishes the next
+// epoch exactly like a weight batch.  Topology and weight batches from
+// concurrent callers serialize on the same writer lock, so WAL records land
+// in epoch order regardless of kind.
+func (s *Server) ApplyTopology(up graph.TopologyUpdate) error {
+	_, err := s.ApplyTopologyEpoch(up)
+	return err
+}
+
+// ApplyTopologyEpoch is ApplyTopology returning the epoch the batch
+// published (the current epoch for an empty batch).
+func (s *Server) ApplyTopologyEpoch(up graph.TopologyUpdate) (uint64, error) {
+	st, err := s.ApplyTopologyStats(up)
+	return st.Epoch, err
+}
+
+// ApplyTopologyStats is ApplyTopology returning the batch's maintenance
+// statistics: the epoch it published, the global ids assigned to inserted
+// edges, the sorted ids of all deleted edges, and the number of subgraphs
+// rebuilt.  Callers answering on behalf of one specific client (the
+// gateway's /v1/topology) use it to attribute the batch exactly.
+func (s *Server) ApplyTopologyStats(up graph.TopologyUpdate) (dtlp.TopologyStats, error) {
+	if up.IsZero() {
+		return dtlp.TopologyStats{Epoch: s.index.CurrentView().Epoch()}, nil
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	// Unlike the weight path, the index applies the mutation to the master
+	// graph itself (the new graph and partition are one atomic generation),
+	// so there is no separate parent.ApplyTopology step here.
+	st, err := s.index.ApplyTopologyStats(up)
+	if err != nil {
+		return st, err
+	}
+	var errs []error
+	if s.opts.Store != nil {
+		if err := s.opts.Store.AppendTopology(st.Epoch, up); err != nil {
+			errs = append(errs, fmt.Errorf("serve: logging topology batch for epoch %d: %w", st.Epoch, err))
+		}
+	}
+	if s.opts.BroadcastTopology != nil {
+		if err := s.opts.BroadcastTopology(up); err != nil {
+			errs = append(errs, fmt.Errorf("serve: broadcasting topology batch: %w", err))
+		}
+	}
+	if len(errs) > 0 {
+		return st, errors.Join(errs...)
+	}
+	s.topoBatches.Add(1)
+	s.subgraphsRebuilt.Add(int64(st.SubgraphsRebuilt))
+	if err := s.maybeSnapshotLocked(st.Epoch); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// maybeSnapshotLocked advances the shared snapshot cadence (weight and
+// topology batches both count toward SnapshotEvery) and writes a snapshot
+// when it is due.  Callers must hold writeMu.
+func (s *Server) maybeSnapshotLocked(epoch uint64) error {
+	if s.opts.Store == nil || s.opts.SnapshotEvery <= 0 {
+		return nil
+	}
+	s.sinceSnapshot++
+	if s.sinceSnapshot < s.opts.SnapshotEvery {
+		return nil
+	}
+	if _, err := s.opts.Store.SaveSnapshot(s.index); err != nil {
+		return fmt.Errorf("serve: periodic snapshot at epoch %d: %w", epoch, err)
+	}
+	s.sinceSnapshot = 0
+	s.snapshots.Add(1)
+	return nil
 }
 
 // Stats returns the server's scheduling counters, including the refine
@@ -583,9 +671,12 @@ func (s *Server) Stats() Stats {
 		UpdateBatches:  s.batches.Load(),
 		UpdatesApplied: s.updates.Load(),
 		Snapshots:      s.snapshots.Load(),
-		NonConverged:   s.nonConverged.Load(),
-		Canceled:       s.canceled.Load(),
-		Epoch:          s.index.CurrentView().Epoch(),
+
+		TopologyBatches:  s.topoBatches.Load(),
+		SubgraphsRebuilt: s.subgraphsRebuilt.Load(),
+		NonConverged:     s.nonConverged.Load(),
+		Canceled:         s.canceled.Load(),
+		Epoch:            s.index.CurrentView().Epoch(),
 
 		BudgetTerminated: s.budgetTerminated.Load(),
 		MaxBoundGap:      math.Float64frombits(s.maxBoundGap.Load()),

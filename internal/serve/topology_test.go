@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"kspdg/internal/dtlp"
+	"kspdg/internal/graph"
+	"kspdg/internal/testutil"
+)
+
+// recordingPersister captures the durability callbacks of the writer path so
+// tests can assert the exact interleaving of weight and topology records.
+type recordingPersister struct {
+	kinds     []string // "w" or "t", in append order
+	epochs    []uint64
+	snapshots int
+	failTopo  error
+}
+
+func (p *recordingPersister) AppendBatch(epoch uint64, batch []graph.WeightUpdate) error {
+	p.kinds = append(p.kinds, "w")
+	p.epochs = append(p.epochs, epoch)
+	return nil
+}
+
+func (p *recordingPersister) AppendTopology(epoch uint64, up graph.TopologyUpdate) error {
+	if p.failTopo != nil {
+		return p.failTopo
+	}
+	p.kinds = append(p.kinds, "t")
+	p.epochs = append(p.epochs, epoch)
+	return nil
+}
+
+func (p *recordingPersister) SaveSnapshot(index *dtlp.Index) (uint64, error) {
+	p.snapshots++
+	return index.CurrentView().Epoch(), nil
+}
+
+func TestServerApplyTopology(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	_, s := buildServer(t, g, 6, 2, Options{Workers: 2})
+	defer s.Close()
+
+	pre, err := s.Query(testutil.V1, testutil.V19, 3)
+	if err != nil || len(pre.Paths) == 0 {
+		t.Fatalf("pre-topology query: %v (%d paths)", err, len(pre.Paths))
+	}
+
+	// Epoch 1: weight batch; epoch 2: topology batch.  Both kinds share the
+	// epoch counter, so the topology stats must report epoch 2.
+	if err := s.ApplyUpdates([]graph.WeightUpdate{{Edge: 0, NewWeight: 5}}); err != nil {
+		t.Fatalf("weight batch: %v", err)
+	}
+	nv := graph.VertexID(g.NumVertices())
+	st, err := s.ApplyTopologyStats(graph.TopologyUpdate{
+		AddVertices: 1,
+		InsertEdges: []graph.Edge{{U: testutil.V1, V: nv, Weight: 1}, {U: nv, V: testutil.V19, Weight: 1}},
+	})
+	if err != nil {
+		t.Fatalf("topology batch: %v", err)
+	}
+	if st.Epoch != 2 {
+		t.Fatalf("topology epoch = %d, want 2", st.Epoch)
+	}
+	if len(st.InsertedEdges) != 2 || st.SubgraphsRebuilt == 0 {
+		t.Fatalf("unexpected topology stats: %+v", st)
+	}
+
+	// The server must answer against the post-topology parent: the two unit
+	// edges through the fresh vertex form a strictly shorter v1->v19 path.
+	post, err := s.Query(testutil.V1, testutil.V19, 3)
+	if err != nil || len(post.Paths) == 0 {
+		t.Fatalf("post-topology query: %v", err)
+	}
+	if post.Paths[0].Dist > 2+1e-9 {
+		t.Fatalf("shortest v1->v19 after shortcut insert = %g, want 2", post.Paths[0].Dist)
+	}
+	if post.Epoch != 2 {
+		t.Fatalf("post-topology query epoch = %d, want 2", post.Epoch)
+	}
+
+	stats := s.Stats()
+	if stats.TopologyBatches != 1 || stats.SubgraphsRebuilt != int64(st.SubgraphsRebuilt) {
+		t.Fatalf("server stats: %d topology batches, %d rebuilt; want 1, %d",
+			stats.TopologyBatches, stats.SubgraphsRebuilt, st.SubgraphsRebuilt)
+	}
+
+	// An empty batch is a no-op that publishes nothing.
+	st2, err := s.ApplyTopologyStats(graph.TopologyUpdate{})
+	if err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if st2.Epoch != 2 {
+		t.Fatalf("empty batch reported epoch %d, want unchanged 2", st2.Epoch)
+	}
+	if got := s.Stats().TopologyBatches; got != 1 {
+		t.Fatalf("empty batch counted as applied: %d batches", got)
+	}
+
+	// An invalid batch must not publish an epoch or bump counters.
+	if err := s.ApplyTopology(graph.TopologyUpdate{DeleteEdges: []graph.EdgeID{graph.EdgeID(g.NumEdges() + 10)}}); err == nil {
+		t.Fatal("out-of-range delete must fail")
+	}
+	if got := s.Stats().Epoch; got != 2 {
+		t.Fatalf("failed batch advanced the epoch to %d", got)
+	}
+}
+
+func TestServerTopologyBroadcastAndWAL(t *testing.T) {
+	g := testutil.PaperGraph(t)
+	p := &recordingPersister{}
+	var broadcasts []graph.TopologyUpdate
+	_, s := buildServer(t, g, 6, 2, Options{
+		Workers: 1,
+		Store:   p,
+		BroadcastTopology: func(up graph.TopologyUpdate) error {
+			broadcasts = append(broadcasts, up)
+			return nil
+		},
+	})
+	defer s.Close()
+
+	if err := s.ApplyUpdates([]graph.WeightUpdate{{Edge: 1, NewWeight: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	up := graph.TopologyUpdate{InsertEdges: []graph.Edge{{U: testutil.V2, V: testutil.V7, Weight: 3}}}
+	if err := s.ApplyTopology(up); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyUpdates([]graph.WeightUpdate{{Edge: 2, NewWeight: 7}}); err != nil {
+		t.Fatal(err)
+	}
+
+	wantKinds := []string{"w", "t", "w"}
+	if strings.Join(p.kinds, "") != strings.Join(wantKinds, "") {
+		t.Fatalf("WAL record kinds = %v, want %v", p.kinds, wantKinds)
+	}
+	for i, e := range p.epochs {
+		if e != uint64(i+1) {
+			t.Fatalf("WAL epochs = %v, want contiguous from 1", p.epochs)
+		}
+	}
+	if len(broadcasts) != 1 || len(broadcasts[0].InsertEdges) != 1 {
+		t.Fatalf("broadcast hook saw %d batches, want exactly the topology one", len(broadcasts))
+	}
+
+	// A WAL append failure must surface to the caller even though the batch
+	// is already applied in memory.
+	p.failTopo = errors.New("disk full")
+	err := s.ApplyTopology(graph.TopologyUpdate{DeleteEdges: []graph.EdgeID{0}})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("WAL failure not surfaced: %v", err)
+	}
+}

@@ -14,12 +14,12 @@ import (
 	"kspdg/internal/partition"
 )
 
-// Snapshot binary layout (FormatVersion 1), all integers little-endian:
+// Snapshot binary layout (FormatVersion 2), all integers little-endian:
 //
 //	magic "KSPDSNP1" | u32 version
 //	u64 epoch | u32 xi | u32 maxEnumerate | u64 z
 //	graph:     u8 directed | u64 numV | u64 numE
-//	           numE × (i32 U | i32 V | f64 initW | f64 curW)
+//	           numE × (i32 U | i32 V | f64 initW | f64 curW | u8 alive)
 //	partition: u64 numSubs
 //	           per sub: u64 nv, nv × i32 vertex | u64 ne, ne × i32 edge
 //	paths:     records, each u8 tag:
@@ -28,6 +28,14 @@ import (
 //	             | f64 vfrags | f64 dist
 //	           0 terminates the stream
 //	trailer:   u32 CRC-32C of everything above
+//
+// Version 2 added the per-edge alive flag: topology deletes tombstone edges
+// (graph.Graph never renumbers ids), and a snapshot must round-trip the
+// tombstones so edge ids — which appear in WAL weight records and in future
+// topology batches — keep meaning the same edges after recovery.  Dead edges
+// still encode their endpoints and initial weight; their curW field carries
+// the initial weight (their live weight is meaningless and updates to them
+// are rejected).
 //
 // The encoder streams straight to the writer (no in-memory image), so
 // snapshotting a large graph does not double peak memory.  Floats are stored
@@ -38,8 +46,9 @@ const (
 	walMagic  = "KSPDWAL1"
 
 	// FormatVersion is the current snapshot and WAL format version.  See the
-	// package comment in store.go for the version policy.
-	FormatVersion = 1
+	// package comment in store.go for the version policy.  Version 2 added
+	// edge tombstones to snapshots and topology records to the WAL.
+	FormatVersion = 2
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -230,17 +239,30 @@ func encodeSnapshot(w io.Writer, x *dtlp.Index) (uint64, error) {
 			return err
 		}
 		for e := 0; e < numE; e++ {
-			ends := parent.EdgeEndpoints(graph.EdgeID(e))
+			id := graph.EdgeID(e)
+			ends := parent.EdgeEndpoints(id)
 			if err := cw.i32(int32(ends.U)); err != nil {
 				return err
 			}
 			if err := cw.i32(int32(ends.V)); err != nil {
 				return err
 			}
-			if err := cw.f64(parent.InitialWeight(graph.EdgeID(e))); err != nil {
+			initW := parent.InitialWeight(id)
+			if err := cw.f64(initW); err != nil {
 				return err
 			}
-			if err := cw.f64(st.View.GlobalWeight(graph.EdgeID(e))); err != nil {
+			// Dead edges have no meaningful live weight; store the initial
+			// weight so the field always validates as finite.
+			curW := initW
+			alive := uint8(0)
+			if parent.EdgeAlive(id) {
+				curW = st.View.GlobalWeight(id)
+				alive = 1
+			}
+			if err := cw.f64(curW); err != nil {
+				return err
+			}
+			if err := cw.u8(alive); err != nil {
 				return err
 			}
 		}
@@ -383,6 +405,7 @@ func decodeSnapshot(r io.Reader, size int64, topologyOnly bool) (*snapshotConten
 	}
 	b := graph.NewBuilder(numV, directed)
 	curW := make([]float64, 0, min(numE, 1<<16))
+	dead := make([]bool, 0, min(numE, 1<<16))
 	for e := 0; e < numE; e++ {
 		u, err := cr.i32()
 		if err != nil {
@@ -400,18 +423,32 @@ func decodeSnapshot(r io.Reader, size int64, topologyOnly bool) (*snapshotConten
 		if err != nil {
 			return nil, err
 		}
+		aliveB, err := cr.u8()
+		if err != nil {
+			return nil, err
+		}
+		if aliveB > 1 {
+			return nil, fmt.Errorf("store: edge %d has invalid alive flag %d", e, aliveB)
+		}
 		if math.IsNaN(w0) || math.IsInf(w0, 0) || math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
 			return nil, fmt.Errorf("store: edge %d has invalid weights (%g, %g)", e, w0, w)
 		}
-		if _, err := b.AddEdge(graph.VertexID(u), graph.VertexID(v), w0); err != nil {
+		id, err := b.AddEdge(graph.VertexID(u), graph.VertexID(v), w0)
+		if err != nil {
 			return nil, fmt.Errorf("store: snapshot graph: %w", err)
 		}
+		if aliveB == 0 {
+			if err := b.MarkDead(id); err != nil {
+				return nil, fmt.Errorf("store: snapshot graph: %w", err)
+			}
+		}
 		curW = append(curW, w)
+		dead = append(dead, aliveB == 0)
 	}
 	g := b.Build()
 	var updates []graph.WeightUpdate
 	for e, w := range curW {
-		if g.InitialWeight(graph.EdgeID(e)) != w {
+		if !dead[e] && g.InitialWeight(graph.EdgeID(e)) != w {
 			updates = append(updates, graph.WeightUpdate{Edge: graph.EdgeID(e), NewWeight: w})
 		}
 	}

@@ -12,7 +12,9 @@
 //	                    frozen at <epoch>.
 //	wal-<epoch>.log   — the write-ahead log of update batches applied after
 //	                    <epoch>: the batch that produced epoch E is stored
-//	                    under record epoch E.
+//	                    under record epoch E.  Weight batches and topology
+//	                    batches (edge/vertex inserts and deletes) interleave
+//	                    in epoch order.
 //
 // serve.Server appends each applied batch through AppendBatch (the
 // WAL-on-apply hook) and periodically calls SaveSnapshot, which rotates the
@@ -219,55 +221,80 @@ func (s *Store) compactLocked(keepEpoch uint64) {
 	}
 }
 
-// AppendBatch logs one applied update batch under the epoch it produced
-// (dtlp.Index.ApplyUpdatesEpoch).  The first append after Open attaches to
-// the newest existing WAL segment (truncating any torn tail) or creates one
-// starting at epoch-1.  Epochs must be appended in increasing order.
+// AppendBatch logs one applied weight-update batch under the epoch it
+// produced (dtlp.Index.ApplyUpdatesEpoch).  The first append after Open
+// attaches to the newest existing WAL segment (truncating any torn tail) or
+// creates one starting at epoch-1.  Epochs must be appended in increasing
+// order.
 func (s *Store) AppendBatch(epoch uint64, batch []graph.WeightUpdate) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.ensureWALLocked(epoch); err != nil {
+		return err
+	}
+	return s.wal.append(epoch, batch, s.opts.SyncEvery)
+}
+
+// AppendTopology logs one applied topology batch under the epoch it produced
+// (dtlp.Index.ApplyTopologyEpoch).  Topology records interleave with weight
+// records in the same WAL, in epoch order; replay re-derives the same edge
+// ids and partition routing deterministically, so a recovered process is
+// bit-identical to the crashed one.
+func (s *Store) AppendTopology(epoch uint64, up graph.TopologyUpdate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureWALLocked(epoch); err != nil {
+		return err
+	}
+	return s.wal.appendTopology(epoch, up, s.opts.SyncEvery)
+}
+
+// ensureWALLocked attaches to (or creates) the active WAL segment before the
+// first append.  Callers hold s.mu.
+func (s *Store) ensureWALLocked(epoch uint64) error {
 	if s.closed {
 		return fmt.Errorf("store: store is closed")
 	}
-	if s.wal == nil {
-		_, wals, err := listGeneration(s.dir)
+	if s.wal != nil {
+		return nil
+	}
+	_, wals, err := listGeneration(s.dir)
+	if err != nil {
+		return err
+	}
+	if len(wals) > 0 {
+		path := s.walPath(wals[len(wals)-1])
+		w, last, err := openWALForAppend(path)
 		if err != nil {
-			return err
-		}
-		if len(wals) > 0 {
-			path := s.walPath(wals[len(wals)-1])
-			w, last, err := openWALForAppend(path)
-			if err != nil {
-				// An unreadable header means the segment died in the crash
-				// window before its header became durable; it holds no
-				// recoverable records, so recreate it rather than failing
-				// every append forever.
-				if rerr := os.Remove(path); rerr != nil {
-					return err
-				}
-				if w, err = createWAL(path, wals[len(wals)-1]); err != nil {
-					return err
-				}
-				last = wals[len(wals)-1]
-			}
-			if last >= epoch {
-				w.close()
-				return fmt.Errorf("store: WAL already holds epoch %d, cannot append epoch %d", last, epoch)
-			}
-			s.wal = w
-		} else {
-			if epoch == 0 {
-				return fmt.Errorf("store: cannot log a batch for epoch 0 (epoch 0 is construction time)")
-			}
-			w, err := createWAL(s.walPath(epoch-1), epoch-1)
-			if err != nil {
+			// An unreadable header means the segment died in the crash
+			// window before its header became durable; it holds no
+			// recoverable records, so recreate it rather than failing
+			// every append forever.
+			if rerr := os.Remove(path); rerr != nil {
 				return err
 			}
-			s.wal = w
-			syncDir(s.dir)
+			if w, err = createWAL(path, wals[len(wals)-1]); err != nil {
+				return err
+			}
+			last = wals[len(wals)-1]
 		}
+		if last >= epoch {
+			w.close()
+			return fmt.Errorf("store: WAL already holds epoch %d, cannot append epoch %d", last, epoch)
+		}
+		s.wal = w
+		return nil
 	}
-	return s.wal.append(epoch, batch, s.opts.SyncEvery)
+	if epoch == 0 {
+		return fmt.Errorf("store: cannot log a batch for epoch 0 (epoch 0 is construction time)")
+	}
+	w, err := createWAL(s.walPath(epoch-1), epoch-1)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	syncDir(s.dir)
+	return nil
 }
 
 // Sync forces an fsync of the active WAL segment, flushing any batches still
@@ -386,6 +413,34 @@ func recoverState(dir string, topologyOnly bool) (*Recovered, error) {
 			}
 			if r.Epoch != rec.Epoch+1 {
 				return nil, fmt.Errorf("store: WAL gap: have epoch %d, next record is epoch %d", rec.Epoch, r.Epoch)
+			}
+			if r.Topo != nil {
+				// Topology record: the mutation is copy-on-write, so the
+				// recovered graph and partition pointers advance with it.
+				if topologyOnly {
+					ng, inserted, deleted, err := rec.Graph.ApplyTopology(*r.Topo)
+					if err != nil {
+						return nil, fmt.Errorf("store: replaying topology epoch %d: %w", r.Epoch, err)
+					}
+					np, _, err := rec.Partition.ApplyTopology(ng, *r.Topo, inserted, deleted)
+					if err != nil {
+						return nil, fmt.Errorf("store: replaying topology epoch %d: %w", r.Epoch, err)
+					}
+					rec.Graph, rec.Partition = ng, np
+				} else {
+					epoch, err := rec.Index.ApplyTopologyEpoch(*r.Topo)
+					if err != nil {
+						return nil, fmt.Errorf("store: replaying topology epoch %d: %w", r.Epoch, err)
+					}
+					if epoch != r.Epoch {
+						return nil, fmt.Errorf("store: replay produced epoch %d for WAL record %d", epoch, r.Epoch)
+					}
+					rec.Partition = rec.Index.Partition()
+					rec.Graph = rec.Partition.Parent()
+				}
+				rec.Epoch = r.Epoch
+				rec.ReplayedBatches++
+				continue
 			}
 			if err := rec.Graph.ApplyUpdates(r.Batch); err != nil {
 				return nil, fmt.Errorf("store: replaying epoch %d: %w", r.Epoch, err)

@@ -635,3 +635,111 @@ func TestAppendEpochGapRefused(t *testing.T) {
 	}
 	st.Close()
 }
+
+// TestRecoverMixedKinds interleaves weight and topology records in the WAL —
+// with the periodic snapshot landing between them, so the snapshot captures a
+// post-topology graph and the replayed tail contains both record kinds — and
+// requires the recovered index to be bit-identical to a never-crashed
+// reference that applied the same sequence.
+func TestRecoverMixedKinds(t *testing.T) {
+	const seed, n, z, xi, k = 31, 32, 7, 2, 3
+	gA, xA := buildIndex(t, seed, n, z, xi)
+	_, xB := buildIndex(t, seed, n, z, xi)
+	nE := graph.EdgeID(gA.NumEdges())
+
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := serve.New(xA, nil, serve.Options{Workers: 1})
+	defer srvA.Close()
+	// SnapshotEvery counts weight and topology batches alike: the snapshot
+	// lands at epoch 3 (after the first topology batch), leaving epochs 4-5 —
+	// one of each kind — in the WAL tail.
+	srvB := serve.New(xB, nil, serve.Options{Workers: 1, Store: st, SnapshotEvery: 3})
+
+	weights := func(ups ...graph.WeightUpdate) {
+		t.Helper()
+		if err := srvA.ApplyUpdates(ups); err != nil {
+			t.Fatalf("reference ApplyUpdates: %v", err)
+		}
+		if err := srvB.ApplyUpdates(ups); err != nil {
+			t.Fatalf("stored ApplyUpdates: %v", err)
+		}
+	}
+	topology := func(up graph.TopologyUpdate) {
+		t.Helper()
+		if err := srvA.ApplyTopology(up); err != nil {
+			t.Fatalf("reference ApplyTopology: %v", err)
+		}
+		if err := srvB.ApplyTopology(up); err != nil {
+			t.Fatalf("stored ApplyTopology: %v", err)
+		}
+	}
+
+	weights(graph.WeightUpdate{Edge: 1, NewWeight: 4.25}, graph.WeightUpdate{Edge: 2, NewWeight: 2.5}) // epoch 1
+	topology(graph.TopologyUpdate{                                                                     // epoch 2: fresh vertex n wired in, edge 0 tombstoned
+		AddVertices: 1,
+		InsertEdges: []graph.Edge{{U: 0, V: graph.VertexID(n), Weight: 2.25}, {U: graph.VertexID(n), V: 1, Weight: 1.75}},
+		DeleteEdges: []graph.EdgeID{0},
+	})
+	weights(graph.WeightUpdate{Edge: nE, NewWeight: 3.5}, graph.WeightUpdate{Edge: 3, NewWeight: 6}) // epoch 3: touches an inserted edge
+	topology(graph.TopologyUpdate{                                                                   // epoch 4: delete + insert in one batch
+		DeleteEdges: []graph.EdgeID{2},
+		InsertEdges: []graph.Edge{{U: 4, V: 7, Weight: 5.5}},
+	})
+	weights(graph.WeightUpdate{Edge: nE + 2, NewWeight: 4.75}) // epoch 5
+
+	if stats := srvB.Stats(); stats.Snapshots != 1 || stats.TopologyBatches != 2 {
+		t.Fatalf("stored server stats: %d snapshots, %d topology batches; want 1, 2", stats.Snapshots, stats.TopologyBatches)
+	}
+
+	// Crash and recover.
+	srvB.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.SnapshotEpoch != 3 || rec.Epoch != 5 || rec.ReplayedBatches != 2 {
+		t.Fatalf("recovery summary: snapshot %d, epoch %d, replayed %d; want 3, 5, 2",
+			rec.SnapshotEpoch, rec.Epoch, rec.ReplayedBatches)
+	}
+	if got, want := rec.Graph.NumVertices(), n+1; got != want {
+		t.Fatalf("recovered vertex count = %d, want %d", got, want)
+	}
+	if rec.Graph.EdgeAlive(0) || rec.Graph.EdgeAlive(2) {
+		t.Fatal("recovered graph resurrected a deleted edge")
+	}
+	if !rec.Graph.EdgeAlive(nE) || !rec.Graph.EdgeAlive(nE+2) {
+		t.Fatal("recovered graph lost an inserted edge")
+	}
+	requireIdenticalIndexes(t, xA, rec.Index)
+	requireIdenticalAnswers(t, xA, rec.Index, n+1, seed+100, k)
+
+	// The warm-started server continues the interleaved stream: one more
+	// topology batch must land as epoch 6 on both sides and stay identical.
+	srvC := serve.New(rec.Index, nil, serve.Options{Workers: 1, Store: st2})
+	defer srvC.Close()
+	more := graph.TopologyUpdate{InsertEdges: []graph.Edge{{U: 2, V: 9, Weight: 3.25}}}
+	if err := srvA.ApplyTopology(more); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvC.ApplyTopology(more); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Index.CurrentView().Epoch(); got != 6 {
+		t.Fatalf("warm-started epoch = %d, want 6", got)
+	}
+	requireIdenticalIndexes(t, xA, rec.Index)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

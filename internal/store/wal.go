@@ -11,27 +11,46 @@ import (
 	"kspdg/internal/graph"
 )
 
-// WAL binary layout (FormatVersion 1), all integers little-endian:
+// WAL binary layout (FormatVersion 2), all integers little-endian:
 //
 //	header:  magic "KSPDWAL1" | u32 version | u64 startEpoch
-//	record:  u64 epoch | u32 count | count × (i32 edge | f64 weight)
+//	record:  u64 epoch | u8 kind | payload
 //	         | u32 CRC-32C of the record bytes above
 //
+//	kind 0 (weights):  u32 count | count × (i32 edge | f64 weight)
+//	kind 1 (topology): u32 addVertices
+//	                   | u32 nIns,  nIns × (i32 u | i32 v | f64 weight)
+//	                   | u32 nDelE, nDelE × i32 edge
+//	                   | u32 nDelV, nDelV × i32 vertex
+//
 // A segment named wal-<startEpoch>.log holds the update batches that
-// produced epochs startEpoch+1, startEpoch+2, ...  Records are flushed to
-// the OS on every append (surviving process crashes); fsync is batched per
-// Options.SyncEvery (bounding data loss on power failure).  Readers stop at
-// the first record that fails its CRC or is truncated: a torn tail from a
-// crash mid-append is expected and cleanly ignored.
+// produced epochs startEpoch+1, startEpoch+2, ...  Weight and topology
+// batches interleave in epoch order, exactly as they were applied; replaying
+// them in sequence reproduces the crashed process's state bit for bit
+// (topology replay re-derives the same edge ids because insertion order is
+// part of the record).  Records are flushed to the OS on every append
+// (surviving process crashes); fsync is batched per Options.SyncEvery
+// (bounding data loss on power failure).  Readers stop at the first record
+// that fails its CRC or is truncated: a torn tail from a crash mid-append is
+// expected and cleanly ignored.
 
-// maxWALBatch bounds the per-record update count accepted by the reader, so
-// corrupted length fields cannot force huge allocations.
+// maxWALBatch bounds the per-record element counts accepted by the reader,
+// so corrupted length fields cannot force huge allocations.
 const maxWALBatch = 1 << 24
 
+// WAL record kinds.
+const (
+	walKindWeights  = 0
+	walKindTopology = 1
+)
+
 // walRecord is one decoded WAL entry: the batch that produced Epoch.
+// Exactly one of Batch and Topo is meaningful, selected by the record's kind
+// (a weight record may legitimately carry an empty Batch).
 type walRecord struct {
 	Epoch uint64
 	Batch []graph.WeightUpdate
+	Topo  *graph.TopologyUpdate
 }
 
 // walWriter appends records to one WAL segment file.
@@ -89,13 +108,69 @@ func openWALForAppend(path string) (*walWriter, uint64, error) {
 	return &walWriter{f: f, startEpoch: startEpoch, last: last, off: validLen}, last, nil
 }
 
-// append writes one record and flushes it to the OS.  syncEvery batches
-// fsyncs: 1 syncs every record, n > 1 every n records (the rest ride along).
-// A failed write is rolled back by truncating the file to the last valid
-// record, so later appends stay recoverable; if even the rollback fails the
-// writer is poisoned and every subsequent append errors (silently appending
-// after torn bytes would make recovery drop the new records).
+// recBuf accumulates one record's bytes before the single Write that commits
+// it.  Building the full record first keeps torn-tail semantics simple: a
+// record is either entirely in the file or (after rollback) entirely absent.
+type recBuf []byte
+
+func (b *recBuf) u8(v uint8) { *b = append(*b, v) }
+func (b *recBuf) u32(v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	*b = append(*b, tmp[:]...)
+}
+func (b *recBuf) u64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	*b = append(*b, tmp[:]...)
+}
+func (b *recBuf) i32(v int32)   { b.u32(uint32(v)) }
+func (b *recBuf) f64(v float64) { b.u64(math.Float64bits(v)) }
+
+// append writes one weight record and flushes it to the OS.  syncEvery
+// batches fsyncs: 1 syncs every record, n > 1 every n records (the rest ride
+// along).  A failed write is rolled back by truncating the file to the last
+// valid record, so later appends stay recoverable; if even the rollback
+// fails the writer is poisoned and every subsequent append errors (silently
+// appending after torn bytes would make recovery drop the new records).
 func (w *walWriter) append(epoch uint64, batch []graph.WeightUpdate, syncEvery int) error {
+	buf := make(recBuf, 0, 13+len(batch)*12+4)
+	buf.u64(epoch)
+	buf.u8(walKindWeights)
+	buf.u32(uint32(len(batch)))
+	for _, u := range batch {
+		buf.i32(int32(u.Edge))
+		buf.f64(u.NewWeight)
+	}
+	return w.commit(epoch, buf, syncEvery)
+}
+
+// appendTopology writes one topology record; framing and failure handling
+// are identical to append.
+func (w *walWriter) appendTopology(epoch uint64, up graph.TopologyUpdate, syncEvery int) error {
+	buf := make(recBuf, 0, 25+len(up.InsertEdges)*16+len(up.DeleteEdges)*4+len(up.DeleteVertices)*4+4)
+	buf.u64(epoch)
+	buf.u8(walKindTopology)
+	buf.u32(uint32(up.AddVertices))
+	buf.u32(uint32(len(up.InsertEdges)))
+	for _, e := range up.InsertEdges {
+		buf.i32(int32(e.U))
+		buf.i32(int32(e.V))
+		buf.f64(e.Weight)
+	}
+	buf.u32(uint32(len(up.DeleteEdges)))
+	for _, e := range up.DeleteEdges {
+		buf.i32(int32(e))
+	}
+	buf.u32(uint32(len(up.DeleteVertices)))
+	for _, v := range up.DeleteVertices {
+		buf.i32(int32(v))
+	}
+	return w.commit(epoch, buf, syncEvery)
+}
+
+// commit appends one framed record (checksummed here) to the segment.
+func (w *walWriter) commit(epoch uint64, buf recBuf, syncEvery int) error {
 	if w.broken {
 		return fmt.Errorf("store: WAL writer unusable after an unrecoverable append failure")
 	}
@@ -106,20 +181,7 @@ func (w *walWriter) append(epoch uint64, batch []graph.WeightUpdate, syncEvery i
 	if epoch != w.last+1 {
 		return fmt.Errorf("store: WAL expects epoch %d next, got %d (a snapshot is needed to resynchronise after a lost append)", w.last+1, epoch)
 	}
-	buf := make([]byte, 0, 12+len(batch)*12+4)
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:8], epoch)
-	buf = append(buf, tmp[:8]...)
-	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(batch)))
-	buf = append(buf, tmp[:4]...)
-	for _, u := range batch {
-		binary.LittleEndian.PutUint32(tmp[:4], uint32(u.Edge))
-		buf = append(buf, tmp[:4]...)
-		binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(u.NewWeight))
-		buf = append(buf, tmp[:8]...)
-	}
-	binary.LittleEndian.PutUint32(tmp[:4], crc32.Checksum(buf, crcTable))
-	buf = append(buf, tmp[:4]...)
+	buf.u32(crc32.Checksum(buf, crcTable))
 	if _, err := w.f.Write(buf); err != nil {
 		if terr := w.f.Truncate(w.off); terr != nil {
 			w.broken = true
@@ -189,37 +251,157 @@ func decodeWAL(r io.Reader, size int64) (recs []walRecord, startEpoch uint64, va
 	startEpoch = binary.LittleEndian.Uint64(hdr[12:20])
 	validLen = int64(len(hdr))
 	for {
-		var fixed [12]byte
-		if _, err := io.ReadFull(r, fixed[:]); err != nil {
-			return recs, startEpoch, validLen, nil // clean or torn end
+		rec, n, ok := decodeWALRecord(r, size)
+		if !ok {
+			return recs, startEpoch, validLen, nil // clean end, torn or corrupt tail
 		}
-		epoch := binary.LittleEndian.Uint64(fixed[:8])
-		count := binary.LittleEndian.Uint32(fixed[8:12])
-		if count > maxWALBatch || (size >= 0 && int64(count) > size/12) {
-			return recs, startEpoch, validLen, nil // corrupt length: treat as torn tail
-		}
-		payload := make([]byte, int(count)*12)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return recs, startEpoch, validLen, nil
-		}
-		var crcBuf [4]byte
-		if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
-			return recs, startEpoch, validLen, nil
-		}
-		crc := crc32.Checksum(fixed[:], crcTable)
-		crc = crc32.Update(crc, crcTable, payload)
-		if binary.LittleEndian.Uint32(crcBuf[:]) != crc {
-			return recs, startEpoch, validLen, nil
+		recs = append(recs, rec)
+		validLen += n
+	}
+}
+
+// walRecordReader reads one record's fields while retaining every byte read,
+// so the trailing CRC can be verified over exactly the bytes consumed.
+type walRecordReader struct {
+	r    io.Reader
+	read []byte
+	buf  [8]byte
+}
+
+func (rr *walRecordReader) bytes(n int) ([]byte, bool) {
+	p := rr.buf[:n]
+	if _, err := io.ReadFull(rr.r, p); err != nil {
+		return nil, false
+	}
+	rr.read = append(rr.read, p...)
+	return p, true
+}
+
+func (rr *walRecordReader) u8() (uint8, bool) {
+	p, ok := rr.bytes(1)
+	if !ok {
+		return 0, false
+	}
+	return p[0], true
+}
+
+func (rr *walRecordReader) u32() (uint32, bool) {
+	p, ok := rr.bytes(4)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(p), true
+}
+
+func (rr *walRecordReader) u64() (uint64, bool) {
+	p, ok := rr.bytes(8)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(p), true
+}
+
+func (rr *walRecordReader) i32() (int32, bool) {
+	v, ok := rr.u32()
+	return int32(v), ok
+}
+
+func (rr *walRecordReader) f64() (float64, bool) {
+	v, ok := rr.u64()
+	return math.Float64frombits(v), ok
+}
+
+// countOK bounds a decoded element count: each element occupies at least
+// elemSize bytes, so counts implying more bytes than the input holds are
+// corrupt (treated as a torn tail by the caller).
+func countOK(count uint32, elemSize int64, size int64) bool {
+	if count > maxWALBatch {
+		return false
+	}
+	return size < 0 || int64(count) <= size/elemSize
+}
+
+// decodeWALRecord reads one record.  ok=false means the reader hit a clean
+// EOF, a torn tail, or corruption — indistinguishable by design, all ending
+// the valid prefix.  n is the record's byte length including the CRC.
+func decodeWALRecord(r io.Reader, size int64) (rec walRecord, n int64, ok bool) {
+	rr := &walRecordReader{r: r}
+	epoch, ok := rr.u64()
+	if !ok {
+		return walRecord{}, 0, false
+	}
+	kind, ok := rr.u8()
+	if !ok {
+		return walRecord{}, 0, false
+	}
+	rec.Epoch = epoch
+	switch kind {
+	case walKindWeights:
+		count, ok := rr.u32()
+		if !ok || !countOK(count, 12, size) {
+			return walRecord{}, 0, false
 		}
 		batch := make([]graph.WeightUpdate, count)
 		for i := range batch {
-			off := i * 12
-			batch[i] = graph.WeightUpdate{
-				Edge:      graph.EdgeID(int32(binary.LittleEndian.Uint32(payload[off : off+4]))),
-				NewWeight: math.Float64frombits(binary.LittleEndian.Uint64(payload[off+4 : off+12])),
+			e, ok1 := rr.i32()
+			w, ok2 := rr.f64()
+			if !ok1 || !ok2 {
+				return walRecord{}, 0, false
 			}
+			batch[i] = graph.WeightUpdate{Edge: graph.EdgeID(e), NewWeight: w}
 		}
-		recs = append(recs, walRecord{Epoch: epoch, Batch: batch})
-		validLen += int64(len(fixed)) + int64(len(payload)) + int64(len(crcBuf))
+		rec.Batch = batch
+	case walKindTopology:
+		addV, ok := rr.u32()
+		if !ok || !countOK(addV, 1, size) {
+			return walRecord{}, 0, false
+		}
+		up := &graph.TopologyUpdate{AddVertices: int(addV)}
+		nIns, ok := rr.u32()
+		if !ok || !countOK(nIns, 16, size) {
+			return walRecord{}, 0, false
+		}
+		for i := uint32(0); i < nIns; i++ {
+			u, ok1 := rr.i32()
+			v, ok2 := rr.i32()
+			w, ok3 := rr.f64()
+			if !ok1 || !ok2 || !ok3 {
+				return walRecord{}, 0, false
+			}
+			up.InsertEdges = append(up.InsertEdges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v), Weight: w})
+		}
+		nDelE, ok := rr.u32()
+		if !ok || !countOK(nDelE, 4, size) {
+			return walRecord{}, 0, false
+		}
+		for i := uint32(0); i < nDelE; i++ {
+			e, ok := rr.i32()
+			if !ok {
+				return walRecord{}, 0, false
+			}
+			up.DeleteEdges = append(up.DeleteEdges, graph.EdgeID(e))
+		}
+		nDelV, ok := rr.u32()
+		if !ok || !countOK(nDelV, 4, size) {
+			return walRecord{}, 0, false
+		}
+		for i := uint32(0); i < nDelV; i++ {
+			v, ok := rr.i32()
+			if !ok {
+				return walRecord{}, 0, false
+			}
+			up.DeleteVertices = append(up.DeleteVertices, graph.VertexID(v))
+		}
+		rec.Topo = up
+	default:
+		return walRecord{}, 0, false // unknown kind: treat as torn tail
 	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return walRecord{}, 0, false
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.Checksum(rr.read, crcTable) {
+		return walRecord{}, 0, false
+	}
+	return rec, int64(len(rr.read)) + 4, true
 }

@@ -183,6 +183,9 @@ func PerturbWeights(tb testing.TB, g *graph.Graph, rng *rand.Rand, alpha, tau, m
 		if rng.Float64() >= alpha {
 			continue
 		}
+		if !g.EdgeAlive(e) {
+			continue // tombstone of a deleted edge: no weight to perturb
+		}
 		factor := 1 + (rng.Float64()*2-1)*tau
 		w := g.Weight(e) * factor
 		if w < minWeight {

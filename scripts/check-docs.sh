@@ -1,0 +1,43 @@
+#!/bin/sh
+# check-docs.sh — documentation completeness smoke, run from the repo root.
+#
+# 1. Every internal package must have a `// Package <name>` doc comment in at
+#    least one of its files (godoc's package overview).
+# 2. docs/ARCHITECTURE.md must have a `## internal/<pkg>` section for every
+#    internal package, so a new package cannot land undocumented.
+#
+# Pure POSIX sh + grep: runs offline, no dependencies.
+set -eu
+
+fail=0
+
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -qr "^// Package $pkg " "$dir" --include='*.go' 2>/dev/null &&
+       ! grep -qr "^// Package $pkg$" "$dir" --include='*.go' 2>/dev/null; then
+        echo "missing godoc: no '// Package $pkg' comment under $dir" >&2
+        fail=1
+    fi
+    if ! grep -q "^## internal/$pkg" docs/ARCHITECTURE.md; then
+        echo "missing docs section: no '## internal/$pkg' heading in docs/ARCHITECTURE.md" >&2
+        fail=1
+    fi
+done
+
+# The reverse direction: an ARCHITECTURE section about a package that no
+# longer exists is stale documentation.
+grep '^## internal/' docs/ARCHITECTURE.md | while read -r line; do
+    pkg=${line#"## internal/"}
+    pkg=${pkg%% *}
+    pkg=${pkg%%[^a-z]*}
+    if [ ! -d "internal/$pkg" ]; then
+        echo "stale docs section: docs/ARCHITECTURE.md covers internal/$pkg which does not exist" >&2
+        exit 1
+    fi
+done || fail=1
+
+if [ "$fail" -ne 0 ]; then
+    echo "check-docs: FAILED" >&2
+    exit 1
+fi
+echo "check-docs: OK ($(ls -d internal/*/ | wc -l | tr -d ' ') packages documented)"

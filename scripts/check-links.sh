@@ -1,0 +1,36 @@
+#!/bin/sh
+# check-links.sh — verify that every relative markdown link in the committed
+# documentation resolves to an existing file or directory.  External links
+# (http/https/mailto) are skipped so the check runs offline and never flakes
+# on network state.  Run from the repo root.
+set -eu
+
+docs="README.md ROADMAP.md CHANGES.md"
+for f in docs/*.md examples/*/README.md; do
+    [ -f "$f" ] && docs="$docs $f"
+done
+
+fail=0
+for doc in $docs; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Pull out every](target) occurrence; tolerate multiple links per line.
+    targets=$(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//') || continue
+    for t in $targets; do
+        case "$t" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${t%%#*}          # drop intra-file anchors
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "$doc: broken link -> $t" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check-links: FAILED" >&2
+    exit 1
+fi
+echo "check-links: OK"
