@@ -82,13 +82,19 @@ import (
 	"kspdg/internal/dtlp"
 	"kspdg/internal/gateway"
 	"kspdg/internal/graph"
+	"kspdg/internal/logx"
 	"kspdg/internal/metrics"
 	"kspdg/internal/partition"
 	"kspdg/internal/rpcbatch"
 	"kspdg/internal/serve"
 	"kspdg/internal/store"
+	"kspdg/internal/trace"
 	"kspdg/internal/workload"
 )
+
+// lg is the process-wide leveled key=value logger (see internal/logx); main
+// replaces it once -log-level is parsed.
+var lg = logx.New(os.Stdout, logx.LevelInfo)
 
 func main() {
 	var (
@@ -131,8 +137,19 @@ func main() {
 		httpTmout  = flag.Duration("http-timeout", 30*time.Second, "default per-request deadline applied when clients send no Request-Timeout-Ms header (0 = none)")
 		workerPar  = flag.Int("worker-parallelism", 0, "partial-KSP executor width: goroutines one request's pairs (and heavy pairs' per-subgraph searches) fan out across on a worker, or in the master's local refine step (0 = GOMAXPROCS, 1 = sequential)")
 		updatePar  = flag.Int("update-parallelism", 0, "goroutines refreshing affected subgraphs per weight-update batch (0 = GOMAXPROCS, 1 = serial; master mode)")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		pprofOn    = flag.Bool("pprof", false, "mount Go's net/http/pprof profiling handlers under /debug/pprof/ on the -http listener (master mode)")
+		slowQuery  = flag.Duration("slow-query", 0, "log every query at least this slow with its trace id and per-stage breakdown; 0 logs only non-converged and budget-terminated outliers (master mode)")
+		traceCap   = flag.Int("trace-capacity", 256, "retained query traces served on GET /debug/traces; 0 disables tracing (master mode)")
+		traceSamp  = flag.Float64("trace-sample", 0.05, "probability a normal (fast, converged) query trace is retained; slow/non-converged/failed-over/canceled traces are always kept, negative keeps outliers only (master mode)")
 	)
 	flag.Parse()
+
+	lvl, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	lg = logx.New(os.Stdout, lvl)
 
 	if (*tlsCert == "") != (*tlsKey == "") {
 		fatal(fmt.Errorf("-tls-cert and -tls-key must be set together"))
@@ -158,9 +175,11 @@ func main() {
 				fatal(err)
 			}
 			part = p
-			fmt.Printf("kspd worker %d: warm start from %s in %v (%d vertices, %d edges, %d subgraphs, epoch %d)\n",
-				*workerID, *dataDir, time.Since(start).Round(time.Millisecond),
-				g.NumVertices(), g.NumEdges(), part.NumSubgraphs(), epoch)
+			lg.Info("worker warm start",
+				"worker", *workerID, "dir", *dataDir,
+				"elapsed", time.Since(start).Round(time.Millisecond),
+				"vertices", g.NumVertices(), "edges", g.NumEdges(),
+				"subgraphs", part.NumSubgraphs(), "epoch", epoch)
 		} else {
 			_, p := deriveDataset(*dataset, *scaleName, *z)
 			part = p
@@ -202,6 +221,10 @@ func main() {
 			httpTmout:  *httpTmout,
 			workerPar:  *workerPar,
 			updatePar:  *updatePar,
+			pprofOn:    *pprofOn,
+			slowQuery:  *slowQuery,
+			traceCap:   *traceCap,
+			traceSamp:  *traceSamp,
 		})
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want worker or master)", *mode))
@@ -273,8 +296,9 @@ func runWorker(part *partition.Partition, workerID, numWorkers, replicas int, li
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("kspd worker %d: serving %d subgraphs on %s (parallelism %d)\n",
-		workerID, len(owned), srv.Addr(), resolveParallelism(parallelism))
+	lg.Info("worker serving",
+		"worker", workerID, "subgraphs", len(owned), "addr", srv.Addr(),
+		"parallelism", resolveParallelism(parallelism))
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
@@ -315,6 +339,10 @@ type masterConfig struct {
 	httpTmout      time.Duration
 	workerPar      int
 	updatePar      int
+	pprofOn        bool
+	slowQuery      time.Duration
+	traceCap       int
+	traceSamp      float64
 }
 
 // runMaster obtains the graph, partition and DTLP index — warm-started from
@@ -347,24 +375,25 @@ func runMaster(cfg masterConfig) {
 		}
 		name = "snapshot:" + cfg.dataDir
 		g, part, index = rec.Graph, rec.Partition, rec.Index
-		fmt.Printf("kspd master: warm start from %s in %v: snapshot epoch %d + %d replayed batches -> epoch %d (%d subgraph builds)\n",
-			cfg.dataDir, time.Since(start).Round(time.Millisecond),
-			rec.SnapshotEpoch, rec.ReplayedBatches, rec.Epoch, dtlp.SubgraphBuildCount()-builds)
-		fmt.Printf("kspd master: dataset %s, %d vertices, %d edges, %d subgraphs\n",
-			name, g.NumVertices(), g.NumEdges(), part.NumSubgraphs())
+		lg.Info("master warm start",
+			"dir", cfg.dataDir, "elapsed", time.Since(start).Round(time.Millisecond),
+			"snapshot_epoch", rec.SnapshotEpoch, "replayed_batches", rec.ReplayedBatches,
+			"epoch", rec.Epoch, "subgraph_builds", dtlp.SubgraphBuildCount()-builds)
+		lg.Info("dataset ready", "dataset", name,
+			"vertices", g.NumVertices(), "edges", g.NumEdges(), "subgraphs", part.NumSubgraphs())
 	} else {
 		ds, p := deriveDataset(cfg.dataset, cfg.scale, cfg.z)
 		name, g, part = ds.Name, ds.Graph, p
-		fmt.Printf("kspd master: dataset %s, %d vertices, %d edges, %d subgraphs\n",
-			name, g.NumVertices(), g.NumEdges(), part.NumSubgraphs())
+		lg.Info("dataset ready", "dataset", name,
+			"vertices", g.NumVertices(), "edges", g.NumEdges(), "subgraphs", part.NumSubgraphs())
 		start := time.Now()
 		var err error
 		index, err = dtlp.Build(part, dtlp.Config{Xi: cfg.xi})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("kspd master: DTLP built in %v (skeleton: %d vertices, %d edges)\n",
-			time.Since(start).Round(time.Millisecond), index.Skeleton().NumVertices(), index.Skeleton().NumEdges())
+		lg.Info("dtlp built", "elapsed", time.Since(start).Round(time.Millisecond),
+			"skeleton_vertices", index.Skeleton().NumVertices(), "skeleton_edges", index.Skeleton().NumEdges())
 	}
 	// A cold-built index attached to a store always bootstraps a snapshot:
 	// WAL records without a base snapshot are unrecoverable, and they would
@@ -375,7 +404,7 @@ func runMaster(cfg masterConfig) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("kspd master: snapshot written to %s at epoch %d\n", cfg.dataDir, epoch)
+		lg.Info("snapshot written", "dir", cfg.dataDir, "epoch", epoch)
 	}
 
 	// Sharded write-path maintenance (no-op at 0: GOMAXPROCS is the default).
@@ -392,6 +421,24 @@ func runMaster(cfg masterConfig) {
 		for i := 0; i < pairs; i++ {
 			pairLat.Observe(s)
 		}
+	}
+
+	// Stage-duration histogram fed by the tracer: every finished span observes
+	// its duration under its stage name.  The family is registered even when
+	// tracing is disabled so dashboards see a stable metric set.
+	stageLat := reg.HistogramVec("kspd_stage_seconds",
+		"Durations of traced pipeline stages (request, admission, queue, execute, filter, refine, rpc_wait, rpc_batch, rpc, worker_exec, rebuild, wal, broadcast, ...).",
+		nil, "stage")
+	var tracer *trace.Tracer
+	if cfg.traceCap > 0 {
+		tracer = trace.New(trace.Options{
+			Capacity:      cfg.traceCap,
+			SampleRate:    cfg.traceSamp,
+			SlowThreshold: cfg.slowQuery,
+			OnSpanFinish: func(stage string, d time.Duration) {
+				stageLat.With(stage).Observe(d.Seconds())
+			},
+		})
 	}
 
 	var provider core.PartialProvider
@@ -415,7 +462,7 @@ func runMaster(cfg masterConfig) {
 			}
 			defer rw.Close()
 			remotes = append(remotes, rw)
-			fmt.Printf("kspd master: connected to worker %s\n", addr)
+			lg.Info("connected to worker", "addr", addr)
 		}
 		if len(remotes) == 0 {
 			fatal(fmt.Errorf("-connect %q contains no worker addresses", cfg.connect))
@@ -443,8 +490,8 @@ func runMaster(cfg masterConfig) {
 				defer rp.Close()
 				provider = rp
 				member = rp.Membership()
-				fmt.Printf("kspd master: replication factor %d, hedge-after %v, ping-every %v\n",
-					table.Factor(), cfg.hedgeAfter, cfg.pingEvery)
+				lg.Info("replication enabled", "factor", table.Factor(),
+					"hedge_after", cfg.hedgeAfter, "ping_every", cfg.pingEvery)
 			} else {
 				bp := cluster.NewBatchedRemoteProvider(remotes, cfg.batch)
 				defer bp.Close()
@@ -453,7 +500,7 @@ func runMaster(cfg masterConfig) {
 		default:
 			fatal(fmt.Errorf("unknown -transport %q (want serialized, pipelined, or batched)", cfg.transport))
 		}
-		fmt.Printf("kspd master: %s transport, pool %d per worker\n", cfg.transport, remotes[0].PoolSize())
+		lg.Info("transport ready", "transport", cfg.transport, "pool", remotes[0].PoolSize())
 		broadcast = func(batch []graph.WeightUpdate) error {
 			for _, rw := range remotes {
 				if _, err := rw.ApplyUpdates(batch); err != nil {
@@ -483,14 +530,16 @@ func runMaster(cfg masterConfig) {
 			}
 		}
 	} else {
-		fmt.Println("kspd master: no -connect given, running the refine step locally")
+		lg.Info("no -connect given, running the refine step locally")
 	}
 	srvOpts := serve.Options{
-		Workers:           cfg.conc,
-		Broadcast:         broadcast,
-		BroadcastTopology: broadcastTopo,
-		SnapshotEvery:     cfg.snapEvery,
-		Engine:            core.Options{MaxIterations: cfg.maxIter, StallWindow: cfg.stallWin, Parallelism: cfg.workerPar},
+		Workers:            cfg.conc,
+		Broadcast:          broadcast,
+		BroadcastTopology:  broadcastTopo,
+		SnapshotEvery:      cfg.snapEvery,
+		Engine:             core.Options{MaxIterations: cfg.maxIter, StallWindow: cfg.stallWin, Parallelism: cfg.workerPar},
+		Logger:             lg,
+		SlowQueryThreshold: cfg.slowQuery,
 	}
 	if st != nil {
 		srvOpts.Store = st
@@ -499,7 +548,7 @@ func runMaster(cfg masterConfig) {
 	defer srv.Close()
 
 	if cfg.httpAddr != "" {
-		runHTTP(cfg, srv, index, st, member, reg)
+		runHTTP(cfg, srv, index, st, member, reg, tracer)
 		return
 	}
 
@@ -510,8 +559,8 @@ func runMaster(cfg masterConfig) {
 			Incidents: cfg.incidents,
 			Seed:      cfg.seed + 7,
 		})
-		fmt.Printf("kspd master: injected %d topology events (%d closures, %d incidents)\n",
-			sc.NumTopologyBatches(), cfg.closures, cfg.incidents)
+		lg.Info("injected topology events", "batches", sc.NumTopologyBatches(),
+			"closures", cfg.closures, "incidents", cfg.incidents)
 	}
 	report, err := srv.RunScenario(sc)
 	if err != nil {
@@ -524,36 +573,42 @@ func runMaster(cfg masterConfig) {
 	for i, qr := range report.Results {
 		totalIter += qr.Result.Iterations
 		if i < 3 {
-			fmt.Printf("  query %d: %d -> %d, %d paths, best %.1f, epoch %d, %d iterations, %v\n",
-				i, qr.Query.Source, qr.Query.Target, len(qr.Result.Paths), bestDist(qr.Result),
-				qr.Result.Epoch, qr.Result.Iterations, qr.Result.Elapsed.Round(time.Microsecond))
+			lg.Info("query sample", "i", i,
+				"source", qr.Query.Source, "target", qr.Query.Target,
+				"paths", len(qr.Result.Paths), "best", bestDist(qr.Result),
+				"epoch", qr.Result.Epoch, "iterations", qr.Result.Iterations,
+				"elapsed", qr.Result.Elapsed.Round(time.Microsecond))
 		}
 	}
 	stats := srv.Stats()
-	fmt.Printf("kspd master: %d queries (k=%d) + %d update batches + %d topology batches in %v, avg %.2f iterations/query\n",
-		len(report.Results), cfg.k, report.BatchesApplied, report.TopologyApplied, report.Elapsed.Round(time.Millisecond),
-		float64(totalIter)/float64(max(len(report.Results), 1)))
+	lg.Info("scenario complete",
+		"queries", len(report.Results), "k", cfg.k,
+		"update_batches", report.BatchesApplied, "topology_batches", report.TopologyApplied,
+		"elapsed", report.Elapsed.Round(time.Millisecond),
+		"avg_iterations", fmt.Sprintf("%.2f", float64(totalIter)/float64(max(len(report.Results), 1))))
 	if stats.TopologyBatches > 0 {
-		fmt.Printf("kspd master: %d subgraph rebuilds across %d topology batches\n",
-			stats.SubgraphsRebuilt, stats.TopologyBatches)
+		lg.Info("topology maintenance", "subgraphs_rebuilt", stats.SubgraphsRebuilt,
+			"topology_batches", stats.TopologyBatches)
 	}
-	fmt.Printf("kspd master: epoch %d, %d cache hits, %d coalesced, %d edge updates applied, %d periodic snapshots\n",
-		stats.Epoch, stats.CacheHits, stats.Coalesced, stats.UpdatesApplied, stats.Snapshots)
+	lg.Info("scheduling stats", "epoch", stats.Epoch,
+		"cache_hits", stats.CacheHits, "coalesced", stats.Coalesced,
+		"updates_applied", stats.UpdatesApplied, "snapshots", stats.Snapshots)
 	if stats.NonConverged > 0 {
-		fmt.Printf("kspd master: WARNING: %d queries were cut off with fewer than k proven paths (results may be truncated)\n",
-			stats.NonConverged)
+		lg.Warn("queries cut off with fewer than k proven paths (results may be truncated)",
+			"count", stats.NonConverged)
 	}
 	if stats.BudgetTerminated > 0 {
-		fmt.Printf("kspd master: %d queries terminated by the adaptive iteration budget (near-exact, max bound gap %.3f)\n",
-			stats.BudgetTerminated, stats.MaxBoundGap)
+		lg.Info("budget-terminated queries (near-exact answers)",
+			"count", stats.BudgetTerminated, "max_bound_gap", fmt.Sprintf("%.3f", stats.MaxBoundGap))
 	}
 	if stats.RPCBatches > 0 {
-		fmt.Printf("kspd master: %d rpc batches, %d pairs coalesced across queries, %d dedup hits\n",
-			stats.RPCBatches, stats.PairsCoalesced, stats.DedupHits)
+		lg.Info("rpc batching stats", "batches", stats.RPCBatches,
+			"pairs_coalesced", stats.PairsCoalesced, "dedup_hits", stats.DedupHits)
 	}
 	if cfg.replicas > 1 {
-		fmt.Printf("kspd master: %d failovers, %d hedged batches (%d hedge wins, %d duplicate replies dropped)\n",
-			stats.Failovers, stats.HedgedBatches, stats.HedgeWins, stats.HedgeDrops)
+		lg.Info("failover stats", "failovers", stats.Failovers,
+			"hedged_batches", stats.HedgedBatches, "hedge_wins", stats.HedgeWins,
+			"hedge_drops", stats.HedgeDrops)
 	}
 }
 
@@ -562,7 +617,7 @@ func runMaster(cfg masterConfig) {
 // — stop accepting HTTP, finish in-flight requests, drain the query pool,
 // and write a final snapshot when persistence is configured — so a rolling
 // restart loses neither queries nor durability.
-func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.Store, member *cluster.Membership, reg *metrics.Registry) {
+func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.Store, member *cluster.Membership, reg *metrics.Registry, tracer *trace.Tracer) {
 	gw := gateway.New(srv, gateway.Options{
 		Rate:              cfg.httpRate,
 		Burst:             cfg.httpBurst,
@@ -570,6 +625,8 @@ func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.S
 		Membership:        member,
 		Registry:          reg,
 		WorkerParallelism: resolveParallelism(cfg.workerPar),
+		Tracer:            tracer,
+		EnablePprof:       cfg.pprofOn,
 	})
 	ln, err := net.Listen("tcp", cfg.httpAddr)
 	if err != nil {
@@ -580,8 +637,9 @@ func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.S
 	if cfg.tlsCert != "" {
 		scheme = "https"
 	}
-	fmt.Printf("kspd master: serving %s API on %s://%s (rate %g/s per key, default timeout %v)\n",
-		strings.ToUpper(scheme), scheme, ln.Addr(), cfg.httpRate, cfg.httpTmout)
+	lg.Info("serving HTTP API", "url", fmt.Sprintf("%s://%s", scheme, ln.Addr()),
+		"rate", cfg.httpRate, "default_timeout", cfg.httpTmout,
+		"tracing", tracer != nil, "pprof", cfg.pprofOn)
 	errCh := make(chan error, 1)
 	go func() {
 		var err error
@@ -597,25 +655,28 @@ func runHTTP(cfg masterConfig, srv *serve.Server, index *dtlp.Index, st *store.S
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("kspd master: %v: draining HTTP listener\n", s)
+		lg.Info("draining HTTP listener", "signal", s)
 	case err := <-errCh:
 		fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	if err := hs.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "kspd: HTTP drain incomplete: %v\n", err)
+		lg.Warn("HTTP drain incomplete", "err", err)
 	}
 	cancel()
 	srv.Close() // drain in-flight queries
 	stats := srv.Stats()
-	fmt.Printf("kspd master: drained at epoch %d: %d queries served (%d cache hits, %d coalesced, %d truncated, %d budget-terminated, %d canceled), %d update batches\n",
-		stats.Epoch, stats.QueriesServed, stats.CacheHits, stats.Coalesced, stats.NonConverged, stats.BudgetTerminated, stats.Canceled, stats.UpdateBatches)
+	lg.Info("drained", "epoch", stats.Epoch,
+		"queries_served", stats.QueriesServed, "cache_hits", stats.CacheHits,
+		"coalesced", stats.Coalesced, "truncated", stats.NonConverged,
+		"budget_terminated", stats.BudgetTerminated, "canceled", stats.Canceled,
+		"update_batches", stats.UpdateBatches)
 	if st != nil {
 		epoch, err := st.SaveSnapshot(index)
 		if err != nil {
 			fatal(fmt.Errorf("final snapshot: %w", err))
 		}
-		fmt.Printf("kspd master: final snapshot written to %s at epoch %d\n", cfg.dataDir, epoch)
+		lg.Info("final snapshot written", "dir", cfg.dataDir, "epoch", epoch)
 	}
 }
 

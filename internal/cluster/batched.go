@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -8,6 +9,7 @@ import (
 	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 	"kspdg/internal/rpcbatch"
+	"kspdg/internal/trace"
 )
 
 // mergeSeenPool recycles the dedup sets used while merging partial paths
@@ -76,26 +78,34 @@ func newBatchedProvider(senders []rpcbatch.Sender, route func(core.PairRequest) 
 // PartialKSP implements core.PartialProvider against the workers' live
 // weights.
 func (bp *batchedProvider) PartialKSP(pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
-	reply := <-bp.async(pairs, k, 0, false)
+	reply := <-bp.async(context.Background(), pairs, k, 0, false)
 	return reply.Paths, reply.Err
 }
 
 // PartialKSPView implements core.ViewProvider: requests are pinned to the
 // query's epoch, and only coalesce with other requests for the same epoch.
 func (bp *batchedProvider) PartialKSPView(iv *dtlp.IndexView, pairs []core.PairRequest, k int) (map[core.PairRequest][]graph.Path, error) {
-	reply := <-bp.async(pairs, k, iv.Epoch(), true)
+	reply := <-bp.async(context.Background(), pairs, k, iv.Epoch(), true)
 	return reply.Paths, reply.Err
 }
 
 // PartialKSPAsync implements core.AsyncPartialProvider.
 func (bp *batchedProvider) PartialKSPAsync(iv *dtlp.IndexView, pairs []core.PairRequest, k int) <-chan core.AsyncPartialReply {
-	if iv == nil {
-		return bp.async(pairs, k, 0, false)
-	}
-	return bp.async(pairs, k, iv.Epoch(), true)
+	return bp.PartialKSPAsyncCtx(context.Background(), iv, pairs, k)
 }
 
-func (bp *batchedProvider) async(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) <-chan core.AsyncPartialReply {
+// PartialKSPAsyncCtx implements core.CtxAsyncPartialProvider: the context's
+// trace span (if any) owns the coalesce-wait and batch spans the request
+// produces downstream.  Cancellation is not consumed here — the engine already
+// stops between iterations, and shipped pairs may serve other queries.
+func (bp *batchedProvider) PartialKSPAsyncCtx(ctx context.Context, iv *dtlp.IndexView, pairs []core.PairRequest, k int) <-chan core.AsyncPartialReply {
+	if iv == nil {
+		return bp.async(ctx, pairs, k, 0, false)
+	}
+	return bp.async(ctx, pairs, k, iv.Epoch(), true)
+}
+
+func (bp *batchedProvider) async(ctx context.Context, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) <-chan core.AsyncPartialReply {
 	out := make(chan core.AsyncPartialReply, 1)
 	result := make(map[core.PairRequest][]graph.Path, len(pairs))
 	perWorker := make(map[int][]core.PairRequest)
@@ -115,7 +125,7 @@ func (bp *batchedProvider) async(pairs []core.PairRequest, k int, epoch uint64, 
 	}
 	var replies []pendingReply
 	for w, prs := range perWorker {
-		replies = append(replies, pendingReply{pairs: prs, ch: bp.batchers[w].DoAsync(prs, k, epoch, hasEpoch)})
+		replies = append(replies, pendingReply{pairs: prs, ch: bp.batchers[w].DoAsyncCtx(ctx, prs, k, epoch, hasEpoch)})
 	}
 	go func() {
 		collected := make(map[core.PairRequest][]graph.Path, len(pairs))
@@ -196,12 +206,21 @@ func NewBatchedRemoteProvider(workers []*RemoteWorker, opts rpcbatch.Options) *B
 	}
 	senders := make([]rpcbatch.Sender, len(workers))
 	for i, rw := range workers {
-		rw := rw
-		senders[i] = func(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
-			resp, err := rw.PartialKSP(PartialKSPRequest{Pairs: pairs, K: k, Epoch: epoch, HasEpoch: hasEpoch})
+		i, rw := i, rw
+		senders[i] = func(ctx context.Context, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
+			req := PartialKSPRequest{Pairs: pairs, K: k, Epoch: epoch, HasEpoch: hasEpoch}
+			s, _ := trace.StartSpan(ctx, "rpc")
+			s.SetAttrInt("worker", int64(i))
+			req.TraceID = s.Trace().ID()
+			req.SpanID = s.ID()
+			resp, err := rw.PartialKSP(req)
 			if err != nil {
+				s.SetAttr("error", err.Error())
+				s.Finish()
 				return nil, false, err
 			}
+			s.Graft(resp.Spans)
+			s.Finish()
 			return responseToMap(pairs, resp), resp.ServedEpoch, nil
 		}
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
 	"kspdg/internal/rpcbatch"
+	"kspdg/internal/trace"
 	"kspdg/internal/workload"
 )
 
@@ -134,11 +136,17 @@ func New(index *dtlp.Index, cfg Config) (*Cluster, error) {
 // workerSender adapts one in-process worker to the rpcbatch transport, with
 // the same message accounting the TCP deployment would incur.
 func (c *Cluster) workerSender(w int) rpcbatch.Sender {
-	return func(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
+	return func(ctx context.Context, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
 		req := PartialKSPRequest{Pairs: pairs, K: k, Epoch: epoch, HasEpoch: hasEpoch}
+		s, _ := trace.StartSpan(ctx, "rpc")
+		s.SetAttrInt("worker", int64(w))
+		req.TraceID = s.Trace().ID()
+		req.SpanID = s.ID()
 		c.account(req)
 		resp := c.workers[w].HandlePartialKSP(req)
 		c.account(resp)
+		s.Graft(resp.Spans)
+		s.Finish()
 		return responseToMap(pairs, resp), resp.ServedEpoch, nil
 	}
 }

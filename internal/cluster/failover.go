@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
 	"kspdg/internal/rpcbatch"
+	"kspdg/internal/trace"
 )
 
 // partialCaller is the transport a replicated provider dispatches batches
@@ -204,22 +206,33 @@ func (rp *ReplicatedRemoteProvider) pickExcluding(replicas []int, excluded map[i
 // sender adapts worker w to the rpcbatch transport: primary dispatch with
 // optional hedging, then failover to replicas if the dispatch failed.
 func (rp *ReplicatedRemoteProvider) sender(w int) rpcbatch.Sender {
-	return func(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
-		paths, pinned, err := rp.dispatch(w, pairs, k, epoch, hasEpoch)
+	return func(ctx context.Context, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
+		paths, pinned, err := rp.dispatch(ctx, w, pairs, k, epoch, hasEpoch)
 		if err == nil {
 			return paths, pinned, nil
 		}
-		return rp.failover(w, pairs, k, epoch, hasEpoch, err)
+		return rp.failover(ctx, w, pairs, k, epoch, hasEpoch, err)
 	}
 }
 
-// callWorker performs one transport call and feeds the failure detector.
-func (rp *ReplicatedRemoteProvider) callWorker(w int, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
-	resp, err := rp.callers[w].PartialKSP(PartialKSPRequest{Pairs: pairs, K: k, Epoch: epoch, HasEpoch: hasEpoch})
+// callWorker performs one transport call and feeds the failure detector.  A
+// traced context stamps the request with the trace identity and grafts the
+// worker's execution spans under a per-call "rpc" span.
+func (rp *ReplicatedRemoteProvider) callWorker(ctx context.Context, w int, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
+	req := PartialKSPRequest{Pairs: pairs, K: k, Epoch: epoch, HasEpoch: hasEpoch}
+	s, _ := trace.StartSpan(ctx, "rpc")
+	s.SetAttrInt("worker", int64(w))
+	req.TraceID = s.Trace().ID()
+	req.SpanID = s.ID()
+	resp, err := rp.callers[w].PartialKSP(req)
 	if err != nil {
+		s.SetAttr("error", err.Error())
+		s.Finish()
 		rp.member.ReportFailure(w)
 		return nil, false, err
 	}
+	s.Graft(resp.Spans)
+	s.Finish()
 	rp.member.ReportSuccess(w)
 	return responseToMap(pairs, resp), resp.ServedEpoch, nil
 }
@@ -235,13 +248,13 @@ type outcome struct {
 // primary call against a speculative replica dispatch fired after the hedge
 // delay; exactly one result is returned to the batcher either way, so batch
 // accounting is conserved no matter how many copies eventually answer.
-func (rp *ReplicatedRemoteProvider) dispatch(w int, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
+func (rp *ReplicatedRemoteProvider) dispatch(ctx context.Context, w int, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
 	if rp.opts.HedgeAfter <= 0 || rp.table.Factor() < 2 {
-		return rp.callWorker(w, pairs, k, epoch, hasEpoch)
+		return rp.callWorker(ctx, w, pairs, k, epoch, hasEpoch)
 	}
 	primCh := make(chan outcome, 1)
 	go func() {
-		paths, pinned, err := rp.callWorker(w, pairs, k, epoch, hasEpoch)
+		paths, pinned, err := rp.callWorker(ctx, w, pairs, k, epoch, hasEpoch)
 		primCh <- outcome{paths: paths, pinned: pinned, err: err}
 	}()
 	timer := time.NewTimer(rp.opts.HedgeAfter)
@@ -255,7 +268,13 @@ func (rp *ReplicatedRemoteProvider) dispatch(w int, pairs []core.PairRequest, k 
 	rp.hedged.Add(1)
 	hedgeCh := make(chan outcome, 1)
 	go func() {
-		paths, pinned, err := rp.replicaDispatch(pairs, k, epoch, hasEpoch, map[int]bool{w: true})
+		hspan, hctx := trace.StartSpan(ctx, "hedge")
+		hspan.SetAttrInt("primary", int64(w))
+		paths, pinned, err := rp.replicaDispatch(hctx, pairs, k, epoch, hasEpoch, map[int]bool{w: true})
+		if err != nil {
+			hspan.SetAttr("error", err.Error())
+		}
+		hspan.Finish()
 		hedgeCh <- outcome{paths: paths, pinned: pinned, err: err}
 	}()
 	select {
@@ -302,12 +321,19 @@ func (rp *ReplicatedRemoteProvider) drainLoser(ch <-chan outcome) {
 // again, until everything is answered or some subgraph runs out of replicas —
 // which fails the batch with a clear error instead of hanging or silently
 // dropping pairs.
-func (rp *ReplicatedRemoteProvider) failover(failed int, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool, cause error) (map[core.PairRequest][]graph.Path, bool, error) {
+func (rp *ReplicatedRemoteProvider) failover(ctx context.Context, failed int, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool, cause error) (map[core.PairRequest][]graph.Path, bool, error) {
 	rp.failovers.Add(1)
-	paths, pinned, err := rp.replicaDispatch(pairs, k, epoch, hasEpoch, map[int]bool{failed: true})
+	fspan, fctx := trace.StartSpan(ctx, "failover")
+	fspan.SetAttrInt("failed_worker", int64(failed))
+	fspan.SetAttr("cause", cause.Error())
+	fspan.Trace().MarkFailedOver()
+	paths, pinned, err := rp.replicaDispatch(fctx, pairs, k, epoch, hasEpoch, map[int]bool{failed: true})
 	if err != nil {
+		fspan.SetAttr("error", err.Error())
+		fspan.Finish()
 		return nil, false, fmt.Errorf("%w (failing over from worker %d: %v)", err, failed, cause)
 	}
+	fspan.Finish()
 	return paths, pinned, nil
 }
 
@@ -315,7 +341,7 @@ func (rp *ReplicatedRemoteProvider) failover(failed int, pairs []core.PairReques
 // pairs' subgraphs with the remaining replicas, calls each chosen worker
 // concurrently, and loops re-covering the pairs of any worker that fails
 // (excluding it) until the batch is fully answered or coverage is impossible.
-func (rp *ReplicatedRemoteProvider) replicaDispatch(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool, excluded map[int]bool) (map[core.PairRequest][]graph.Path, bool, error) {
+func (rp *ReplicatedRemoteProvider) replicaDispatch(ctx context.Context, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool, excluded map[int]bool) (map[core.PairRequest][]graph.Path, bool, error) {
 	merged := make(map[core.PairRequest][]graph.Path, len(pairs))
 	for _, pr := range pairs {
 		merged[pr] = nil
@@ -344,7 +370,7 @@ func (rp *ReplicatedRemoteProvider) replicaDispatch(pairs []core.PairRequest, k 
 			wg.Add(1)
 			go func(fw int, prs []core.PairRequest) {
 				defer wg.Done()
-				paths, pin, err := rp.callWorker(fw, prs, k, epoch, hasEpoch)
+				paths, pin, err := rp.callWorker(ctx, fw, prs, k, epoch, hasEpoch)
 				mu.Lock()
 				replies = append(replies, reply{worker: fw, pairs: prs, paths: paths, pinned: pin, err: err})
 				mu.Unlock()

@@ -23,6 +23,7 @@ import (
 
 	"kspdg/internal/core"
 	"kspdg/internal/graph"
+	"kspdg/internal/trace"
 )
 
 // PathMsg is the wire representation of a path.
@@ -53,6 +54,13 @@ type PartialKSPRequest struct {
 	// consistent behaviour of the paper's Storm deployment.
 	Epoch    uint64
 	HasEpoch bool
+	// TraceID/SpanID carry the master-side trace identity so the worker's
+	// execution spans stitch into the same trace (see internal/trace).  A
+	// zero TraceID means the request is untraced and the worker records
+	// nothing; legacy peers never set the fields (gob tolerates additions),
+	// which decodes as exactly that.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // FlatPaths is the copy-free wire encoding of a response's paths: every
@@ -95,6 +103,12 @@ type PartialKSPResponse struct {
 	// as immutable (see rpcbatch's epoch memo); legacy workers never set
 	// the field, which decodes as false — the safe default.
 	ServedEpoch bool
+	// Spans are the worker-side execution spans recorded when the request
+	// carried a nonzero TraceID: one aggregate span for the whole request
+	// plus bounded per-pair Yen spans, with durations relative to request
+	// receipt.  The master grafts them under its RPC span.  Legacy workers
+	// leave the field nil.
+	Spans []trace.SpanMsg
 }
 
 // NumPairs returns the number of request pair slots the response answers.

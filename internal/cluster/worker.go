@@ -3,14 +3,17 @@ package cluster
 import (
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kspdg/internal/core"
 	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 	"kspdg/internal/partition"
 	"kspdg/internal/shortest"
+	"kspdg/internal/trace"
 )
 
 // ViewResolver resolves an index epoch to its retained view, or nil when the
@@ -123,6 +126,72 @@ func (w *Worker) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// maxPairSpans bounds the per-pair Yen spans one traced request records, so a
+// wide batch cannot flood the master's bounded trace with hundreds of spans;
+// the aggregate request span always ships.
+const maxPairSpans = 32
+
+// pairSpanRecorder accumulates worker-side execution spans for one traced
+// request.  Each pair's slot is written by exactly one executor goroutine, so
+// recording needs no locks on the parallel path.
+type pairSpanRecorder struct {
+	reqStart time.Time
+	starts   []time.Duration // offset of pair i's search from reqStart
+	durs     []time.Duration
+}
+
+func newPairSpanRecorder(n int) *pairSpanRecorder {
+	return &pairSpanRecorder{
+		reqStart: time.Now(),
+		starts:   make([]time.Duration, n),
+		durs:     make([]time.Duration, n),
+	}
+}
+
+// timePair wraps one pair's search with duration capture.
+func (r *pairSpanRecorder) timePair(i int, search func() []graph.Path) []graph.Path {
+	if r == nil {
+		return search()
+	}
+	start := time.Since(r.reqStart)
+	paths := search()
+	r.starts[i] = start
+	r.durs[i] = time.Since(r.reqStart) - start
+	return paths
+}
+
+// msgs renders the recording as wire spans: index 0 is the aggregate request
+// span (its duration is filled by the caller via the returned slice), followed
+// by capped per-pair spans parented on it.
+func (r *pairSpanRecorder) msgs(w *Worker, req PartialKSPRequest, width int) []trace.SpanMsg {
+	msgs := make([]trace.SpanMsg, 0, 1+min(len(req.Pairs), maxPairSpans))
+	msgs = append(msgs, trace.SpanMsg{
+		Name:   "worker_exec",
+		Parent: -1,
+		DurNs:  int64(time.Since(r.reqStart)),
+		Attrs: []trace.Attr{
+			{Key: "worker", Value: strconv.Itoa(w.id)},
+			{Key: "pairs", Value: strconv.Itoa(len(req.Pairs))},
+			{Key: "width", Value: strconv.Itoa(width)},
+		},
+	})
+	for i := range req.Pairs {
+		if i >= maxPairSpans {
+			break
+		}
+		msgs = append(msgs, trace.SpanMsg{
+			Name:    "pair_yen",
+			Parent:  0,
+			StartNs: int64(r.starts[i]),
+			DurNs:   int64(r.durs[i]),
+			Attrs: []trace.Attr{
+				{Key: "pair", Value: strconv.FormatUint(uint64(req.Pairs[i].A), 10) + "-" + strconv.FormatUint(uint64(req.Pairs[i].B), 10)},
+			},
+		})
+	}
+	return msgs
+}
+
 // HandlePartialKSP computes the partial k shortest paths for every requested
 // pair, restricted to the subgraphs this worker owns.  Pairs whose common
 // subgraphs are all hosted elsewhere produce empty results.
@@ -131,10 +200,18 @@ func (w *Worker) parallelism() int {
 // each pair's paths land in a result slot indexed by its request position and
 // are appended to the flat encoding serially in request order, so the
 // response is byte-identical to the sequential one.
+//
+// Requests carrying a nonzero TraceID additionally get worker-side execution
+// spans in the response (see PartialKSPResponse.Spans); untraced requests pay
+// nothing.
 func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 	var view *dtlp.IndexView
 	if req.HasEpoch && w.views != nil {
 		view = w.views(req.Epoch)
+	}
+	var rec *pairSpanRecorder
+	if req.TraceID != 0 {
+		rec = newPairSpanRecorder(len(req.Pairs))
 	}
 	resp := PartialKSPResponse{
 		// Responses travel flat-encoded; see FlatPaths.  Decoders fall back
@@ -146,9 +223,11 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 		ServedEpoch: view != nil,
 	}
 	par := w.parallelism()
+	width := 1
 	if par <= 1 {
 		for i, pr := range req.Pairs {
-			paths := w.partialForPair(view, pr, req.K, 1)
+			i, pr := i, pr
+			paths := rec.timePair(i, func() []graph.Path { return w.partialForPair(view, pr, req.K, 1) })
 			resp.Flat.Counts[i] = int32(len(paths))
 			for _, p := range paths {
 				resp.Flat.appendPath(p)
@@ -167,10 +246,12 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 		if outer > len(req.Pairs) {
 			outer = len(req.Pairs)
 		}
+		width = outer
 		results := make([][]graph.Path, len(req.Pairs))
 		if outer <= 1 {
 			for i, pr := range req.Pairs {
-				results[i] = w.partialForPair(view, pr, req.K, inner)
+				i, pr := i, pr
+				results[i] = rec.timePair(i, func() []graph.Path { return w.partialForPair(view, pr, req.K, inner) })
 			}
 		} else {
 			jobs := make(chan int)
@@ -180,7 +261,8 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 				go func() {
 					defer wg.Done()
 					for i := range jobs {
-						results[i] = w.partialForPair(view, req.Pairs[i], req.K, inner)
+						i := i
+						results[i] = rec.timePair(i, func() []graph.Path { return w.partialForPair(view, req.Pairs[i], req.K, inner) })
 					}
 				}()
 			}
@@ -196,6 +278,9 @@ func (w *Worker) HandlePartialKSP(req PartialKSPRequest) PartialKSPResponse {
 				resp.Flat.appendPath(p)
 			}
 		}
+	}
+	if rec != nil {
+		resp.Spans = rec.msgs(w, req, width)
 	}
 	w.requestsServed.Add(1)
 	w.pairsServed.Add(int64(len(req.Pairs)))

@@ -18,12 +18,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
 	"kspdg/internal/shortest"
+	"kspdg/internal/trace"
 )
 
 // Options configures query processing.
@@ -309,6 +311,20 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 	// Elapsed is set on every return path — error, cancellation, or success —
 	// so latency stats never observe zero-duration queries.
 	defer func() { res.Elapsed = time.Since(start) }()
+	// qspan is the serve layer's per-query execution span (nil when the query
+	// is untraced); per-iteration filter/refine child spans and the
+	// termination attributes hang off it.
+	qspan := trace.FromContext(ctx)
+	if qspan != nil {
+		defer func() {
+			qspan.SetAttrInt("iterations", int64(res.Iterations))
+			qspan.SetAttrInt("pairs_refined", int64(res.PairsRefined))
+			qspan.SetAttr("converged", strconv.FormatBool(res.Converged))
+			if res.BoundGap > 0 {
+				qspan.SetAttr("bound_gap", strconv.FormatFloat(res.BoundGap, 'g', -1, 64))
+			}
+		}()
+	}
 	if iv == nil {
 		iv = e.index.CurrentView()
 	}
@@ -363,6 +379,9 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 		res.Converged = true
 		return res, nil
 	}
+	// A context-aware async provider is preferred so the trace span follows
+	// the refine request into the batching transport and onto the wire.
+	ctxAsyncProvider, _ := e.provider.(CtxAsyncPartialProvider)
 	asyncProvider, _ := e.provider.(AsyncPartialProvider)
 	maxIter := e.opts.maxIterations()
 	stallWindow := e.opts.stallWindow()
@@ -386,10 +405,16 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 		// fetch inline, preserving the lock-step behaviour.
 		var pending <-chan AsyncPartialReply
 		if len(missing) > 0 {
-			if asyncProvider != nil {
+			if ctxAsyncProvider != nil {
+				pending = ctxAsyncProvider.PartialKSPAsyncCtx(ctx, iv, missing, k)
+			} else if asyncProvider != nil {
 				pending = asyncProvider.PartialKSPAsync(iv, missing, k)
 			} else {
+				rspan := qspan.Child("refine")
+				rspan.SetAttrInt("iter", int64(iter))
+				rspan.SetAttrInt("pairs", int64(len(missing)))
 				partials, err := e.partialKSP(iv, missing, k)
+				rspan.Finish()
 				if err != nil {
 					return res, err
 				}
@@ -402,13 +427,22 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 
 		// Filter of iteration i+1, overlapped with the in-flight refine of
 		// iteration i whenever the provider is asynchronous.
+		fspan := qspan.Child("filter")
+		fspan.SetAttrInt("iter", int64(iter))
 		next, okNext := gen.Next()
+		fspan.Finish()
 
 		if pending != nil {
+			// The refine span measures only the post-overlap wait: the part of
+			// the in-flight refine the filter step could not hide.
+			rspan := qspan.Child("refine")
+			rspan.SetAttrInt("iter", int64(iter))
+			rspan.SetAttrInt("pairs", int64(len(missing)))
 			// The wait is cancelable: reply channels are buffered, so an
 			// abandoned reply is delivered to nobody and the sender moves on.
 			select {
 			case reply := <-pending:
+				rspan.Finish()
 				if reply.Err != nil {
 					return res, reply.Err
 				}
@@ -416,6 +450,7 @@ func (e *Engine) queryView(ctx context.Context, iv *dtlp.IndexView, s, t graph.V
 					sc.pairCache[pr] = reply.Paths[pr]
 				}
 			case <-ctx.Done():
+				rspan.Finish()
 				return res, ctx.Err()
 			}
 		}

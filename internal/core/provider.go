@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -59,6 +60,17 @@ type AsyncPartialReply struct {
 // weights, mirroring PartialKSP.
 type AsyncPartialProvider interface {
 	PartialKSPAsync(iv *dtlp.IndexView, pairs []PairRequest, k int) <-chan AsyncPartialReply
+}
+
+// CtxAsyncPartialProvider is AsyncPartialProvider with a context parameter.
+// The engine prefers this interface over AsyncPartialProvider when both are
+// present and passes its query context through, so a context-carried trace
+// span (see internal/trace) follows the refine request into the batching
+// transport and onto the wire.  Implementations must treat the context as
+// trace carrier only — refine requests may coalesce with other queries'
+// pairs, so per-query cancellation must not abort a shipped batch.
+type CtxAsyncPartialProvider interface {
+	PartialKSPAsyncCtx(ctx context.Context, iv *dtlp.IndexView, pairs []PairRequest, k int) <-chan AsyncPartialReply
 }
 
 // LocalProvider computes partial k shortest paths directly against the local

@@ -16,6 +16,15 @@
 //	                     and delete) with incremental index maintenance
 //	GET  /healthz        liveness + epoch + worker membership counts
 //	GET  /metrics        Prometheus text exposition
+//	GET  /debug/traces   retained query traces (see internal/trace), newest
+//	                     first; ?n= bounds the count
+//	GET  /debug/pprof/*  Go profiling endpoints (only with Options.EnablePprof)
+//
+// With Options.Tracer set, every admitted request runs under a trace whose
+// root "request" span is carried on the request context, so the serve layer,
+// engine and cluster transport hang their queue/iteration/rpc/worker spans
+// beneath it.  Appending ?debug=1 to /v1/ksp adds the trace id and per-stage
+// breakdown to the JSON response.
 //
 // Status codes: 400 malformed/out-of-range input, 404 unknown route, 409 a
 // topology delete referenced an already-deleted edge, 410 a pinned epoch aged
@@ -31,6 +40,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +50,7 @@ import (
 	"kspdg/internal/graph"
 	"kspdg/internal/metrics"
 	"kspdg/internal/serve"
+	"kspdg/internal/trace"
 )
 
 // Options configures a Gateway.
@@ -82,6 +93,13 @@ type Options struct {
 	// deployment runs its workers at (kspd passes the resolved
 	// -worker-parallelism value).
 	WorkerParallelism int
+	// Tracer, when set, traces every admitted request and serves the retained
+	// traces on GET /debug/traces.  Nil disables tracing entirely (requests
+	// pay one context lookup per stage and nothing else).
+	Tracer *trace.Tracer
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ on the gateway mux (kspd's -pprof flag).
+	EnablePprof bool
 	// now overrides the rate limiter's clock in tests.
 	now func() time.Time
 }
@@ -163,6 +181,14 @@ func New(srv *serve.Server, opts Options) *Gateway {
 	g.mux.Handle("POST /v1/topology", g.admitted("/v1/topology", g.handleTopology))
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.Handle("GET /metrics", g.reg.Handler())
+	g.mux.HandleFunc("GET /debug/traces", g.handleTraces)
+	if opts.EnablePprof {
+		g.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		g.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		g.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		g.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		g.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return g
 }
 
@@ -211,9 +237,24 @@ func (g *Gateway) admitted(route string, h func(http.ResponseWriter, *http.Reque
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sr := &statusRecorder{ResponseWriter: w}
+		tr, root := g.opts.Tracer.StartTrace("request")
+		if root != nil {
+			root.SetAttr("route", route)
+			r = r.WithContext(trace.NewContext(r.Context(), root))
+		}
 		g.serveAdmitted(sr, r, route, h)
 		if sr.status == 0 {
 			sr.status = http.StatusOK
+		}
+		if tr != nil {
+			root.SetAttrInt("status", int64(sr.status))
+			switch {
+			case sr.status == 499 || sr.status == http.StatusGatewayTimeout:
+				tr.MarkCanceled()
+			case sr.status >= 500:
+				tr.MarkError()
+			}
+			tr.Finish()
 		}
 		g.requests.With(route, strconv.Itoa(sr.status)).Inc()
 		g.latency.With(route).Observe(time.Since(start).Seconds())
@@ -221,8 +262,13 @@ func (g *Gateway) admitted(route string, h func(http.ResponseWriter, *http.Reque
 }
 
 func (g *Gateway) serveAdmitted(w http.ResponseWriter, r *http.Request, route string, h func(http.ResponseWriter, *http.Request)) {
+	// The admission span covers everything between arrival and the handler:
+	// rate limiting, deadline derivation, and the wait for a class slot.
+	aspan := trace.FromContext(r.Context()).Child("admission")
+	defer aspan.Finish()
 	if ok, retry := g.limiter.allow(apiKey(r)); !ok {
 		g.rateLimited.Inc()
+		aspan.SetAttr("rejected", "rate_limited")
 		secs := int(retry/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests,
@@ -257,6 +303,7 @@ func (g *Gateway) serveAdmitted(w http.ResponseWriter, r *http.Request, route st
 		return
 	}
 	defer adm.release()
+	aspan.Finish() // admission ends at slot acquisition, not handler return
 	h(w, r.WithContext(ctx))
 }
 
@@ -335,6 +382,15 @@ type queryResponse struct {
 	BoundGap   float64 `json:"bound_gap,omitempty"`
 	Iterations int     `json:"iterations"`
 	ElapsedUs  int64   `json:"elapsed_us"`
+	// Trace is present only for ?debug=1 requests on a tracing gateway: the
+	// request's trace id (look it up on /debug/traces) and its per-stage
+	// duration breakdown so far.
+	Trace *traceDebugJSON `json:"trace,omitempty"`
+}
+
+type traceDebugJSON struct {
+	ID     string             `json:"id"`
+	Stages map[string]float64 `json:"stages_ms"`
 }
 
 type updateJSON struct {
@@ -419,7 +475,17 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		g.finishQueryError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toQueryResponse(res))
+	out := toQueryResponse(res)
+	if r.URL.Query().Get("debug") == "1" {
+		if tr := trace.FromContext(r.Context()).Trace(); tr != nil {
+			stages := make(map[string]float64, 8)
+			for name, d := range tr.Stages() {
+				stages[name] = float64(d) / float64(time.Millisecond)
+			}
+			out.Trace = &traceDebugJSON{ID: trace.IDString(tr.ID()), Stages: stages}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func toQueryResponse(res core.Result) queryResponse {
@@ -567,6 +633,8 @@ func (g *Gateway) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("update batch of %d exceeds the %d limit", len(req.Updates), g.opts.MaxUpdateBatch))
 		return
 	}
+	vspan := trace.FromContext(r.Context()).Child("validate")
+	defer vspan.Finish() // first Finish wins; this only covers early returns
 	numEdges := int64(g.srv.Index().Partition().Parent().NumEdges())
 	batch := make([]graph.WeightUpdate, 0, len(req.Updates))
 	for _, u := range req.Updates {
@@ -582,10 +650,11 @@ func (g *Gateway) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = append(batch, graph.WeightUpdate{Edge: graph.EdgeID(u.Edge), NewWeight: u.Weight})
 	}
+	vspan.Finish()
 	// The epoch comes from the apply itself: a concurrent writer may publish
 	// further epochs before this response is written, and a client pinning
 	// follow-up reads to the returned epoch must get its own batch's weights.
-	epoch, err := g.srv.ApplyUpdatesEpoch(batch)
+	epoch, err := g.srv.ApplyUpdatesEpochCtx(r.Context(), batch)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -647,6 +716,8 @@ func (g *Gateway) handleTopology(w http.ResponseWriter, r *http.Request) {
 	// own checks, so malformed input fails with 400 before touching the
 	// writer path.  Inserted endpoints may reference vertices this same
 	// batch adds.
+	vspan := trace.FromContext(r.Context()).Child("validate")
+	defer vspan.Finish() // first Finish wins; this only covers early returns
 	parent := g.srv.Index().Partition().Parent()
 	numV := int64(parent.NumVertices()) + int64(req.AddVertices)
 	numE := int64(parent.NumEdges())
@@ -687,11 +758,12 @@ func (g *Gateway) handleTopology(w http.ResponseWriter, r *http.Request) {
 		}
 		up.DeleteVertices = append(up.DeleteVertices, graph.VertexID(v))
 	}
+	vspan.Finish()
 	// The epoch, edge-id assignments and rebuild count come from the apply
 	// itself, so a client interleaved with concurrent writers attributes its
 	// own batch exactly (mirrors /v1/updates).  Deleting an already-dead edge
 	// is a state conflict, not malformed input, so it surfaces as 409.
-	st, err := g.srv.ApplyTopologyStats(up)
+	st, err := g.srv.ApplyTopologyStatsCtx(r.Context(), up)
 	if err != nil {
 		if strings.Contains(err.Error(), "already deleted") {
 			writeError(w, http.StatusConflict, err.Error())
@@ -720,6 +792,30 @@ type healthResponse struct {
 	Status  string         `json:"status"`
 	Epoch   uint64         `json:"epoch"`
 	Workers map[string]int `json:"workers,omitempty"`
+}
+
+// handleTraces serves the retained traces, newest first.  ?n= bounds how many
+// are returned (default 32).  Without a tracer the list is empty.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed n %q", s))
+			return
+		}
+		n = v
+	}
+	views := g.opts.Tracer.Snapshot(n)
+	if views == nil {
+		views = []trace.TraceView{}
+	}
+	started, retained := g.opts.Tracer.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Started  uint64            `json:"traces_started"`
+		Retained uint64            `json:"traces_retained"`
+		Traces   []trace.TraceView `json:"traces"`
+	}{started, retained, views})
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,199 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kspdg/internal/cluster"
+	"kspdg/internal/dtlp"
+	"kspdg/internal/partition"
+	"kspdg/internal/serve"
+	"kspdg/internal/trace"
+	"kspdg/internal/workload"
+)
+
+// tracesResponse mirrors handleTraces's JSON envelope.
+type tracesResponse struct {
+	Started  uint64            `json:"traces_started"`
+	Retained uint64            `json:"traces_retained"`
+	Traces   []trace.TraceView `json:"traces"`
+}
+
+// TestEndToEndTraceWithFailover is the tracing acceptance path: a real TCP
+// replicated deployment (2 workers, factor 2) fronted by serve + gateway,
+// with worker 0 killed before the first query.  The query that routes a
+// batch to the dead primary must fail over — and the single trace retrieved
+// from /debug/traces must stitch the whole journey together: gateway
+// admission, queue wait, engine iterations, shipped rpc batches, the
+// failover leg, and the surviving worker's grafted execution spans.
+func TestEndToEndTraceWithFailover(t *testing.T) {
+	ds, err := workload.BuiltinDataset("NY", workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.PartitionGraph(ds.Graph, ds.DefaultZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := dtlp.Build(part, dtlp.Config{Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	table, err := cluster.AssignReplicas(part, workers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*cluster.Server, workers)
+	remotes := make([]*cluster.RemoteWorker, workers)
+	for w := 0; w < workers; w++ {
+		worker := cluster.NewWorker(w, part, table.OwnedBy(w))
+		worker.SetViewResolver(index.ViewAt)
+		srv, err := cluster.Serve("127.0.0.1:0", worker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[w] = srv
+		rw, err := cluster.DialPool(srv.Addr(), cluster.ClientOptions{PoolSize: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		remotes[w] = rw
+	}
+	rp, err := cluster.NewReplicatedRemoteProvider(remotes, part, table, cluster.ReplicatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(index, rp, serve.Options{Workers: 4})
+	tracer := trace.New(trace.Options{Capacity: 64, SampleRate: 1})
+	gw := New(srv, Options{Tracer: tracer})
+	ts := httptest.NewServer(gw)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		rp.Close()
+		for w := 1; w < workers; w++ {
+			remotes[w].Close()
+			servers[w].Close()
+		}
+		remotes[0].Close()
+	})
+
+	// Chaos: kill worker 0's listener and connections.  Factor 2 means every
+	// subgraph survives on worker 1, so queries must keep answering — via
+	// the failover path whenever a batch routes to the dead primary.
+	servers[0].Close()
+
+	// Issue queries until one trips the failover path (the first one whose
+	// pairs' common subgraphs have worker 0 as primary — membership only
+	// learns about the death from data-path failures, so this is the first
+	// batch actually sent to worker 0).
+	var debugID string
+	pairs := [][2]int{{3, 100}, {5, 90}, {1, 50}, {7, 120}, {11, 33}, {42, 77}}
+	for _, pr := range pairs {
+		body := fmt.Sprintf(`{"source":%d,"target":%d,"k":3}`, pr[0], pr[1])
+		resp, err := http.Post(ts.URL+"/v1/ksp?debug=1", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out queryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %v: status %d", pr, resp.StatusCode)
+		}
+		if out.Trace == nil || out.Trace.ID == "" {
+			t.Fatalf("query %v: ?debug=1 response carries no trace block", pr)
+		}
+		if len(out.Trace.Stages) == 0 {
+			t.Fatalf("query %v: debug trace has no stage breakdown", pr)
+		}
+		if rp.FailoverStats().Failovers > 0 {
+			debugID = out.Trace.ID
+			break
+		}
+	}
+	if debugID == "" {
+		t.Fatalf("no query failed over with worker 0 dead (failover stats: %+v)", rp.FailoverStats())
+	}
+
+	// Retrieve the failed-over query's trace from /debug/traces and check it
+	// covers every layer of the pipeline.
+	resp, err := http.Get(ts.URL + "/debug/traces?n=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", resp.StatusCode)
+	}
+	var tr tracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Started == 0 || tr.Retained == 0 {
+		t.Fatalf("tracer stats empty: started=%d retained=%d", tr.Started, tr.Retained)
+	}
+	var view *trace.TraceView
+	for i := range tr.Traces {
+		if tr.Traces[i].ID == debugID {
+			view = &tr.Traces[i]
+			break
+		}
+	}
+	if view == nil {
+		t.Fatalf("trace %s not retained (got %d traces)", debugID, len(tr.Traces))
+	}
+
+	flagged := false
+	for _, f := range view.Flags {
+		if f == "failedover" {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Errorf("failed-over trace missing the failedover flag: %v", view.Flags)
+	}
+	names := map[string]bool{}
+	for _, s := range view.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"request",     // gateway root
+		"admission",   // rate limit + slot acquisition
+		"queue",       // serve queue wait
+		"execute",     // engine run
+		"filter",      // DTLP filter step
+		"refine",      // partial-KSP refine iterations
+		"rpc_wait",    // batcher coalesce wait
+		"rpc_batch",   // shipped cross-query batch
+		"rpc",         // one transport call
+		"failover",    // the replica re-dispatch leg
+		"worker_exec", // grafted from the surviving worker
+	} {
+		if !names[want] {
+			t.Errorf("trace %s missing span %q (spans: %v)", debugID, want, spanNames(view))
+		}
+	}
+	// Stage aggregation must cover the same pipeline.
+	for _, want := range []string{"request", "queue", "execute", "refine"} {
+		if _, ok := view.Stages[want]; !ok {
+			t.Errorf("trace %s stages missing %q: %v", debugID, want, view.Stages)
+		}
+	}
+}
+
+func spanNames(v *trace.TraceView) []string {
+	var out []string
+	for _, s := range v.Spans {
+		out = append(out, s.Name)
+	}
+	return out
+}

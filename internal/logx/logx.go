@@ -1,0 +1,140 @@
+// Package logx is a minimal leveled key=value logger shared by kspd, the
+// gateway, the serve layer, and cluster warnings.  Like internal/metrics and
+// internal/trace it is dependency-free and instance-based: a nil *Logger is
+// valid and discards everything, so library code can log unconditionally.
+//
+// Lines render as `time=RFC3339 level=info msg=... k=v k=v`; values
+// containing spaces, quotes, or '=' are quoted with %q.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level the way lines print it.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps "debug", "info", "warn"/"warning", "error" (any case) to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("logx: unknown level %q", s)
+	}
+}
+
+// Logger writes leveled key=value lines to one writer.  Methods are safe for
+// concurrent use; a nil *Logger discards everything.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+	now   func() time.Time // test hook; nil means time.Now
+}
+
+// New returns a Logger writing lines at or above level to w.
+func New(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Enabled reports whether lines at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv...) }
+
+func (l *Logger) log(level Level, msg string, kv ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	nowFn := l.now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString("time=")
+	b.WriteString(nowFn().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(quote(fmt.Sprint(kv[i+1])))
+	}
+	if len(kv)%2 != 0 {
+		b.WriteString(" !BADKEY=")
+		b.WriteString(quote(fmt.Sprint(kv[len(kv)-1])))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// quote returns s as-is when it is a bare token, else %q-quoted.
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '=' || c >= 0x7f {
+			return fmt.Sprintf("%q", s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package logx
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixed pins the logger clock so lines are byte-for-byte comparable.
+func fixed(l *Logger) *Logger {
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	return l
+}
+
+func TestLineFormat(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, LevelInfo))
+	l.Info("query done", "epoch", 7, "elapsed", 250*time.Millisecond, "converged", true)
+	got := b.String()
+	want := "time=2026-08-08T12:00:00Z level=info msg=\"query done\" epoch=7 elapsed=250ms converged=true\n"
+	if got != want {
+		t.Errorf("line = %q, want %q", got, want)
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, LevelInfo))
+	l.Info("m", "plain", "bare", "spaced", "a b", "eq", "k=v", "quote", `say "hi"`, "empty", "")
+	got := b.String()
+	for _, want := range []string{
+		` plain=bare`, ` spaced="a b"`, ` eq="k=v"`, ` quote="say \"hi\""`, ` empty=""`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("line %q missing %q", got, want)
+		}
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, LevelWarn))
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	got := b.String()
+	if strings.Contains(got, "level=debug") || strings.Contains(got, "level=info") {
+		t.Errorf("below-level lines leaked: %q", got)
+	}
+	if !strings.Contains(got, "level=warn") || !strings.Contains(got, "level=error") {
+		t.Errorf("at-level lines missing: %q", got)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with filtering")
+	}
+}
+
+func TestOddKeyValues(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, LevelInfo))
+	l.Info("m", "k1", 1, "dangling")
+	if !strings.Contains(b.String(), "!BADKEY=dangling") {
+		t.Errorf("odd kv tail not flagged: %q", b.String())
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger must report disabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "Warning": LevelWarn, "error": LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("unknown level must error")
+	}
+}
+
+func TestConcurrentWritesStayLineAtomic(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		lines = append(lines, string(p))
+		mu.Unlock()
+		return len(p), nil
+	})
+	l := New(w, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("tick", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(lines) != 800 {
+		t.Fatalf("got %d writes, want 800 (one per line)", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "time=") || !strings.HasSuffix(ln, "\n") {
+			t.Fatalf("torn line %q", ln)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramEmptyScrape pins the exposition of a histogram that never saw
+// an observation: every cumulative bucket (including +Inf), the sum, and the
+// count must render as explicit zeros, not disappear from the scrape.
+func TestHistogramEmptyScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "Empty.", []float64{0.5, 2})
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE empty_seconds histogram",
+		`empty_seconds_bucket{le="0.5"} 0`,
+		`empty_seconds_bucket{le="2"} 0`,
+		`empty_seconds_bucket{le="+Inf"} 0`,
+		"empty_seconds_sum 0",
+		"empty_seconds_count 0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("empty scrape missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestHistogramEmptyVecScrape: a labeled histogram family with no children
+// must still expose its TYPE header (dashboards and the metrics-catalogue
+// check rely on family presence, not traffic).
+func TestHistogramEmptyVecScrape(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramVec("stage_seconds", "Stages.", nil, "stage")
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, "# TYPE stage_seconds histogram") {
+		t.Errorf("empty vec lost its TYPE header:\n%s", got)
+	}
+	if strings.Contains(got, "stage_seconds_bucket") {
+		t.Errorf("empty vec must emit no series:\n%s", got)
+	}
+}
+
+// TestHistogramOverflowBucket: observations beyond the last finite bound land
+// only in +Inf, boundary values land in their exact bucket (le is inclusive),
+// and the quantile estimator saturates at the last finite bound.
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "H.", []float64{1, 10})
+	h.Observe(1)           // boundary: le="1" is inclusive
+	h.Observe(10)          // boundary of the last finite bucket
+	h.Observe(1e9)         // far overflow
+	h.Observe(math.Inf(1)) // infinite observation must not wedge anything
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="1"} 1`,
+		`h_seconds_bucket{le="10"} 2`,
+		`h_seconds_bucket{le="+Inf"} 4`,
+		"h_seconds_count 4",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scrape missing %q:\n%s", want, got)
+		}
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Errorf("overflow quantile = %v, want saturation at last bound 10", q)
+	}
+	if s := h.Sum(); !math.IsInf(s, 1) {
+		t.Errorf("sum = %v, want +Inf after an infinite observation", s)
+	}
+}
+
+// TestHistogramNegativeAndZero: a histogram is a distribution, not a latency
+// guard — zero and negative values must count in the lowest bucket.
+func TestHistogramNegativeAndZero(t *testing.T) {
+	h := newHistogram([]float64{0, 1})
+	h.Observe(-5)
+	h.Observe(0)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.counts[0].Load(); got != 2 {
+		t.Errorf("lowest bucket holds %d, want 2", got)
+	}
+}
+
+// TestHistogramConcurrentObserveVsScrape hammers Observe from many goroutines
+// while scraping continuously, then checks the final scrape for full
+// conservation: +Inf bucket == count == observations, monotone cumulative
+// buckets.  Run with -race this also proves the lock-free counters are sound.
+func TestHistogramConcurrentObserveVsScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c_seconds", "C.", []float64{0.25, 0.5, 0.75})
+	const goroutines, perG = 8, 5000
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if _, err := r.WriteTo(&b); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%100) / 100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	if h.Count() != goroutines*perG {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	var inf int64
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "c_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("cumulative buckets not monotone: %q after %d", line, prev)
+		}
+		prev = v
+		inf = v
+	}
+	if inf != goroutines*perG {
+		t.Errorf("+Inf bucket = %d, want %d", inf, goroutines*perG)
+	}
+}

@@ -25,22 +25,28 @@
 package rpcbatch
 
 import (
+	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kspdg/internal/core"
 	"kspdg/internal/graph"
+	"kspdg/internal/trace"
 )
 
 // Sender ships one coalesced batch to a worker and returns the partial paths
 // per pair, plus whether the worker honoured the epoch pin (pinned answers
 // were computed from the requested epoch's frozen weights and are therefore
 // immutable; only they may enter the memo).  All pairs of a call share k and
-// the epoch pin.  Senders are invoked from flush goroutines and must be safe
-// for concurrent use.
-type Sender func(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (paths map[core.PairRequest][]graph.Path, pinned bool, err error)
+// the epoch pin.  The context carries only trace information — the batch
+// span of the owning trace (the first traced caller that contributed a pair),
+// never request cancellation, since a flushed batch serves waiters from many
+// queries.  Senders are invoked from flush goroutines and must be safe for
+// concurrent use.
+type Sender func(ctx context.Context, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (paths map[core.PairRequest][]graph.Path, pinned bool, err error)
 
 // Options tunes the flush triggers.
 type Options struct {
@@ -138,6 +144,29 @@ type waiter struct {
 	paths   map[core.PairRequest][]graph.Path
 	err     error
 	done    chan Result
+
+	// Trace bookkeeping: the caller's coalesce-wait span (nil when the
+	// caller is untraced) and what happened to its pairs on the way in.
+	span      *trace.Span
+	memoHits  int
+	dedupHits int
+	batchIDs  []uint64
+}
+
+// recordBatch notes that one of the waiter's pairs rides batch id (bounded,
+// deduplicated — a waiter's pairs usually land in one or two batches).
+func (w *waiter) recordBatch(id uint64) {
+	if w.span == nil {
+		return
+	}
+	for _, b := range w.batchIDs {
+		if b == id {
+			return
+		}
+	}
+	if len(w.batchIDs) < 8 {
+		w.batchIDs = append(w.batchIDs, id)
+	}
 }
 
 // resolvePairLocked records one pair outcome for a waiter, delivering the
@@ -154,8 +183,29 @@ func (b *Batcher) resolvePairLocked(w *waiter, pr core.PairRequest, paths []grap
 	w.missing--
 	if w.missing == 0 {
 		b.active--
+		if w.span != nil {
+			w.span.SetAttrInt("memo_hits", int64(w.memoHits))
+			w.span.SetAttrInt("dedup_hits", int64(w.dedupHits))
+			w.span.SetAttr("batches", formatIDs(w.batchIDs))
+			if w.err != nil {
+				w.span.SetAttr("error", w.err.Error())
+			}
+			w.span.Finish()
+		}
 		w.done <- Result{Paths: w.paths, Err: w.err} // buffered; never blocks
 	}
+}
+
+// formatIDs renders a short batch-ID list as "3,4".
+func formatIDs(ids []uint64) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	s := strconv.FormatUint(ids[0], 10)
+	for _, id := range ids[1:] {
+		s += "," + strconv.FormatUint(id, 10)
+	}
+	return s
 }
 
 // entry is one pending pair and the waiters sharing its reply.
@@ -167,6 +217,8 @@ type entry struct {
 // since the last flush, with the age timer that bounds their wait.
 type bucket struct {
 	key     batchKey
+	id      uint64 // batch id, for trace attribution
+	owner   *trace.Span
 	order   []core.PairRequest
 	entries map[core.PairRequest]*entry
 	callers int
@@ -185,6 +237,7 @@ type Batcher struct {
 	inflight map[flightKey]*entry
 	cache    map[flightKey][]graph.Path
 	flushes  sync.WaitGroup
+	batchSeq atomic.Uint64
 
 	batches   atomic.Int64
 	pairsSent atomic.Int64
@@ -212,12 +265,26 @@ func New(send Sender, opts Options) *Batcher {
 // result once every pair has been answered.  The call returns immediately;
 // the pairs ride whatever batches their (k, epoch) class flushes into.
 func (b *Batcher) DoAsync(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) <-chan Result {
+	return b.DoAsyncCtx(context.Background(), pairs, k, epoch, hasEpoch)
+}
+
+// DoAsyncCtx is DoAsync with a context that may carry a trace span.  The
+// span gets a child "rpc_wait" span measuring the coalesce wait (submit to
+// last-pair delivery) annotated with memo/dedup hits and the batch ids the
+// pairs rode; the first traced caller to contribute a pair to a forming batch
+// becomes that batch's trace owner.  Cancellation is deliberately NOT
+// honoured — a submitted pair may serve other queries' waiters.
+func (b *Batcher) DoAsyncCtx(ctx context.Context, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) <-chan Result {
 	done := make(chan Result, 1)
 	if len(pairs) == 0 {
 		done <- Result{Paths: make(map[core.PairRequest][]graph.Path)}
 		return done
 	}
 	w := &waiter{paths: make(map[core.PairRequest][]graph.Path, len(pairs)), done: done}
+	if s := trace.FromContext(ctx); s != nil {
+		w.span = s.Child("rpc_wait")
+		w.span.SetAttrInt("pairs", int64(len(pairs)))
+	}
 	bk := batchKey{k: k, epoch: epoch, hasEpoch: hasEpoch}
 	distinct := pairs[:0:0]
 	seen := make(map[core.PairRequest]bool, len(pairs))
@@ -247,6 +314,7 @@ func (b *Batcher) DoAsync(pairs []core.PairRequest, k int, epoch uint64, hasEpoc
 			if paths, ok := b.cache[fk]; ok {
 				// Epoch-pinned answer already known: replay it.
 				b.cacheHits.Add(1)
+				w.memoHits++
 				b.resolvePairLocked(w, pr, paths, nil)
 				continue
 			}
@@ -255,13 +323,17 @@ func (b *Batcher) DoAsync(pairs []core.PairRequest, k int, epoch uint64, hasEpoc
 			// Identical pair already on the wire: share its reply.
 			e.waiters = append(e.waiters, w)
 			b.dedup.Add(1)
+			w.dedupHits++
 			continue
 		}
 		bu := b.buckets[bk]
 		if bu == nil {
-			bu = &bucket{key: bk, entries: make(map[core.PairRequest]*entry)}
+			bu = &bucket{key: bk, id: b.batchSeq.Add(1), entries: make(map[core.PairRequest]*entry)}
 			b.buckets[bk] = bu
 			bu.timer = time.AfterFunc(b.opts.MaxDelay, func() { b.flushAged(bk, bu) })
+		}
+		if bu.owner == nil {
+			bu.owner = w.span
 		}
 		if !contributed {
 			bu.callers++
@@ -271,10 +343,13 @@ func (b *Batcher) DoAsync(pairs []core.PairRequest, k int, epoch uint64, hasEpoc
 			// Identical pair already buffered: share its slot.
 			e.waiters = append(e.waiters, w)
 			b.dedup.Add(1)
+			w.dedupHits++
+			w.recordBatch(bu.id)
 			continue
 		}
 		bu.entries[pr] = &entry{waiters: []*waiter{w}}
 		bu.order = append(bu.order, pr)
+		w.recordBatch(bu.id)
 		if len(bu.order) >= b.opts.MaxPairs {
 			b.flushLocked(bu)
 			contributed = false // pairs beyond MaxPairs start a new bucket
@@ -293,7 +368,7 @@ func (b *Batcher) DoAsync(pairs []core.PairRequest, k int, epoch uint64, hasEpoc
 
 // Do is DoAsync followed by a blocking wait.
 func (b *Batcher) Do(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, error) {
-	res := <-b.DoAsync(pairs, k, epoch, hasEpoch)
+	res := <-b.DoAsyncCtx(context.Background(), pairs, k, epoch, hasEpoch)
 	return res.Paths, res.Err
 }
 
@@ -321,16 +396,27 @@ func (b *Batcher) flushLocked(bu *bucket) {
 		b.coalesced.Add(int64(len(bu.order)))
 	}
 	b.flushes.Add(1)
+	bspan := bu.owner.Child("rpc_batch") // nil-safe: nil owner yields nil span
+	bspan.SetAttrInt("batch", int64(bu.id))
+	bspan.SetAttrInt("pairs", int64(len(bu.order)))
+	bspan.SetAttrInt("callers", int64(bu.callers))
+	// The sender context carries trace identity only, never cancellation:
+	// the batch serves waiters from many queries.
+	sctx := trace.NewContext(context.Background(), bspan)
 	go func() {
 		defer b.flushes.Done()
 		var start time.Time
 		if b.opts.Observe != nil {
 			start = time.Now()
 		}
-		paths, pinned, err := b.send(bu.order, bu.key.k, bu.key.epoch, bu.key.hasEpoch)
+		paths, pinned, err := b.send(sctx, bu.order, bu.key.k, bu.key.epoch, bu.key.hasEpoch)
 		if b.opts.Observe != nil {
 			b.opts.Observe(len(bu.order), time.Since(start))
 		}
+		if err != nil {
+			bspan.SetAttr("error", err.Error())
+		}
+		bspan.Finish()
 		b.mu.Lock()
 		for _, pr := range bu.order {
 			fk := flightKey{pair: pr, batchKey: bu.key}

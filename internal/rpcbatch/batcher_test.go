@@ -1,6 +1,7 @@
 package rpcbatch
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -22,7 +23,7 @@ type recordingSender struct {
 	unpinned bool // report answers as not epoch-frozen
 }
 
-func (rs *recordingSender) send(pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
+func (rs *recordingSender) send(_ context.Context, pairs []core.PairRequest, k int, epoch uint64, hasEpoch bool) (map[core.PairRequest][]graph.Path, bool, error) {
 	if rs.delay > 0 {
 		time.Sleep(rs.delay)
 	}

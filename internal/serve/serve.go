@@ -21,14 +21,19 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kspdg/internal/cluster"
 	"kspdg/internal/core"
 	"kspdg/internal/dtlp"
 	"kspdg/internal/graph"
+	"kspdg/internal/logx"
 	"kspdg/internal/rpcbatch"
+	"kspdg/internal/trace"
 	"kspdg/internal/workload"
 )
 
@@ -87,6 +92,15 @@ type Options struct {
 	// replayed through RunScenario (kill/restart a worker of the deployment
 	// backing the refine provider).  Nil ignores chaos events.
 	Chaos func(ev workload.ChaosEvent) error
+	// Logger, when set, receives a structured slow-query log line for every
+	// non-converged or budget-terminated query, and for every query slower
+	// than SlowQueryThreshold.  The line carries the trace id and the
+	// per-stage duration breakdown when the query was traced.
+	Logger *logx.Logger
+	// SlowQueryThreshold is the duration above which a successfully answered
+	// query is logged as slow.  Zero disables the duration rule; outliers
+	// (non-converged, budget-terminated) are logged regardless.
+	SlowQueryThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -234,14 +248,27 @@ type call struct {
 	cancel  context.CancelFunc
 	waiters atomic.Int32 // callers currently waiting on done
 
+	// reqSpan is the creating caller's request span (nil for untraced
+	// callers).  The computation's queue/execute spans — and everything the
+	// engine and transport hang beneath them — belong to the creator's
+	// trace; joiners only record an annotation naming it (see QueryCtx).
+	reqSpan   *trace.Span
+	queueSpan *trace.Span
+
 	done chan struct{}
 	res  core.Result
 	err  error
 }
 
-func newCall(key queryKey) *call {
-	ctx, cancel := context.WithCancel(context.Background())
-	c := &call{key: key, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+// newCall registers a computation created by the caller behind ctx.  The
+// call's execution context is detached from the creator's cancellation (a
+// coalesced computation must outlive any single waiter) but inherits its
+// trace span, under which the queue wait starts immediately.
+func newCall(ctx context.Context, key queryKey) *call {
+	cctx, cancel := context.WithCancel(context.Background())
+	c := &call{key: key, ctx: cctx, cancel: cancel, done: make(chan struct{})}
+	c.reqSpan = trace.FromContext(ctx)
+	c.queueSpan = c.reqSpan.Child("queue")
 	c.waiters.Store(1)
 	return c
 }
@@ -291,6 +318,7 @@ func (s *Server) worker() {
 	defer s.workers.Done()
 	for t := range s.tasks {
 		c := t.c
+		c.queueSpan.Finish()
 		if err := c.ctx.Err(); err != nil {
 			s.finish(c, core.Result{}, err)
 			continue
@@ -299,13 +327,19 @@ func (s *Server) worker() {
 		if view == nil {
 			view = s.index.CurrentView()
 		}
+		// The execute span is injected into the call's detached context so the
+		// engine (and the batching transport beneath it) hang their iteration
+		// and rpc spans under the creator's trace.
+		exec := c.reqSpan.Child("execute")
+		ctx := trace.NewContext(c.ctx, exec)
 		var res core.Result
 		var err error
 		if c.yield != nil {
-			res, err = s.engine.StreamView(c.ctx, view, c.key.s, c.key.t, c.key.k, c.yield)
+			res, err = s.engine.StreamView(ctx, view, c.key.s, c.key.t, c.key.k, c.yield)
 		} else {
-			res, err = s.engine.QueryViewCtx(c.ctx, view, c.key.s, c.key.t, c.key.k)
+			res, err = s.engine.QueryViewCtx(ctx, view, c.key.s, c.key.t, c.key.k)
 		}
+		exec.Finish()
 		s.finish(c, res, err)
 	}
 }
@@ -323,11 +357,17 @@ func (s *Server) finish(c *call, res core.Result, err error) {
 		s.storeCacheLocked(c.key, cacheEntry{epoch: res.Epoch, res: res})
 	}
 	s.mu.Unlock()
+	tr := c.reqSpan.Trace()
+	outlier := false
 	switch {
 	case err == nil && !res.Converged:
 		s.nonConverged.Add(1)
+		tr.MarkNonConverged()
+		outlier = true
 	case err == nil && res.BoundGap > 0:
 		s.budgetTerminated.Add(1)
+		tr.MarkNonConverged()
+		outlier = true
 		for {
 			cur := s.maxBoundGap.Load()
 			if res.BoundGap <= math.Float64frombits(cur) {
@@ -339,8 +379,50 @@ func (s *Server) finish(c *call, res core.Result, err error) {
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.canceled.Add(1)
+		tr.MarkCanceled()
+	case err != nil:
+		tr.MarkError()
 	}
+	s.logSlowQuery(c, res, err, outlier)
 	close(c.done)
+}
+
+// logSlowQuery emits the structured slow-query log line for outliers
+// (non-converged or budget-terminated answers) and for queries slower than
+// Options.SlowQueryThreshold, carrying the trace id and per-stage breakdown
+// when the query was traced.
+func (s *Server) logSlowQuery(c *call, res core.Result, err error, outlier bool) {
+	lg := s.opts.Logger
+	if lg == nil || err != nil {
+		return
+	}
+	slow := s.opts.SlowQueryThreshold > 0 && res.Elapsed >= s.opts.SlowQueryThreshold
+	if !outlier && !slow {
+		return
+	}
+	kv := []any{
+		"s", uint64(c.key.s), "t", uint64(c.key.t), "k", c.key.k,
+		"epoch", res.Epoch,
+		"elapsed", res.Elapsed.Round(time.Microsecond).String(),
+		"iterations", res.Iterations,
+		"converged", res.Converged,
+	}
+	if res.BoundGap > 0 {
+		kv = append(kv, "bound_gap", strconv.FormatFloat(res.BoundGap, 'g', -1, 64))
+	}
+	if tr := c.reqSpan.Trace(); tr != nil {
+		kv = append(kv, "trace", trace.IDString(tr.ID()))
+		stages := tr.Stages()
+		names := make([]string, 0, len(stages))
+		for name := range stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			kv = append(kv, "stage_"+name, stages[name].Round(time.Microsecond).String())
+		}
+	}
+	lg.Warn("slow query", kv...)
 }
 
 // abandon records that one waiter gave up on c.  The last waiter to leave
@@ -419,20 +501,29 @@ func (s *Server) QueryCtx(ctx context.Context, src, dst graph.VertexID, k int) (
 	}
 	if c, ok := s.inflight[key]; ok && c.epoch == epoch {
 		// An identical query for the same epoch is already running (or
-		// queued); share its outcome instead of computing it twice.
+		// queued); share its outcome instead of computing it twice.  A traced
+		// joiner records which trace owns the computation it attached to, so
+		// its own trace explains where the time went.
 		c.waiters.Add(1)
 		s.mu.Unlock()
+		var jspan *trace.Span
+		if js := trace.FromContext(ctx); js != nil {
+			jspan = js.Child("coalesced")
+			jspan.SetAttr("owner_trace", trace.IDString(c.reqSpan.Trace().ID()))
+		}
 		select {
 		case <-c.done:
+			jspan.Finish()
 			s.queries.Add(1)
 			s.coalesced.Add(1)
 			return c.res, c.err
 		case <-ctx.Done():
+			jspan.Finish()
 			s.abandon(c)
 			return core.Result{}, ctx.Err()
 		}
 	}
-	c := newCall(key)
+	c := newCall(ctx, key)
 	c.epoch = epoch
 	c.shared = true
 	s.inflight[key] = c
@@ -485,7 +576,7 @@ func (s *Server) submit(ctx context.Context, key queryKey, view *dtlp.IndexView,
 		s.mu.Unlock()
 		return core.Result{}, fmt.Errorf("serve: server is closed")
 	}
-	c := newCall(key)
+	c := newCall(ctx, key)
 	c.view = view
 	c.yield = yield
 	s.senders.Add(1)
@@ -543,18 +634,32 @@ func (s *Server) ApplyUpdates(batch []graph.WeightUpdate) error {
 // those are not the same thing.  An empty batch publishes nothing and
 // returns the current epoch.
 func (s *Server) ApplyUpdatesEpoch(batch []graph.WeightUpdate) (uint64, error) {
+	return s.ApplyUpdatesEpochCtx(context.Background(), batch)
+}
+
+// ApplyUpdatesEpochCtx is ApplyUpdatesEpoch under a context: a trace span
+// carried by ctx gains rebuild/wal/broadcast/snapshot child spans covering the
+// write path's phases.  The context is a trace carrier only — the write path
+// does not consume cancellation (a half-applied batch is worse than a late
+// one).
+func (s *Server) ApplyUpdatesEpochCtx(ctx context.Context, batch []graph.WeightUpdate) (uint64, error) {
 	if len(batch) == 0 {
 		return s.index.CurrentView().Epoch(), nil
 	}
+	sp := trace.FromContext(ctx)
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	rs := sp.Child("rebuild")
+	rs.SetAttrInt("updates", int64(len(batch)))
 	// The master graph is resolved through the index each time: topology
 	// batches replace it copy-on-write, so a pointer cached at construction
 	// would go stale after the first insert or delete.
 	if err := s.index.Partition().Parent().ApplyUpdates(batch); err != nil {
+		rs.Finish()
 		return 0, err
 	}
 	epoch, err := s.index.ApplyUpdatesEpoch(batch)
+	rs.Finish()
 	if err != nil {
 		return 0, err
 	}
@@ -564,21 +669,28 @@ func (s *Server) ApplyUpdatesEpoch(batch []graph.WeightUpdate) (uint64, error) {
 	// regardless and the errors are joined.
 	var errs []error
 	if s.opts.Store != nil {
+		ws := sp.Child("wal")
 		if err := s.opts.Store.AppendBatch(epoch, batch); err != nil {
 			errs = append(errs, fmt.Errorf("serve: logging update batch for epoch %d: %w", epoch, err))
 		}
+		ws.Finish()
 	}
 	if s.opts.Broadcast != nil {
+		bs := sp.Child("broadcast")
 		if err := s.opts.Broadcast(batch); err != nil {
 			errs = append(errs, fmt.Errorf("serve: broadcasting update batch: %w", err))
 		}
+		bs.Finish()
 	}
 	if len(errs) > 0 {
 		return epoch, errors.Join(errs...)
 	}
 	s.batches.Add(1)
 	s.updates.Add(int64(len(batch)))
-	if err := s.maybeSnapshotLocked(epoch); err != nil {
+	ss := sp.Child("snapshot")
+	err = s.maybeSnapshotLocked(epoch)
+	ss.Finish()
+	if err != nil {
 		return epoch, err
 	}
 	return epoch, nil
@@ -608,35 +720,53 @@ func (s *Server) ApplyTopologyEpoch(up graph.TopologyUpdate) (uint64, error) {
 // rebuilt.  Callers answering on behalf of one specific client (the
 // gateway's /v1/topology) use it to attribute the batch exactly.
 func (s *Server) ApplyTopologyStats(up graph.TopologyUpdate) (dtlp.TopologyStats, error) {
+	return s.ApplyTopologyStatsCtx(context.Background(), up)
+}
+
+// ApplyTopologyStatsCtx is ApplyTopologyStats under a context; like
+// ApplyUpdatesEpochCtx, the context carries an optional trace span (which
+// gains rebuild/wal/broadcast/snapshot children) and nothing else.
+func (s *Server) ApplyTopologyStatsCtx(ctx context.Context, up graph.TopologyUpdate) (dtlp.TopologyStats, error) {
 	if up.IsZero() {
 		return dtlp.TopologyStats{Epoch: s.index.CurrentView().Epoch()}, nil
 	}
+	sp := trace.FromContext(ctx)
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	rs := sp.Child("rebuild")
 	// Unlike the weight path, the index applies the mutation to the master
 	// graph itself (the new graph and partition are one atomic generation),
 	// so there is no separate parent.ApplyTopology step here.
 	st, err := s.index.ApplyTopologyStats(up)
+	rs.SetAttrInt("subgraphs_rebuilt", int64(st.SubgraphsRebuilt))
+	rs.Finish()
 	if err != nil {
 		return st, err
 	}
 	var errs []error
 	if s.opts.Store != nil {
+		ws := sp.Child("wal")
 		if err := s.opts.Store.AppendTopology(st.Epoch, up); err != nil {
 			errs = append(errs, fmt.Errorf("serve: logging topology batch for epoch %d: %w", st.Epoch, err))
 		}
+		ws.Finish()
 	}
 	if s.opts.BroadcastTopology != nil {
+		bs := sp.Child("broadcast")
 		if err := s.opts.BroadcastTopology(up); err != nil {
 			errs = append(errs, fmt.Errorf("serve: broadcasting topology batch: %w", err))
 		}
+		bs.Finish()
 	}
 	if len(errs) > 0 {
 		return st, errors.Join(errs...)
 	}
 	s.topoBatches.Add(1)
 	s.subgraphsRebuilt.Add(int64(st.SubgraphsRebuilt))
-	if err := s.maybeSnapshotLocked(st.Epoch); err != nil {
+	ss := sp.Child("snapshot")
+	err = s.maybeSnapshotLocked(st.Epoch)
+	ss.Finish()
+	if err != nil {
 		return st, err
 	}
 	return st, nil

@@ -1,0 +1,36 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the span.  A nil span returns ctx
+// unchanged.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context's span and returns it together with
+// a derived context carrying the child.  On an untraced context it returns
+// (nil, ctx): the nil span is safe to Finish/attribute, so callers need no
+// branches.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	child := parent.Child(name)
+	return child, NewContext(ctx, child)
+}

@@ -1,0 +1,354 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestTracer keeps every finished trace so structural tests are not at the
+// mercy of sampling.
+func newTestTracer(capacity int) *Tracer {
+	return New(Options{Capacity: capacity, SampleRate: 1})
+}
+
+func finishAll(tr *Trace, spans ...*Span) {
+	for _, s := range spans {
+		s.Finish()
+	}
+	tr.Finish()
+}
+
+func TestNilSafety(t *testing.T) {
+	var tracer *Tracer
+	tr, root := tracer.StartTrace("request")
+	if tr != nil || root != nil {
+		t.Fatalf("nil tracer must hand out nil traces, got %v %v", tr, root)
+	}
+	// Every method must be a no-op on nil receivers.
+	tr.MarkNonConverged()
+	tr.MarkError()
+	tr.Finish()
+	if tr.ID() != 0 || tr.Stages() != nil || tr.Duration() != 0 {
+		t.Error("nil trace accessors must return zero values")
+	}
+	root.SetAttr("k", "v")
+	root.SetAttrInt("n", 1)
+	root.Finish()
+	if c := root.Child("x"); c != nil {
+		t.Errorf("nil span child must be nil, got %v", c)
+	}
+	if got := tracer.Snapshot(10); got != nil {
+		t.Errorf("nil tracer snapshot must be nil, got %v", got)
+	}
+	ctx := NewContext(context.Background(), nil)
+	if s := FromContext(ctx); s != nil {
+		t.Errorf("nil span must not enter the context, got %v", s)
+	}
+	if s, _ := StartSpan(context.Background(), "x"); s != nil {
+		t.Errorf("StartSpan on an untraced context must return nil, got %v", s)
+	}
+}
+
+func TestTraceIDsAreNonzeroAndDistinct(t *testing.T) {
+	tracer := newTestTracer(8)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		tr, root := tracer.StartTrace("request")
+		if tr.ID() == 0 {
+			t.Fatal("trace id must be nonzero (zero means untraced on the wire)")
+		}
+		if seen[tr.ID()] {
+			t.Fatalf("duplicate trace id %d", tr.ID())
+		}
+		seen[tr.ID()] = true
+		finishAll(tr, root)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tracer := newTestTracer(4)
+	var ids []string
+	for i := 0; i < 10; i++ {
+		tr, root := tracer.StartTrace("request")
+		ids = append(ids, IDString(tr.ID()))
+		finishAll(tr, root)
+	}
+	views := tracer.Snapshot(0)
+	if len(views) != 4 {
+		t.Fatalf("ring of capacity 4 retained %d traces", len(views))
+	}
+	// Newest-first: the last four started traces, in reverse start order.
+	for i, v := range views {
+		want := ids[len(ids)-1-i]
+		if v.ID != want {
+			t.Errorf("snapshot[%d] = %s, want %s", i, v.ID, want)
+		}
+	}
+	started, kept := tracer.Stats()
+	if started != 10 || kept != 10 {
+		t.Errorf("stats = (%d, %d), want (10, 10)", started, kept)
+	}
+}
+
+func TestTailRetentionKeepsFlaggedTraces(t *testing.T) {
+	// SampleRate < 0 retains no normal traces, so anything in the ring got
+	// there through a flag.
+	tracer := New(Options{Capacity: 16, SampleRate: -1})
+
+	tr, root := tracer.StartTrace("request")
+	finishAll(tr, root)
+	if got := tracer.Snapshot(0); len(got) != 0 {
+		t.Fatalf("unflagged trace retained under zero sampling: %v", got)
+	}
+
+	marks := []struct {
+		flag string
+		mark func(*Trace)
+	}{
+		{"nonconverged", (*Trace).MarkNonConverged},
+		{"failedover", (*Trace).MarkFailedOver},
+		{"canceled", (*Trace).MarkCanceled},
+		{"error", (*Trace).MarkError},
+	}
+	for _, m := range marks {
+		tr, root := tracer.StartTrace("request")
+		m.mark(tr)
+		finishAll(tr, root)
+	}
+	views := tracer.Snapshot(0)
+	if len(views) != len(marks) {
+		t.Fatalf("retained %d flagged traces, want %d", len(views), len(marks))
+	}
+	flagged := map[string]bool{}
+	for _, v := range views {
+		for _, f := range v.Flags {
+			flagged[f] = true
+		}
+	}
+	for _, m := range marks {
+		if !flagged[m.flag] {
+			t.Errorf("no retained trace carries flag %q", m.flag)
+		}
+	}
+}
+
+func TestSlowThresholdForcesRetention(t *testing.T) {
+	tracer := New(Options{Capacity: 4, SampleRate: -1, SlowThreshold: time.Nanosecond})
+	tr, root := tracer.StartTrace("request")
+	time.Sleep(time.Millisecond)
+	finishAll(tr, root)
+	views := tracer.Snapshot(0)
+	if len(views) != 1 {
+		t.Fatalf("slow trace not retained")
+	}
+	if len(views[0].Flags) != 1 || views[0].Flags[0] != "slow" {
+		t.Errorf("flags = %v, want [slow]", views[0].Flags)
+	}
+}
+
+func TestSamplingIsSeededAndReproducible(t *testing.T) {
+	run := func() uint64 {
+		tracer := New(Options{Capacity: 1024, SampleRate: 0.3, Seed: 99})
+		for i := 0; i < 200; i++ {
+			tr, root := tracer.StartTrace("request")
+			finishAll(tr, root)
+		}
+		_, kept := tracer.Stats()
+		return kept
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different retention: %d vs %d", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Errorf("0.3 sampling kept %d of 200 traces", a)
+	}
+}
+
+func TestSpanBoundCountsDropped(t *testing.T) {
+	tracer := New(Options{Capacity: 4, SampleRate: 1, MaxSpans: 3})
+	tr, root := tracer.StartTrace("request")
+	for i := 0; i < 5; i++ {
+		root.Child(fmt.Sprintf("s%d", i)).Finish()
+	}
+	finishAll(tr, root)
+	v := tracer.Snapshot(1)[0]
+	if len(v.Spans) != 3 {
+		t.Errorf("recorded %d spans, want 3 (bound)", len(v.Spans))
+	}
+	if v.Dropped != 3 {
+		// root + 5 children = 6 creations against a bound of 3.
+		t.Errorf("dropped = %d, want 3", v.Dropped)
+	}
+}
+
+func TestAttrBound(t *testing.T) {
+	tracer := newTestTracer(4)
+	tr, root := tracer.StartTrace("request")
+	for i := 0; i < DefaultMaxAttrs+10; i++ {
+		root.SetAttrInt(fmt.Sprintf("a%d", i), int64(i))
+	}
+	finishAll(tr, root)
+	v := tracer.Snapshot(1)[0]
+	if len(v.Spans[0].Attrs) != DefaultMaxAttrs {
+		t.Errorf("span kept %d attrs, want %d", len(v.Spans[0].Attrs), DefaultMaxAttrs)
+	}
+}
+
+func TestStagesAggregateFinishedSpans(t *testing.T) {
+	tracer := newTestTracer(4)
+	tr, root := tracer.StartTrace("request")
+	a := root.Child("refine")
+	b := root.Child("refine")
+	c := root.Child("filter")
+	open := root.Child("queue") // never finished: must not appear
+	a.Finish()
+	b.Finish()
+	c.Finish()
+	_ = open
+	st := tr.Stages()
+	if _, ok := st["queue"]; ok {
+		t.Error("unfinished span leaked into Stages")
+	}
+	if _, ok := st["refine"]; !ok {
+		t.Error("missing refine stage")
+	}
+	if _, ok := st["filter"]; !ok {
+		t.Error("missing filter stage")
+	}
+}
+
+func TestOnSpanFinishBridge(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	tracer := New(Options{Capacity: 4, SampleRate: 1, OnSpanFinish: func(name string, d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative duration for %s", name)
+		}
+		mu.Lock()
+		got[name]++
+		mu.Unlock()
+	}})
+	tr, root := tracer.StartTrace("request")
+	s := root.Child("execute")
+	s.Finish()
+	s.Finish() // double finish must not double-observe
+	finishAll(tr, root)
+	if got["execute"] != 1 || got["request"] != 1 {
+		t.Errorf("bridge observations = %v", got)
+	}
+}
+
+func TestGraftRebasesWorkerSpans(t *testing.T) {
+	tracer := newTestTracer(4)
+	tr, root := tracer.StartTrace("request")
+	rpc := root.Child("rpc")
+	msgs := []SpanMsg{
+		{Name: "worker_exec", Parent: -1, StartNs: 1000, DurNs: int64(5 * time.Millisecond),
+			Attrs: []Attr{{Key: "worker", Value: "1"}}},
+		{Name: "pair_yen", Parent: 0, StartNs: 2000, DurNs: int64(2 * time.Millisecond)},
+	}
+	rpc.Graft(msgs)
+	rpc.Finish()
+	finishAll(tr, root)
+	v := tracer.Snapshot(1)[0]
+	byName := map[string]SpanView{}
+	for _, s := range v.Spans {
+		byName[s.Name] = s
+	}
+	we, ok := byName["worker_exec"]
+	if !ok {
+		t.Fatal("worker_exec span not grafted")
+	}
+	if we.Parent != byName["rpc"].ID {
+		t.Errorf("worker_exec parent = %d, want rpc span %d", we.Parent, byName["rpc"].ID)
+	}
+	if we.DurMs != 5 {
+		t.Errorf("worker_exec duration %v ms, want 5", we.DurMs)
+	}
+	py, ok := byName["pair_yen"]
+	if !ok {
+		t.Fatal("pair_yen span not grafted")
+	}
+	if py.Parent != we.ID {
+		t.Errorf("pair_yen parent = %d, want worker_exec %d", py.Parent, we.ID)
+	}
+	if len(we.Attrs) != 1 || we.Attrs[0].Key != "worker" {
+		t.Errorf("grafted attrs lost: %v", we.Attrs)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tracer := newTestTracer(4)
+	tr, root := tracer.StartTrace("request")
+	ctx := NewContext(context.Background(), root)
+	if FromContext(ctx) != root {
+		t.Fatal("span lost in context round-trip")
+	}
+	child, cctx := StartSpan(ctx, "queue")
+	if child == nil || child.Trace() != tr {
+		t.Fatal("StartSpan did not create a child on the carried trace")
+	}
+	if FromContext(cctx) != child {
+		t.Fatal("StartSpan must return a context carrying the new span")
+	}
+	child.Finish()
+	finishAll(tr, root)
+}
+
+func TestConcurrentSpansAndViews(t *testing.T) {
+	tracer := New(Options{Capacity: 32, SampleRate: 1, MaxSpans: 128})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr, root := tracer.StartTrace("request")
+				var inner sync.WaitGroup
+				for j := 0; j < 4; j++ {
+					inner.Add(1)
+					go func(j int) {
+						defer inner.Done()
+						s := root.Child("refine")
+						s.SetAttrInt("iter", int64(j))
+						s.Finish()
+					}(j)
+				}
+				if g == 0 {
+					// Concurrent reads while spans finish.
+					_ = tr.View()
+					_ = tr.Stages()
+				}
+				inner.Wait()
+				if i%2 == 0 {
+					tr.MarkNonConverged()
+				}
+				finishAll(tr, root)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = tracer.Snapshot(8)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	started, _ := tracer.Stats()
+	if started != 400 {
+		t.Errorf("started = %d, want 400", started)
+	}
+	if got := tracer.Snapshot(0); len(got) != 32 {
+		t.Errorf("ring holds %d traces, want full capacity 32", len(got))
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// SpanView is the JSON-facing snapshot of one span.
+type SpanView struct {
+	ID       uint64  `json:"id"`
+	Parent   uint64  `json:"parent,omitempty"`
+	Name     string  `json:"name"`
+	StartUs  int64   `json:"start_us"` // offset from trace start, microseconds
+	DurMs    float64 `json:"dur_ms"`
+	Finished bool    `json:"finished"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+}
+
+// TraceView is the JSON-facing snapshot of one trace: its spans plus the
+// per-stage aggregate breakdown.
+type TraceView struct {
+	ID      string             `json:"id"` // hex
+	Start   time.Time          `json:"start"`
+	DurMs   float64            `json:"dur_ms"`
+	Flags   []string           `json:"flags,omitempty"`
+	Dropped int                `json:"dropped_spans,omitempty"`
+	Stages  map[string]float64 `json:"stages"` // stage name -> total ms
+	Spans   []SpanView         `json:"spans"`
+}
+
+// IDString renders a trace ID the way views and logs do (hex, no 0x).
+func IDString(id uint64) string { return strconv.FormatUint(id, 16) }
+
+// View snapshots the trace, including still-open spans (Finished=false, with
+// elapsed-so-far durations).  Safe to call concurrently with span recording.
+func (tr *Trace) View() TraceView {
+	if tr == nil {
+		return TraceView{}
+	}
+	tr.mu.Lock()
+	spans := append([]*Span(nil), tr.spans...)
+	dropped := tr.dropped
+	tr.mu.Unlock()
+
+	v := TraceView{
+		ID:      IDString(tr.id),
+		Start:   tr.start,
+		DurMs:   float64(tr.Duration()) / float64(time.Millisecond),
+		Dropped: dropped,
+		Stages:  make(map[string]float64, 8),
+		Spans:   make([]SpanView, 0, len(spans)),
+	}
+	for _, bit := range []struct {
+		flag uint32
+		name string
+	}{
+		{flagSlow, "slow"},
+		{flagNonConverged, "nonconverged"},
+		{flagFailedOver, "failedover"},
+		{flagCanceled, "canceled"},
+		{flagError, "error"},
+	} {
+		if tr.flagBits()&bit.flag != 0 {
+			v.Flags = append(v.Flags, bit.name)
+		}
+	}
+	for _, s := range spans {
+		d := s.Duration()
+		s.mu.Lock()
+		attrs := append([]Attr(nil), s.attrs...)
+		s.mu.Unlock()
+		v.Spans = append(v.Spans, SpanView{
+			ID:       s.id,
+			Parent:   s.parent,
+			Name:     s.name,
+			StartUs:  s.start.Sub(tr.start).Microseconds(),
+			DurMs:    float64(d) / float64(time.Millisecond),
+			Finished: s.Finished(),
+			Attrs:    attrs,
+		})
+		v.Stages[s.name] += float64(d) / float64(time.Millisecond)
+	}
+	return v
+}
+
+// Snapshot returns views of up to n retained traces, newest first.  n <= 0
+// means all retained traces.  Returns nil on a nil tracer.
+func (t *Tracer) Snapshot(n int) []TraceView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := append([]*Trace(nil), t.ring...)
+	t.mu.Unlock()
+	sort.Slice(traces, func(i, j int) bool { return traces[i].start.After(traces[j].start) })
+	if n > 0 && n < len(traces) {
+		traces = traces[:n]
+	}
+	out := make([]TraceView, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, tr.View())
+	}
+	return out
+}
